@@ -1,0 +1,26 @@
+//! Interned atoms and attribute paths — the vocabulary of ActorSpace.
+//!
+//! The ActorSpace prototype (paper §7.1) represents an actor's *attributes*
+//! as "concatenations of atoms", combined with a special `/` operator "much
+//! as is the case with file names in a conventional file-system". Patterns
+//! are regular expressions over those atoms.
+//!
+//! This crate provides the two foundational types:
+//!
+//! * [`Atom`] — a cheap, copyable handle to an interned string. Equality and
+//!   hashing are O(1) integer operations, which is what makes NFA-based
+//!   pattern matching over attribute paths fast.
+//! * [`Path`] — a sequence of atoms (`srv/fib/fast`), the unit attributes
+//!   are expressed in and patterns are matched against.
+//!
+//! Interning is global by default  (see [`atom()`](atom()) / [`Atom::intern`]) so that
+//! atoms created anywhere in a process compare equal; a scoped
+//! [`AtomTable`] is also available for tests that need isolation.
+
+pub mod atom;
+pub mod path;
+pub mod table;
+
+pub use atom::{atom, Atom};
+pub use path::{path, Path};
+pub use table::AtomTable;

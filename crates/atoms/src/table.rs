@@ -1,0 +1,148 @@
+//! The string interner behind [`Atom`](crate::Atom).
+//!
+//! A classic two-way interner: a hash map from string to index plus a vector
+//! of the interned strings. Interned strings are leaked (`Box::leak`) so
+//! that resolution can hand out `&'static str` without a lock being held by
+//! the caller; an interner's working set is bounded by the distinct atoms a
+//! program ever uses, which is the standard trade-off symbol tables make.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use parking_lot::RwLock;
+
+/// A table interning strings to dense `u32` ids.
+///
+/// Most users never touch this type directly and go through
+/// [`Atom::intern`](crate::Atom::intern), which uses the process-global
+/// table. A private table is useful for tests that want to observe ids from
+/// a known-empty state.
+#[derive(Debug, Default)]
+pub struct AtomTable {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+impl AtomTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its dense id. Idempotent: the same string
+    /// always maps to the same id within one table.
+    pub fn intern(&self, name: &str) -> u32 {
+        // Fast path: read lock only.
+        if let Some(&id) = self.inner.read().by_name.get(name) {
+            return id;
+        }
+        let mut inner = self.inner.write();
+        // Double-check under the write lock (another thread may have won).
+        if let Some(&id) = inner.by_name.get(name) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(inner.names.len()).expect("atom table overflow");
+        inner.names.push(leaked);
+        inner.by_name.insert(leaked, id);
+        id
+    }
+
+    /// Resolves an id back to its string. Panics on an id not produced by
+    /// this table — that would indicate an `Atom` crossing table boundaries.
+    pub fn resolve(&self, id: u32) -> &'static str {
+        self.inner.read().names[id as usize]
+    }
+
+    /// Returns the id for `name` without interning, if present.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Number of distinct atoms interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().names.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The process-global interner used by [`Atom::intern`](crate::Atom::intern).
+pub(crate) fn global() -> &'static AtomTable {
+    static GLOBAL: OnceLock<AtomTable> = OnceLock::new();
+    GLOBAL.get_or_init(AtomTable::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let t = AtomTable::new();
+        let a = t.intern("server");
+        let b = t.intern("server");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let t = AtomTable::new();
+        let a = t.intern("alpha");
+        let b = t.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(a), "alpha");
+        assert_eq!(t.resolve(b), "beta");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let t = AtomTable::new();
+        assert_eq!(t.get("missing"), None);
+        assert!(t.is_empty());
+        let id = t.intern("present");
+        assert_eq!(t.get("present"), Some(id));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_use() {
+        let t = AtomTable::new();
+        for i in 0..100 {
+            assert_eq!(t.intern(&format!("atom-{i}")), i as u32);
+        }
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let t = std::sync::Arc::new(AtomTable::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..200).map(|i| t.intern(&format!("k{}", i % 50))).collect::<Vec<_>>()
+            }));
+        }
+        let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for w in results.windows(2) {
+            assert_eq!(w[0], w[1], "all threads must observe identical ids");
+        }
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_atom() {
+        let t = AtomTable::new();
+        let id = t.intern("");
+        assert_eq!(t.resolve(id), "");
+    }
+}

@@ -1,0 +1,26 @@
+//! Baseline systems the paper positions ActorSpace against (§3).
+//!
+//! To reproduce the paper's comparative claims we implement the three
+//! coordination styles it discusses:
+//!
+//! * [`tuple_space`] — a Linda-style generative-communication store with
+//!   `out`/`in`/`rd` (blocking) and `inp`/`rdp` (non-blocking). Used to
+//!   demonstrate the §3 claims: tuple retrieval races between concurrent
+//!   readers, communication "cannot be made secure against arbitrary
+//!   readers", and processes must actively poll.
+//! * [`name_server`] — the global naming service of conventional open
+//!   systems: "objects may register themselves if they want other objects
+//!   to send messages to them." Exact-name lookup only — the queries a
+//!   pattern can express (wildcards, alternation) have no equivalent.
+//! * [`process_group`] — Amoeba/V/ISIS-style process groups: "an
+//!   association of one name with a set of names", with explicit join/leave
+//!   membership and group send/multicast. Group changes must be explicitly
+//!   communicated, unlike attribute patterns.
+
+pub mod name_server;
+pub mod process_group;
+pub mod tuple_space;
+
+pub use name_server::NameServer;
+pub use process_group::{GroupError, ProcessGroups};
+pub use tuple_space::{Field, Tuple, TuplePattern, TupleSpace};

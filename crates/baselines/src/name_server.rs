@@ -1,0 +1,131 @@
+//! A global name service — the conventional open-system alternative (§3).
+//!
+//! "Open systems which use explicit references to objects and message
+//! passing as coordination primitives usually offer a global naming service
+//! to which all objects have a reference. This naming service can then be
+//! queried for other references … Objects may register themselves if they
+//! want other objects to send messages to them."
+//!
+//! The service maps exact string names to actor ids, with optional blocking
+//! lookups (wait for registration). What it *cannot* do — and what the
+//! repository benchmark (E11) quantifies — is answer pattern queries or
+//! group sends; callers must know exact names in advance.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use actorspace_atoms::Atom;
+use parking_lot::{Condvar, Mutex};
+
+/// An exact-name registry of actor ids.
+#[derive(Default)]
+pub struct NameServer {
+    names: Mutex<HashMap<Atom, u64>>,
+    registered: Condvar,
+}
+
+impl NameServer {
+    /// An empty server.
+    pub fn new() -> NameServer {
+        NameServer::default()
+    }
+
+    /// Registers (or replaces) a name binding.
+    pub fn register(&self, name: Atom, id: u64) {
+        self.names.lock().insert(name, id);
+        self.registered.notify_all();
+    }
+
+    /// Removes a binding; returns the old id if present.
+    pub fn unregister(&self, name: Atom) -> Option<u64> {
+        self.names.lock().remove(&name)
+    }
+
+    /// Exact lookup.
+    pub fn lookup(&self, name: Atom) -> Option<u64> {
+        self.names.lock().get(&name).copied()
+    }
+
+    /// Lookup that blocks until the name is registered or `timeout`
+    /// passes.
+    pub fn lookup_blocking(&self, name: Atom, timeout: Duration) -> Option<u64> {
+        let deadline = Instant::now() + timeout;
+        let mut names = self.names.lock();
+        loop {
+            if let Some(&id) = names.get(&name) {
+                return Some(id);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let _ = self.registered.wait_until(&mut names, deadline);
+        }
+    }
+
+    /// Number of registered names.
+    pub fn len(&self) -> usize {
+        self.names.lock().len()
+    }
+
+    /// True if no names are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorspace_atoms::atom;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_lookup_unregister() {
+        let ns = NameServer::new();
+        let n = atom("ns/printer");
+        assert_eq!(ns.lookup(n), None);
+        ns.register(n, 42);
+        assert_eq!(ns.lookup(n), Some(42));
+        assert_eq!(ns.unregister(n), Some(42));
+        assert_eq!(ns.lookup(n), None);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let ns = NameServer::new();
+        let n = atom("ns/svc");
+        ns.register(n, 1);
+        ns.register(n, 2);
+        assert_eq!(ns.lookup(n), Some(2));
+        assert_eq!(ns.len(), 1);
+    }
+
+    #[test]
+    fn blocking_lookup_waits_for_registration() {
+        let ns = Arc::new(NameServer::new());
+        let ns2 = ns.clone();
+        let n = atom("ns/late");
+        let h = std::thread::spawn(move || ns2.lookup_blocking(n, Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(30));
+        ns.register(n, 9);
+        assert_eq!(h.join().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn blocking_lookup_times_out() {
+        let ns = NameServer::new();
+        assert_eq!(ns.lookup_blocking(atom("ns/never"), Duration::from_millis(40)), None);
+    }
+
+    #[test]
+    fn exact_names_only_no_pattern_queries() {
+        // The structural limitation vs. ActorSpace: registering
+        // "srv/fib" does not make "srv/*"-style queries possible — a
+        // lookup for a different exact string finds nothing.
+        let ns = NameServer::new();
+        ns.register(atom("srv/fib"), 1);
+        assert_eq!(ns.lookup(atom("srv/*")), None);
+        assert_eq!(ns.lookup(atom("srv")), None);
+    }
+}

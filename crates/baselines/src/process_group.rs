@@ -1,0 +1,195 @@
+//! Explicit process groups — the Amoeba / V / ISIS style (§3).
+//!
+//! "Object groups can be viewed as an association of one name with a set of
+//! names (corresponding to members of the group), which when bundled with
+//! primitives for manipulation of groups and extension of communication
+//! primitives to groups of receivers support group oriented communication."
+//!
+//! Membership is *explicit*: processes join and leave by group name, and
+//! senders address the whole group or one member. The contrast the
+//! benchmarks draw: every membership change is an explicit operation by the
+//! member (or its manager), there is no attribute-based selection *within*
+//! a group, and overlapping a member into many groups means many explicit
+//! joins.
+
+use std::collections::HashMap;
+
+use actorspace_atoms::Atom;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Errors from group operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupError {
+    /// The named group has no members (or does not exist).
+    EmptyGroup,
+    /// The member was not in the group.
+    NotAMember,
+}
+
+impl std::fmt::Display for GroupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GroupError::EmptyGroup => write!(f, "group is empty or unknown"),
+            GroupError::NotAMember => write!(f, "not a member of the group"),
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+struct Inner {
+    groups: HashMap<Atom, Vec<u64>>,
+    rng: SmallRng,
+}
+
+/// A registry of named process groups over opaque member ids.
+pub struct ProcessGroups {
+    inner: Mutex<Inner>,
+}
+
+impl ProcessGroups {
+    /// An empty registry. A seed may be supplied for deterministic
+    /// one-of-group selection in tests.
+    pub fn new(seed: Option<u64>) -> ProcessGroups {
+        let rng = match seed {
+            Some(s) => SmallRng::seed_from_u64(s),
+            None => SmallRng::from_entropy(),
+        };
+        ProcessGroups { inner: Mutex::new(Inner { groups: HashMap::new(), rng }) }
+    }
+
+    /// Adds `member` to `group` (creating the group on first join).
+    /// Idempotent.
+    pub fn join(&self, group: Atom, member: u64) {
+        let mut inner = self.inner.lock();
+        let members = inner.groups.entry(group).or_default();
+        if !members.contains(&member) {
+            members.push(member);
+        }
+    }
+
+    /// Removes `member` from `group`.
+    pub fn leave(&self, group: Atom, member: u64) -> Result<(), GroupError> {
+        let mut inner = self.inner.lock();
+        let members = inner.groups.get_mut(&group).ok_or(GroupError::NotAMember)?;
+        let before = members.len();
+        members.retain(|&m| m != member);
+        if members.len() == before {
+            return Err(GroupError::NotAMember);
+        }
+        Ok(())
+    }
+
+    /// The group's current membership (copy).
+    pub fn members(&self, group: Atom) -> Vec<u64> {
+        self.inner.lock().groups.get(&group).cloned().unwrap_or_default()
+    }
+
+    /// Selects one member (the "send to group, one receives" style used for
+    /// replicated services).
+    pub fn pick_one(&self, group: Atom) -> Result<u64, GroupError> {
+        let mut inner = self.inner.lock();
+        let Inner { groups, rng } = &mut *inner;
+        let members = groups.get(&group).filter(|m| !m.is_empty()).ok_or(GroupError::EmptyGroup)?;
+        Ok(members[rng.gen_range(0..members.len())])
+    }
+
+    /// Multicast: invokes `deliver` for every member.
+    pub fn multicast(
+        &self,
+        group: Atom,
+        mut deliver: impl FnMut(u64),
+    ) -> Result<usize, GroupError> {
+        let members = self.members(group);
+        if members.is_empty() {
+            return Err(GroupError::EmptyGroup);
+        }
+        let n = members.len();
+        for m in members {
+            deliver(m);
+        }
+        Ok(n)
+    }
+
+    /// Number of groups with at least one member.
+    pub fn group_count(&self) -> usize {
+        self.inner.lock().groups.values().filter(|m| !m.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorspace_atoms::atom;
+
+    #[test]
+    fn join_members_leave() {
+        let g = ProcessGroups::new(Some(1));
+        let grp = atom("pg/workers");
+        g.join(grp, 1);
+        g.join(grp, 2);
+        g.join(grp, 2); // idempotent
+        assert_eq!(g.members(grp), vec![1, 2]);
+        g.leave(grp, 1).unwrap();
+        assert_eq!(g.members(grp), vec![2]);
+        assert_eq!(g.leave(grp, 1), Err(GroupError::NotAMember));
+    }
+
+    #[test]
+    fn pick_one_selects_members_only() {
+        let g = ProcessGroups::new(Some(2));
+        let grp = atom("pg/replicas");
+        for i in 0..4 {
+            g.join(grp, i);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let m = g.pick_one(grp).unwrap();
+            assert!(m < 4);
+            seen.insert(m);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn empty_group_errors() {
+        let g = ProcessGroups::new(Some(3));
+        let grp = atom("pg/none");
+        assert_eq!(g.pick_one(grp), Err(GroupError::EmptyGroup));
+        assert_eq!(g.multicast(grp, |_| {}), Err(GroupError::EmptyGroup));
+        g.join(grp, 7);
+        g.leave(grp, 7).unwrap();
+        assert_eq!(g.pick_one(grp), Err(GroupError::EmptyGroup));
+    }
+
+    #[test]
+    fn multicast_hits_everyone_once() {
+        let g = ProcessGroups::new(Some(4));
+        let grp = atom("pg/all");
+        for i in 0..10 {
+            g.join(grp, i);
+        }
+        let mut got = Vec::new();
+        let n = g.multicast(grp, |m| got.push(m)).unwrap();
+        assert_eq!(n, 10);
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn overlapping_groups_require_explicit_joins() {
+        // The contrast with attribute patterns: visibility in two "views"
+        // costs two explicit joins.
+        let g = ProcessGroups::new(Some(5));
+        let fast = atom("pg/fast");
+        let all = atom("pg/every");
+        g.join(fast, 1);
+        g.join(all, 1);
+        g.join(all, 2);
+        assert_eq!(g.members(fast), vec![1]);
+        assert_eq!(g.members(all), vec![1, 2]);
+        assert_eq!(g.group_count(), 2);
+    }
+}

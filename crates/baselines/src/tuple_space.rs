@@ -1,0 +1,293 @@
+//! A Linda-style tuple space (Gelernter \[16] in the paper's references).
+//!
+//! "Linda provides process interaction through a globally shared memory
+//! with associative operations on the contents" (§3). The operations are
+//! the classic four:
+//!
+//! * `out(tuple)` — deposit a tuple;
+//! * `in(pattern)` — *remove* a matching tuple, blocking until one exists;
+//! * `rd(pattern)` — read (copy) a matching tuple, blocking;
+//! * `inp`/`rdp` — non-blocking variants returning `Option`.
+//!
+//! The implementation is a mutex-protected bag with a condition variable
+//! for blocked readers — deliberately the simplest faithful realization,
+//! since the benchmarks compare *coordination styles*, not storage
+//! engineering. The §3 contrasts the tests exercise: concurrent `in`s race
+//! for the same tuple (exactly one wins), and any process can consume any
+//! tuple (no access control).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// One field of a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// An integer.
+    Int(i64),
+    /// A string.
+    Str(Arc<str>),
+}
+
+impl Field {
+    /// A string field.
+    pub fn str(s: impl AsRef<str>) -> Field {
+        Field::Str(Arc::from(s.as_ref()))
+    }
+}
+
+impl From<i64> for Field {
+    fn from(i: i64) -> Self {
+        Field::Int(i)
+    }
+}
+
+impl From<&str> for Field {
+    fn from(s: &str) -> Self {
+        Field::str(s)
+    }
+}
+
+/// A tuple: an ordered list of fields.
+pub type Tuple = Vec<Field>;
+
+/// One slot of a retrieval pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Slot {
+    /// Matches exactly this field.
+    Exact(Field),
+    /// A formal parameter: matches any field (Linda's `?x`).
+    Wild,
+}
+
+/// A retrieval pattern: arity must match, each slot must match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuplePattern(pub Vec<Slot>);
+
+impl TuplePattern {
+    /// Builds a pattern from slots.
+    pub fn new(slots: impl Into<Vec<Slot>>) -> TuplePattern {
+        TuplePattern(slots.into())
+    }
+
+    /// Does this pattern match `tuple`?
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        self.0.len() == tuple.len()
+            && self.0.iter().zip(tuple).all(|(s, f)| match s {
+                Slot::Wild => true,
+                Slot::Exact(e) => e == f,
+            })
+    }
+}
+
+/// Shorthand slot constructors.
+pub fn exact(f: impl Into<Field>) -> Slot {
+    Slot::Exact(f.into())
+}
+
+/// A wildcard slot.
+pub fn wild() -> Slot {
+    Slot::Wild
+}
+
+#[derive(Default)]
+struct Bag {
+    tuples: Vec<Tuple>,
+}
+
+/// The shared tuple space.
+#[derive(Default)]
+pub struct TupleSpace {
+    bag: Mutex<Bag>,
+    arrived: Condvar,
+}
+
+impl TupleSpace {
+    /// An empty space.
+    pub fn new() -> TupleSpace {
+        TupleSpace::default()
+    }
+
+    /// `out`: deposits a tuple, waking blocked readers.
+    pub fn out(&self, tuple: Tuple) {
+        self.bag.lock().tuples.push(tuple);
+        self.arrived.notify_all();
+    }
+
+    /// `inp`: removes and returns a matching tuple if one exists now.
+    pub fn inp(&self, pattern: &TuplePattern) -> Option<Tuple> {
+        let mut bag = self.bag.lock();
+        let idx = bag.tuples.iter().position(|t| pattern.matches(t))?;
+        Some(bag.tuples.swap_remove(idx))
+    }
+
+    /// `rdp`: copies a matching tuple if one exists now.
+    pub fn rdp(&self, pattern: &TuplePattern) -> Option<Tuple> {
+        let bag = self.bag.lock();
+        bag.tuples.iter().find(|t| pattern.matches(t)).cloned()
+    }
+
+    /// `in`: removes a matching tuple, blocking up to `timeout`.
+    pub fn in_(&self, pattern: &TuplePattern, timeout: Duration) -> Option<Tuple> {
+        let deadline = Instant::now() + timeout;
+        let mut bag = self.bag.lock();
+        loop {
+            if let Some(idx) = bag.tuples.iter().position(|t| pattern.matches(t)) {
+                return Some(bag.tuples.swap_remove(idx));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.arrived.wait_until(&mut bag, deadline).timed_out() {
+                // Loop re-checks once more before giving up.
+            }
+        }
+    }
+
+    /// `rd`: copies a matching tuple, blocking up to `timeout`.
+    pub fn rd(&self, pattern: &TuplePattern, timeout: Duration) -> Option<Tuple> {
+        let deadline = Instant::now() + timeout;
+        let mut bag = self.bag.lock();
+        loop {
+            if let Some(t) = bag.tuples.iter().find(|t| pattern.matches(t)) {
+                return Some(t.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let _ = self.arrived.wait_until(&mut bag, deadline);
+        }
+    }
+
+    /// Number of tuples currently stored.
+    pub fn len(&self) -> usize {
+        self.bag.lock().tuples.len()
+    }
+
+    /// True when the space holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn t(vals: &[i64]) -> Tuple {
+        vals.iter().map(|&v| Field::Int(v)).collect()
+    }
+
+    #[test]
+    fn out_then_inp() {
+        let ts = TupleSpace::new();
+        ts.out(vec![Field::str("job"), Field::Int(1)]);
+        let got = ts.inp(&TuplePattern::new([exact("job"), wild()])).unwrap();
+        assert_eq!(got[1], Field::Int(1));
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn inp_returns_none_without_match() {
+        let ts = TupleSpace::new();
+        ts.out(t(&[1, 2]));
+        assert!(ts.inp(&TuplePattern::new([exact(9i64), wild()])).is_none());
+        // Arity mismatch never matches.
+        assert!(ts.inp(&TuplePattern::new([wild()])).is_none());
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn rdp_does_not_consume() {
+        let ts = TupleSpace::new();
+        ts.out(t(&[5]));
+        assert!(ts.rdp(&TuplePattern::new([exact(5i64)])).is_some());
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn blocking_in_waits_for_out() {
+        let ts = Arc::new(TupleSpace::new());
+        let ts2 = ts.clone();
+        let h = std::thread::spawn(move || {
+            ts2.in_(&TuplePattern::new([exact("k"), wild()]), Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        ts.out(vec![Field::str("k"), Field::Int(7)]);
+        let got = h.join().unwrap().unwrap();
+        assert_eq!(got[1], Field::Int(7));
+    }
+
+    #[test]
+    fn blocking_in_times_out() {
+        let ts = TupleSpace::new();
+        let got = ts.in_(&TuplePattern::new([exact("never")]), Duration::from_millis(50));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn concurrent_ins_race_exactly_one_wins_per_tuple() {
+        // §3: "race conditions may occur as a result of concurrent access by
+        // different processes to a tuple space" — each tuple is consumed by
+        // exactly one reader.
+        let ts = Arc::new(TupleSpace::new());
+        let n_tuples = 100;
+        let n_readers = 8;
+        for i in 0..n_tuples {
+            ts.out(t(&[i]));
+        }
+        let mut handles = Vec::new();
+        for _ in 0..n_readers {
+            let ts = ts.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(tu) = ts.inp(&TuplePattern::new([wild()])) {
+                    got.push(match tu[0] {
+                        Field::Int(i) => i,
+                        _ => unreachable!(),
+                    });
+                }
+                got
+            }));
+        }
+        let mut all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        let want: Vec<i64> = (0..n_tuples).collect();
+        assert_eq!(all, want, "every tuple consumed exactly once");
+    }
+
+    #[test]
+    fn no_access_control_any_reader_can_consume() {
+        // §3: in Linda "there is no way of abstractly specifying that a
+        // process with certain attributes may not consume a tuple." Model a
+        // 'malicious' reader stealing another's reply.
+        let ts = Arc::new(TupleSpace::new());
+        ts.out(vec![Field::str("reply-for-alice"), Field::Int(42)]);
+        // Bob consumes Alice's reply with a wildcard: nothing stops him.
+        let stolen = ts.inp(&TuplePattern::new([wild(), wild()]));
+        assert!(stolen.is_some());
+        // Alice now blocks forever (times out).
+        let alice = ts.in_(
+            &TuplePattern::new([exact("reply-for-alice"), wild()]),
+            Duration::from_millis(50),
+        );
+        assert!(alice.is_none());
+    }
+
+    #[test]
+    fn rd_blocks_until_available() {
+        let ts = Arc::new(TupleSpace::new());
+        let ts2 = ts.clone();
+        let h = std::thread::spawn(move || {
+            ts2.rd(&TuplePattern::new([exact(1i64)]), Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        ts.out(t(&[1]));
+        assert!(h.join().unwrap().is_some());
+        assert_eq!(ts.len(), 1, "rd must not consume");
+    }
+}

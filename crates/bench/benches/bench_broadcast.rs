@@ -1,0 +1,86 @@
+//! E5 (§5.3): broadcast vs explicit sends.
+//!
+//! "Broadcasting could be simulated by explicitly sending a message to all
+//! actors in the group, but this requires that the sender know each of
+//! these actors."
+//!
+//! Measures one `broadcast(pattern)` against `g` explicit `send_to`
+//! calls as the group grows. Total work is O(g) either way; what the
+//! abstraction buys is the constant *sender-side* cost (one call, no
+//! membership list) — and the registry resolving once, centrally.
+
+use std::time::Duration;
+
+use actorspace_atoms::path;
+use actorspace_core::ActorId;
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, ActorSystem, Config, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn group_system(g: usize) -> (ActorSystem, actorspace_core::SpaceId, Vec<ActorId>) {
+    let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+    let space = sys.create_space(None).unwrap();
+    let mut ids = Vec::with_capacity(g);
+    for _ in 0..g {
+        let a = sys.spawn(from_fn(|_, _| {}));
+        sys.make_visible(a.id(), &path("node"), space, None).unwrap();
+        ids.push(a.leak());
+    }
+    (sys, space, ids)
+}
+
+fn bench_broadcast_vs_explicit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5_broadcast_vs_explicit");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for size in [1usize, 16, 256, 4096] {
+        g.throughput(Throughput::Elements(size as u64));
+        let (sys, space, ids) = group_system(size);
+        let pat = pattern("node");
+        g.bench_with_input(BenchmarkId::new("broadcast", size), &size, |b, _| {
+            b.iter(|| {
+                sys.broadcast(&pat, space, Value::int(7), None).unwrap();
+                assert!(sys.await_idle(Duration::from_secs(30)));
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("explicit_sends", size), &size, |b, _| {
+            b.iter(|| {
+                for &id in &ids {
+                    sys.send_to(id, Value::int(7));
+                }
+                assert!(sys.await_idle(Duration::from_secs(30)));
+            });
+        });
+        sys.shutdown();
+    }
+    g.finish();
+}
+
+/// Sender-side cost only: how long until the send call returns (the
+/// abstraction claim — the sender's obligation is O(1) in group knowledge).
+fn bench_sender_side_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E5_sender_side");
+    g.sample_size(20);
+    for size in [16usize, 256, 4096] {
+        let (sys, space, ids) = group_system(size);
+        let pat = pattern("node");
+        g.bench_with_input(BenchmarkId::new("broadcast_call", size), &size, |b, _| {
+            b.iter(|| {
+                sys.broadcast(&pat, space, Value::int(7), None).unwrap();
+            });
+            sys.await_idle(Duration::from_secs(60));
+        });
+        g.bench_with_input(BenchmarkId::new("explicit_loop", size), &size, |b, _| {
+            b.iter(|| {
+                for &id in &ids {
+                    sys.send_to(id, Value::int(7));
+                }
+            });
+            sys.await_idle(Duration::from_secs(60));
+        });
+        sys.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_broadcast_vs_explicit, bench_sender_side_cost);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E3 (Figure 3 / §7.3): the coordinator bus.
+//!
+//! Measures globally-ordered visibility changes across N simulated nodes
+//! under both ordering protocols the paper cites (central sequencer and
+//! Amoeba-style token bus), plus the cross-node request/response round
+//! trip over the data plane.
+
+use std::time::Duration;
+
+use actorspace_atoms::path;
+use actorspace_net::{Cluster, ClusterConfig, OrderingProtocol};
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn visibility_storm(cluster: &Cluster, per_node: usize) {
+    // Every node registers `per_node` workers; measure until coherent.
+    let space = cluster.node(0).create_space(None);
+    assert!(cluster.await_coherence(Duration::from_secs(30)));
+    for (i, node) in cluster.nodes().iter().enumerate() {
+        for k in 0..per_node {
+            let w = node.spawn(from_fn(|_, _| {}));
+            node.make_visible(w, &path(&format!("w/n{i}/k{k}")), space, None).unwrap();
+        }
+    }
+    assert!(cluster.await_coherence(Duration::from_secs(60)));
+}
+
+fn bench_ordered_visibility(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_ordered_visibility");
+    // Each iteration boots a whole cluster; keep the group proportionate to
+    // a CI host (the `experiments` binary measures the full 2/4/8 sweep).
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let per_node = 10usize;
+    for nodes in [2usize, 4] {
+        g.throughput(Throughput::Elements((nodes * per_node * 2) as u64));
+        for (name, protocol) in [
+            ("sequencer", OrderingProtocol::Sequencer),
+            ("token_bus", OrderingProtocol::TokenBus),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(name, nodes),
+                &nodes,
+                |b, &n| {
+                    b.iter_with_setup(
+                        || {
+                            Cluster::new(ClusterConfig {
+                                nodes: n,
+                                protocol,
+                                token_hop: Duration::from_micros(100),
+                                ..ClusterConfig::default()
+                            })
+                        },
+                        |cluster| {
+                            visibility_storm(&cluster, per_node);
+                            cluster.shutdown();
+                        },
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_remote_round_trip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E3_remote_round_trip");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let cluster = Cluster::new(ClusterConfig { nodes: 2, ..ClusterConfig::default() });
+    let (inbox, rx) = cluster.node(0).system().inbox();
+    let space = cluster.node(0).create_space(None);
+    let echo = cluster.node(1).spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    cluster.node(1).make_visible(echo, &path("echo"), space, None).unwrap();
+    assert!(cluster.await_coherence(Duration::from_secs(30)));
+    let pat = pattern("echo");
+    g.bench_function("pattern_send_cross_node", |b| {
+        b.iter(|| {
+            cluster.node(0).send_pattern(&pat, space, Value::int(1)).unwrap();
+            rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        });
+    });
+    g.finish();
+    cluster.shutdown();
+}
+
+criterion_group!(benches, bench_ordered_visibility, bench_remote_round_trip);
+criterion_main!(benches);

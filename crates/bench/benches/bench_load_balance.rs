@@ -1,0 +1,83 @@
+//! E4 (§5.3): automatic load balancing over replicated services.
+//!
+//! "As the messages to the servers are distributed non-deterministically,
+//! the load may be balanced automatically by an implementation, and none
+//! of the clients need to know the exact number of potential receivers."
+//!
+//! Measures pattern-send cost as the replica group grows (the client's
+//! code and pattern stay identical) and compares the three selection
+//! policies. Distribution *uniformity* is asserted by the experiments
+//! binary (chi-square); here we measure cost.
+
+use std::time::Duration;
+
+use actorspace_atoms::path;
+use actorspace_core::{ManagerPolicy, SelectionPolicy};
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, ActorSystem, Config, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn system_with_replicas(
+    k: usize,
+    selection: SelectionPolicy,
+) -> (ActorSystem, actorspace_core::SpaceId) {
+    let sys = ActorSystem::new(Config { workers: 2, ..Config::default() });
+    let space = sys.create_space(None).unwrap();
+    let policy = ManagerPolicy { selection, ..Default::default() };
+    sys.set_space_policy(space, policy, None).unwrap();
+    for _ in 0..k {
+        let r = sys.spawn(from_fn(|_, _| {}));
+        sys.make_visible(r.id(), &path("srv/kv"), space, None).unwrap();
+        r.leak();
+    }
+    (sys, space)
+}
+
+fn bench_replica_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_send_vs_replicas");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let batch = 5_000u64;
+    g.throughput(Throughput::Elements(batch));
+    for k in [1usize, 4, 16, 32] {
+        let (sys, space) = system_with_replicas(k, SelectionPolicy::Random);
+        let pat = pattern("srv/kv");
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                for _ in 0..batch {
+                    sys.send_pattern(&pat, space, Value::int(1), None).unwrap();
+                }
+                assert!(sys.await_idle(Duration::from_secs(30)));
+            });
+        });
+        sys.shutdown();
+    }
+    g.finish();
+}
+
+fn bench_selection_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_selection_policy");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    let batch = 5_000u64;
+    g.throughput(Throughput::Elements(batch));
+    for (name, policy) in [
+        ("random", SelectionPolicy::Random),
+        ("round_robin", SelectionPolicy::RoundRobin),
+        ("least_loaded", SelectionPolicy::LeastLoaded),
+    ] {
+        let (sys, space) = system_with_replicas(8, policy);
+        let pat = pattern("srv/kv");
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                for _ in 0..batch {
+                    sys.send_pattern(&pat, space, Value::int(1), None).unwrap();
+                }
+                assert!(sys.await_idle(Duration::from_secs(30)));
+            });
+        });
+        sys.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_replica_scaling, bench_selection_policies);
+criterion_main!(benches);

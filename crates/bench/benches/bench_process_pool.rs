@@ -1,0 +1,59 @@
+//! E1 (Figure 1 / §6): the dynamic process pool.
+//!
+//! Sweeps worker count for a fixed divide-and-conquer job, and measures a
+//! dynamic-arrival configuration (half the workers join mid-run). The
+//! claim reproduced: no master bottleneck; adding workers speeds the job
+//! without stopping the system.
+
+use std::time::Duration;
+
+use actorspace_bench::workloads::pool::{run_pool, PoolParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn params(workers: usize) -> PoolParams {
+    PoolParams {
+        range: 1 << 16,
+        grain: 512,
+        initial_workers: workers,
+        late_workers: 0,
+        work_per_item: 48,
+        os_threads: 4,
+        ..PoolParams::default()
+    }
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1_pool_scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for workers in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| run_pool(&params(w)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dynamic_arrival(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E1_pool_dynamic");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    // 2 workers throughout vs 2 workers + 2 arriving mid-run.
+    g.bench_function("static_2_workers", |b| {
+        b.iter(|| run_pool(&params(2)));
+    });
+    g.bench_function("2_plus_2_late_workers", |b| {
+        b.iter(|| {
+            run_pool(&PoolParams {
+                late_workers: 2,
+                late_after: Duration::from_millis(2),
+                ..params(2)
+            })
+        });
+    });
+    g.bench_function("static_4_workers", |b| {
+        b.iter(|| run_pool(&params(4)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_dynamic_arrival);
+criterion_main!(benches);

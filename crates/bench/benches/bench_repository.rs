@@ -1,0 +1,49 @@
+//! E11 (§1): pattern-directed repository access vs the name-server
+//! baseline.
+//!
+//! Sweeps library size; measures exact lookups (where a hash-based name
+//! server should win on constants), wildcard version queries, and package
+//! scans (which the name server cannot express without enumerating the
+//! taxonomy).
+
+use actorspace_bench::workloads::repo::{
+    build_name_server, build_repository, lookup_exact, lookup_package, lookup_versions,
+    ns_lookup_exact, ns_lookup_versions_emulated,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E11_repository");
+    g.sample_size(20);
+    for size in [100usize, 1_000, 10_000, 100_000] {
+        let repo = build_repository(size);
+        let ns = build_name_server(&repo);
+        // Query coordinates that exist at every size.
+        let (pkg, iface, ver) = (0usize, 1usize, 2usize);
+
+        g.bench_with_input(BenchmarkId::new("pattern_exact", size), &size, |b, _| {
+            b.iter(|| {
+                let got = lookup_exact(&repo, pkg, iface, ver);
+                assert_eq!(got.len(), 1);
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("ns_exact", size), &size, |b, _| {
+            b.iter(|| {
+                assert!(ns_lookup_exact(&ns, pkg, iface, ver).is_some());
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("pattern_versions", size), &size, |b, _| {
+            b.iter(|| lookup_versions(&repo, pkg, iface));
+        });
+        g.bench_with_input(BenchmarkId::new("ns_versions_emulated", size), &size, |b, _| {
+            b.iter(|| ns_lookup_versions_emulated(&ns, pkg, iface));
+        });
+        g.bench_with_input(BenchmarkId::new("pattern_package_scan", size), &size, |b, _| {
+            b.iter(|| lookup_package(&repo, pkg));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookups);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E9 (§5.3 / §1): branch-and-bound TSP with broadcast bounds.
+//!
+//! Compares the search with incumbent broadcasting against the identical
+//! search without sharing, for worker counts 2 and 4, on a fixed instance
+//! with a loose starting bound (where sharing matters most).
+
+use std::time::Duration;
+
+use actorspace_bench::workloads::tsp::{solve_actorspace_with, Instance};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tsp_sharing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E9_tsp");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+    let inst = Instance::random(11, 7);
+    let exact = inst.held_karp();
+    for workers in [2usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("broadcast_bounds", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let out = solve_actorspace_with(&inst, w, true, 2.0);
+                    assert_eq!(out.best, exact);
+                    out
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("no_sharing", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let out = solve_actorspace_with(&inst, w, false, 2.0);
+                assert_eq!(out.best, exact);
+                out
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tsp_sharing);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E8 (§3): ActorSpace pattern communication vs Linda tuple-space polling.
+//!
+//! "In Linda and its variants, processes must actively poll a tuple space
+//! and specify the type of tuple they want to retrieve."
+//!
+//! The workload is a request/reply service: clients issue requests tagged
+//! with a service name, workers serve them, clients collect replies. The
+//! ActorSpace version pushes messages to pattern-matched actors; the Linda
+//! version deposits request tuples that worker threads `in()` and deposits
+//! reply tuples that the client `in()`s back.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use actorspace_atoms::path;
+use actorspace_baselines::tuple_space::{exact, wild, Field, TuplePattern, TupleSpace};
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, ActorSystem, Config, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const REQUESTS: u64 = 2_000;
+
+fn actorspace_round(workers: usize) {
+    let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+    let space = sys.create_space(None).unwrap();
+    let (inbox, rx) = sys.inbox();
+    for _ in 0..workers {
+        let w = sys.spawn(from_fn(move |ctx, msg| {
+            let n = msg.body.as_int().unwrap();
+            ctx.send_addr(inbox, Value::int(n + 1));
+        }));
+        sys.make_visible(w.id(), &path("svc"), space, None).unwrap();
+        w.leak();
+    }
+    let pat = pattern("svc");
+    for i in 0..REQUESTS {
+        sys.send_pattern(&pat, space, Value::int(i as i64), None).unwrap();
+    }
+    for _ in 0..REQUESTS {
+        rx.recv_timeout(Duration::from_secs(60)).expect("reply");
+    }
+    sys.shutdown();
+}
+
+fn linda_round(workers: usize) {
+    let ts = Arc::new(TupleSpace::new());
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        let ts = ts.clone();
+        handles.push(std::thread::spawn(move || {
+            let req = TuplePattern::new([exact("req"), wild()]);
+            loop {
+                let Some(t) = ts.in_(&req, Duration::from_secs(60)) else { return };
+                let Field::Int(n) = t[1] else { continue };
+                if n < 0 {
+                    return; // poison pill
+                }
+                ts.out(vec![Field::str("rep"), Field::Int(n + 1)]);
+            }
+        }));
+    }
+    for i in 0..REQUESTS {
+        ts.out(vec![Field::str("req"), Field::Int(i as i64)]);
+    }
+    let rep = TuplePattern::new([exact("rep"), wild()]);
+    for _ in 0..REQUESTS {
+        ts.in_(&rep, Duration::from_secs(60)).expect("reply tuple");
+    }
+    for _ in 0..workers {
+        ts.out(vec![Field::str("req"), Field::Int(-1)]);
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_request_reply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E8_request_reply");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.throughput(Throughput::Elements(REQUESTS));
+    for workers in [1usize, 4, 16] {
+        g.bench_with_input(
+            BenchmarkId::new("actorspace_push", workers),
+            &workers,
+            |b, &w| b.iter(|| actorspace_round(w)),
+        );
+        g.bench_with_input(BenchmarkId::new("linda_polling", workers), &workers, |b, &w| {
+            b.iter(|| linda_round(w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_request_reply);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Reusable workloads behind the experiments.
+
+pub mod pool;
+pub mod repo;
+pub mod tsp;

@@ -1,0 +1,217 @@
+//! The Figure 1 dynamic process pool as a measurable workload (E1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use actorspace_atoms::path;
+use actorspace_core::SpaceId;
+use actorspace_pattern::Pattern;
+use actorspace_runtime::{ActorSystem, Behavior, Config, Ctx, Message, Value};
+
+/// Parameters for one pool run.
+#[derive(Debug, Clone)]
+pub struct PoolParams {
+    /// Total range of work items.
+    pub range: i64,
+    /// Below this size a job is computed rather than split.
+    pub grain: i64,
+    /// Workers present at the start.
+    pub initial_workers: usize,
+    /// Workers that join mid-run.
+    pub late_workers: usize,
+    /// When the late workers join.
+    pub late_after: Duration,
+    /// Per-item work multiplier (iterations of the mixing loop).
+    pub work_per_item: u32,
+    /// Scheduler threads.
+    pub os_threads: usize,
+}
+
+impl Default for PoolParams {
+    fn default() -> Self {
+        PoolParams {
+            range: 1 << 18,
+            grain: 1024,
+            initial_workers: 4,
+            late_workers: 0,
+            late_after: Duration::from_millis(5),
+            work_per_item: 16,
+            os_threads: 4,
+        }
+    }
+}
+
+/// What one run produced.
+#[derive(Debug, Clone)]
+pub struct PoolOutcome {
+    /// Wall-clock time to complete the whole job.
+    pub wall: Duration,
+    /// Verified result of the computation.
+    pub result: i64,
+    /// Leaf jobs computed by each worker, initial workers first.
+    pub distribution: Vec<usize>,
+}
+
+fn leaf_item(x: i64, iters: u32) -> i64 {
+    let mut h = x as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    for _ in 0..iters {
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    (h % 1000) as i64
+}
+
+struct PoolWorker {
+    pool: SpaceId,
+    grain: i64,
+    iters: u32,
+    computed: Arc<AtomicUsize>,
+}
+
+impl Behavior for PoolWorker {
+    fn receive(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        let parts = msg.body.as_list().expect("job list");
+        let lo = parts[0].as_int().unwrap();
+        let hi = parts[1].as_int().unwrap();
+        let collector = parts[2].as_addr().unwrap();
+        if hi - lo > self.grain {
+            let mid = (lo + hi) / 2;
+            for (a, b) in [(lo, mid), (mid, hi)] {
+                ctx.send_pattern(
+                    &Pattern::any(),
+                    self.pool,
+                    Value::list([Value::int(a), Value::int(b), Value::Addr(collector)]),
+                )
+                .expect("resend into pool");
+            }
+        } else {
+            let sum: i64 = (lo..hi).map(|x| leaf_item(x, self.iters)).sum();
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            ctx.send_addr(collector, Value::list([Value::int(sum), Value::int(hi - lo)]));
+        }
+    }
+}
+
+/// Runs the pool workload and reports timing plus the work distribution.
+pub fn run_pool(params: &PoolParams) -> PoolOutcome {
+    let system = ActorSystem::new(Config {
+        workers: params.os_threads.clamp(1, 8),
+        ..Config::default()
+    });
+    let pool = system.create_space(None).expect("create pool");
+    let mut counters: Vec<Arc<AtomicUsize>> = Vec::new();
+
+    let add_worker = |idx: usize, counters: &mut Vec<Arc<AtomicUsize>>| {
+        let computed = Arc::new(AtomicUsize::new(0));
+        counters.push(computed.clone());
+        let w = system.spawn(PoolWorker {
+            pool,
+            grain: params.grain,
+            iters: params.work_per_item,
+            computed,
+        });
+        system
+            .make_visible(w.id(), &path(&format!("proc/{idx}")), pool, None)
+            .expect("make worker visible");
+        w.leak();
+    };
+    for i in 0..params.initial_workers {
+        add_worker(i, &mut counters);
+    }
+
+    let (done_tx, done_rx) = mpsc::channel::<i64>();
+    let total = params.range;
+    let collector = {
+        let mut acc = 0i64;
+        let mut covered = 0i64;
+        system.spawn(actorspace_runtime::from_fn(move |_ctx, msg| {
+            let parts = msg.body.as_list().unwrap();
+            acc += parts[0].as_int().unwrap();
+            covered += parts[1].as_int().unwrap();
+            if covered == total {
+                let _ = done_tx.send(acc);
+            }
+        }))
+    };
+
+    let t0 = Instant::now();
+    system
+        .send_pattern(
+            &Pattern::any(),
+            pool,
+            Value::list([Value::int(0), Value::int(params.range), Value::Addr(collector.id())]),
+            None,
+        )
+        .expect("kick off job");
+
+    if params.late_workers > 0 {
+        std::thread::sleep(params.late_after);
+        for i in 0..params.late_workers {
+            add_worker(params.initial_workers + i, &mut counters);
+        }
+    }
+
+    let result = done_rx.recv_timeout(Duration::from_secs(300)).expect("pool completes");
+    let wall = t0.elapsed();
+    let distribution = counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    system.shutdown();
+    PoolOutcome { wall, result, distribution }
+}
+
+/// The sequential reference computation, for verification and speedup
+/// baselines.
+pub fn sequential(params: &PoolParams) -> i64 {
+    (0..params.range).map(|x| leaf_item(x, params.work_per_item)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_computes_the_right_answer() {
+        let params = PoolParams { range: 1 << 14, ..PoolParams::default() };
+        let out = run_pool(&params);
+        assert_eq!(out.result, sequential(&params));
+        assert_eq!(out.distribution.len(), params.initial_workers);
+        let leafs: usize = out.distribution.iter().sum();
+        assert_eq!(leafs as i64, params.range / params.grain);
+    }
+
+    #[test]
+    fn work_is_distributed_not_centralized() {
+        let params = PoolParams {
+            range: 1 << 16,
+            initial_workers: 4,
+            ..PoolParams::default()
+        };
+        let out = run_pool(&params);
+        let total: usize = out.distribution.iter().sum();
+        for (i, &n) in out.distribution.iter().enumerate() {
+            assert!(
+                n > total / 20,
+                "worker {i} got only {n}/{total} leaf jobs — a master bottleneck"
+            );
+        }
+    }
+
+    #[test]
+    fn late_workers_participate() {
+        // Heavy enough per-item work that the job is guaranteed to still be
+        // running when the late workers join, debug or release.
+        let params = PoolParams {
+            range: 1 << 15,
+            grain: 256,
+            initial_workers: 2,
+            late_workers: 2,
+            late_after: Duration::from_millis(5),
+            work_per_item: 2048,
+            ..PoolParams::default()
+        };
+        let out = run_pool(&params);
+        assert_eq!(out.result, sequential(&params));
+        let late: usize = out.distribution[2..].iter().sum();
+        assert!(late > 0, "late workers must absorb some work: {:?}", out.distribution);
+    }
+}

@@ -1,0 +1,164 @@
+//! Key minting — the paper's `new_capability()` primitive.
+
+use std::fmt;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::rights::Rights;
+
+/// An unforgeable 128-bit key. No public constructor: keys exist only
+/// because a [`CapMinter`] minted them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CapKey(u128);
+
+impl CapKey {
+    pub(crate) fn from_raw(raw: u128) -> CapKey {
+        CapKey(raw)
+    }
+
+    /// The raw key bits — for wire codecs moving capabilities between
+    /// nodes of one trust domain (§5.4: capabilities may be "communicated
+    /// in messages"). Possession of the bits *is* the capability: handle
+    /// them like the capability itself. Unforgeability against outsiders
+    /// rests on the 128 bits of CSPRNG entropy, not on type privacy.
+    pub fn to_bits(self) -> u128 {
+        self.0
+    }
+
+    /// Rebuilds a key from wire bits (the receiving side of
+    /// [`CapKey::to_bits`]).
+    pub fn from_bits(bits: u128) -> CapKey {
+        CapKey(bits)
+    }
+}
+
+impl fmt::Debug for CapKey {
+    /// Deliberately redacts all but one byte — keys must not leak whole
+    /// into logs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CapKey(…{:02x})", (self.0 & 0xff) as u8)
+    }
+}
+
+/// A capability: a key plus the rights this copy conveys.
+///
+/// Capabilities are `Copy` ("can be stored, compared, copied and …
+/// communicated in messages", §5.4). [`Capability::restrict`] produces a
+/// weaker copy; nothing produces a stronger one.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Capability {
+    key: CapKey,
+    rights: Rights,
+}
+
+impl Capability {
+    pub(crate) fn new(key: CapKey, rights: Rights) -> Capability {
+        Capability { key, rights }
+    }
+
+    /// Reassembles a capability from wire parts (see [`CapKey::to_bits`]).
+    pub fn from_parts(key: CapKey, rights: Rights) -> Capability {
+        Capability { key, rights }
+    }
+
+    /// The key identity. Two capabilities with the same key authenticate
+    /// against the same guards (possibly with different rights).
+    pub fn key(&self) -> CapKey {
+        self.key
+    }
+
+    /// The rights this copy conveys.
+    pub fn rights(&self) -> Rights {
+        self.rights
+    }
+
+    /// A copy conveying only `self.rights() ∩ keep` — attenuation for
+    /// delegation. E.g. hand a client a visibility-only capability while
+    /// the manager retains `Rights::ALL`.
+    pub fn restrict(&self, keep: Rights) -> Capability {
+        Capability { key: self.key, rights: self.rights.intersect(keep) }
+    }
+}
+
+impl fmt::Debug for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Capability({:?}, {:?})", self.key, self.rights)
+    }
+}
+
+/// The mint. One per node in practice (the Coordinator owns it); the
+/// paper's "underlying system" that `new_capability()` calls into.
+#[derive(Debug, Default)]
+pub struct CapMinter {
+    _private: (),
+}
+
+impl CapMinter {
+    /// Creates a mint.
+    pub fn new() -> CapMinter {
+        CapMinter { _private: () }
+    }
+
+    /// Mints a fresh, full-rights capability with 128 bits of OS-seeded
+    /// CSPRNG entropy — the `new_capability()` primitive of §5.4.
+    pub fn new_capability(&self) -> Capability {
+        let mut bytes = [0u8; 16];
+        rand::thread_rng().fill_bytes(&mut bytes);
+        Capability::new(CapKey::from_raw(u128::from_le_bytes(bytes)), Rights::ALL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_keys_are_distinct() {
+        let mint = CapMinter::new();
+        let mut keys = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(keys.insert(mint.new_capability().key()), "key collision");
+        }
+    }
+
+    #[test]
+    fn minted_capability_has_all_rights() {
+        let cap = CapMinter::new().new_capability();
+        assert_eq!(cap.rights(), Rights::ALL);
+    }
+
+    #[test]
+    fn restrict_only_shrinks() {
+        let cap = CapMinter::new().new_capability();
+        let weak = cap.restrict(Rights::VISIBILITY);
+        assert_eq!(weak.rights(), Rights::VISIBILITY);
+        assert_eq!(weak.key(), cap.key());
+        // Restricting a weak capability with a broader mask does not grow it.
+        let attempt = weak.restrict(Rights::ALL);
+        assert_eq!(attempt.rights(), Rights::VISIBILITY);
+    }
+
+    #[test]
+    fn restrict_to_none_is_useless_but_valid() {
+        let cap = CapMinter::new().new_capability();
+        let none = cap.restrict(Rights::NONE);
+        assert!(none.rights().is_none());
+        assert_eq!(none.key(), cap.key());
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let cap = CapMinter::new().new_capability();
+        let shown = format!("{:?}", cap.key());
+        // "CapKey(…xx)" — 2 hex digits only.
+        assert!(shown.len() < 16, "debug output leaks key material: {shown}");
+    }
+
+    #[test]
+    fn copies_compare_equal() {
+        let cap = CapMinter::new().new_capability();
+        let copy = cap;
+        assert_eq!(cap, copy);
+    }
+}

@@ -1,0 +1,27 @@
+//! Capabilities — unforgeable keys for secure access control (paper §5.4).
+//!
+//! "We provide security by the standard technique of introducing
+//! capabilities: only the holder of the capability for an actor or an
+//! actorSpace can change its visibility. Capabilities are unforgeable
+//! unique keys that can only be created by calling the underlying system
+//! with the primitive `new_capability()`. Capabilities can be stored,
+//! compared, copied and, in some systems, communicated in messages."
+//!
+//! Unforgeability is enforced twice over:
+//!
+//! 1. **By type** — [`CapKey`] has no public constructor; the only way to
+//!    obtain one is [`CapMinter::new_capability`] (the paper's
+//!    `new_capability()` primitive). A [`Capability`] can be copied, stored
+//!    and sent in messages, but its rights can only shrink
+//!    ([`Capability::restrict`]), never grow.
+//! 2. **By entropy** — keys are 128 random bits from a CSPRNG, so even code
+//!    that bypasses the type system (e.g. a remote peer speaking the wire
+//!    protocol) cannot guess a key.
+
+pub mod key;
+pub mod rights;
+pub mod store;
+
+pub use key::{CapKey, CapMinter, Capability};
+pub use rights::Rights;
+pub use store::{Guard, GuardError};

@@ -1,0 +1,126 @@
+//! Rights carried by a capability.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr};
+
+use serde::{Deserialize, Serialize};
+
+/// A small rights mask. The paper distinguishes ordinary clients/servers
+/// from *managers*, which "have authorization to perform powerful
+/// operations such as manipulating actorSpaces" (§2); the mask encodes
+/// which operations a capability authorizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rights(u8);
+
+impl Rights {
+    /// No rights at all.
+    pub const NONE: Rights = Rights(0);
+    /// May make the target visible/invisible in actorSpaces (§5.4).
+    pub const VISIBILITY: Rights = Rights(1 << 0);
+    /// May change the target's registered attributes (`change_attributes`).
+    pub const ATTRIBUTES: Rights = Rights(1 << 1);
+    /// May manage the target actorSpace: set policies, destroy it (§2, §8).
+    pub const MANAGE: Rights = Rights(1 << 2);
+    /// All of the above — what `new_capability()` mints.
+    pub const ALL: Rights = Rights(0b111);
+
+    /// True if `self` includes every right in `needed`.
+    pub fn covers(self, needed: Rights) -> bool {
+        self.0 & needed.0 == needed.0
+    }
+
+    /// The intersection of two rights masks.
+    pub fn intersect(self, other: Rights) -> Rights {
+        Rights(self.0 & other.0)
+    }
+
+    /// The union of two rights masks.
+    pub fn union(self, other: Rights) -> Rights {
+        Rights(self.0 | other.0)
+    }
+
+    /// True if no rights are present.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        self.union(rhs)
+    }
+}
+
+impl BitAnd for Rights {
+    type Output = Rights;
+    fn bitand(self, rhs: Rights) -> Rights {
+        self.intersect(rhs)
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.covers(Rights::VISIBILITY) {
+            parts.push("VISIBILITY");
+        }
+        if self.covers(Rights::ATTRIBUTES) {
+            parts.push("ATTRIBUTES");
+        }
+        if self.covers(Rights::MANAGE) {
+            parts.push("MANAGE");
+        }
+        if parts.is_empty() {
+            parts.push("NONE");
+        }
+        write!(f, "Rights({})", parts.join("|"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_everything() {
+        assert!(Rights::ALL.covers(Rights::VISIBILITY));
+        assert!(Rights::ALL.covers(Rights::ATTRIBUTES));
+        assert!(Rights::ALL.covers(Rights::MANAGE));
+        assert!(Rights::ALL.covers(Rights::ALL));
+        assert!(Rights::ALL.covers(Rights::NONE));
+    }
+
+    #[test]
+    fn none_covers_only_none() {
+        assert!(Rights::NONE.covers(Rights::NONE));
+        assert!(!Rights::NONE.covers(Rights::VISIBILITY));
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let vm = Rights::VISIBILITY | Rights::MANAGE;
+        assert!(vm.covers(Rights::VISIBILITY));
+        assert!(vm.covers(Rights::MANAGE));
+        assert!(!vm.covers(Rights::ATTRIBUTES));
+        assert_eq!(vm & Rights::MANAGE, Rights::MANAGE);
+        assert_eq!(vm & Rights::ATTRIBUTES, Rights::NONE);
+        assert!((vm & Rights::ATTRIBUTES).is_none());
+    }
+
+    #[test]
+    fn covers_is_subset_relation() {
+        let a = Rights::VISIBILITY | Rights::ATTRIBUTES;
+        assert!(a.covers(Rights::VISIBILITY));
+        assert!(!Rights::VISIBILITY.covers(a));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Rights::NONE), "Rights(NONE)");
+        assert_eq!(
+            format!("{:?}", Rights::VISIBILITY | Rights::MANAGE),
+            "Rights(VISIBILITY|MANAGE)"
+        );
+    }
+}

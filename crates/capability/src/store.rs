@@ -1,0 +1,161 @@
+//! Guards: attaching capabilities to protected targets.
+//!
+//! "When creating an actor or an actorSpace, a capability may be bound to
+//! it, and only if this capability is presented, may an actor's visibility
+//! be changed. A capability may also be bound to more than one actor or
+//! actorSpace." (§5.4)
+//!
+//! A [`Guard`] is the per-target record: either open (no capability bound)
+//! or requiring a specific key. Validation takes the presented capability
+//! and the rights the operation needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::key::{CapKey, Capability};
+use crate::rights::Rights;
+
+/// The protection state of one actor or actorSpace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Guard {
+    /// No capability bound: every request is authorized. The paper's
+    /// default when creation supplies no capability.
+    Open,
+    /// A capability with this key (and sufficient rights) must be
+    /// presented.
+    Locked(CapKey),
+}
+
+/// Why a guarded operation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardError {
+    /// The target is locked and no capability was presented.
+    Missing,
+    /// A capability was presented but its key does not match.
+    WrongKey,
+    /// The key matched but the capability lacks the needed rights
+    /// (it was [restricted](crate::Capability::restrict)).
+    InsufficientRights {
+        /// What the operation required.
+        needed: Rights,
+        /// What the capability conveyed.
+        held: Rights,
+    },
+}
+
+impl std::fmt::Display for GuardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardError::Missing => write!(f, "target is capability-protected; none presented"),
+            GuardError::WrongKey => write!(f, "presented capability does not match the guard"),
+            GuardError::InsufficientRights { needed, held } => {
+                write!(f, "capability lacks rights: needs {needed:?}, holds {held:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardError {}
+
+impl Guard {
+    /// Builds the guard for a creation call: `Some(cap)` locks the target
+    /// to that capability's key, `None` leaves it open.
+    pub fn from_creation(cap: Option<&Capability>) -> Guard {
+        match cap {
+            Some(c) => Guard::Locked(c.key()),
+            None => Guard::Open,
+        }
+    }
+
+    /// Validates an operation needing `needed` rights, given the presented
+    /// capability (if any).
+    pub fn check(&self, presented: Option<&Capability>, needed: Rights) -> Result<(), GuardError> {
+        match self {
+            Guard::Open => Ok(()),
+            Guard::Locked(key) => {
+                let cap = presented.ok_or(GuardError::Missing)?;
+                if cap.key() != *key {
+                    return Err(GuardError::WrongKey);
+                }
+                if !cap.rights().covers(needed) {
+                    return Err(GuardError::InsufficientRights {
+                        needed,
+                        held: cap.rights(),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// True when no capability is required.
+    pub fn is_open(&self) -> bool {
+        matches!(self, Guard::Open)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::CapMinter;
+
+    #[test]
+    fn open_guard_allows_anything() {
+        let g = Guard::Open;
+        assert!(g.check(None, Rights::ALL).is_ok());
+        assert!(g.check(None, Rights::NONE).is_ok());
+    }
+
+    #[test]
+    fn locked_guard_requires_presentation() {
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let g = Guard::from_creation(Some(&cap));
+        assert_eq!(g.check(None, Rights::VISIBILITY), Err(GuardError::Missing));
+        assert!(g.check(Some(&cap), Rights::VISIBILITY).is_ok());
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let other = mint.new_capability();
+        let g = Guard::from_creation(Some(&cap));
+        assert_eq!(g.check(Some(&other), Rights::VISIBILITY), Err(GuardError::WrongKey));
+    }
+
+    #[test]
+    fn restricted_capability_cannot_exceed_its_rights() {
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let weak = cap.restrict(Rights::VISIBILITY);
+        let g = Guard::from_creation(Some(&cap));
+        assert!(g.check(Some(&weak), Rights::VISIBILITY).is_ok());
+        let err = g.check(Some(&weak), Rights::MANAGE).unwrap_err();
+        assert!(matches!(err, GuardError::InsufficientRights { .. }));
+    }
+
+    #[test]
+    fn one_capability_can_guard_many_targets() {
+        // §5.4: "A capability may also be bound to more than one actor or
+        // actorSpace."
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let guards: Vec<Guard> = (0..5).map(|_| Guard::from_creation(Some(&cap))).collect();
+        for g in &guards {
+            assert!(g.check(Some(&cap), Rights::ALL).is_ok());
+        }
+    }
+
+    #[test]
+    fn from_creation_none_is_open() {
+        assert!(Guard::from_creation(None).is_open());
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = GuardError::InsufficientRights { needed: Rights::MANAGE, held: Rights::NONE };
+        assert!(e.to_string().contains("MANAGE"));
+        assert!(!GuardError::Missing.to_string().is_empty());
+        assert!(!GuardError::WrongKey.to_string().is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Errors from ActorSpace operations.
+
+use actorspace_capability::GuardError;
+
+use crate::ids::{ActorId, MemberId, SpaceId};
+
+/// Everything that can go wrong carrying out an ActorSpace primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The named actorSpace does not exist (destroyed or never created).
+    NoSuchSpace(SpaceId),
+    /// The named actor does not exist (collected or never created).
+    NoSuchActor(ActorId),
+    /// The named member does not exist.
+    NoSuchMember(MemberId),
+    /// Capability validation failed (§5.4).
+    Denied(GuardError),
+    /// Making this space visible would create a cycle in the visibility
+    /// relation (§5.7): "we do not allow an actorSpace to be made visible
+    /// in itself, or recursively in any contained actorSpace."
+    WouldCycle {
+        /// The space being made visible.
+        child: SpaceId,
+        /// The space it was to become visible in.
+        parent: SpaceId,
+    },
+    /// A send/broadcast matched nothing and the space's manager uses
+    /// [`UnmatchedPolicy::Error`](crate::policy::UnmatchedPolicy::Error).
+    NoMatch {
+        /// The pattern that failed to match, as text.
+        pattern: String,
+        /// The space it was resolved in.
+        space: SpaceId,
+    },
+    /// The root space cannot be destroyed.
+    RootImmortal,
+    /// The member is not visible in the given space, so it cannot be made
+    /// invisible there / its attributes cannot be changed there.
+    NotVisible {
+        /// The member in question.
+        member: MemberId,
+        /// The space it is not visible in.
+        space: SpaceId,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::NoSuchSpace(s) => write!(f, "no such actorSpace: {s}"),
+            Error::NoSuchActor(a) => write!(f, "no such actor: {a}"),
+            Error::NoSuchMember(m) => write!(f, "no such member: {m:?}"),
+            Error::Denied(g) => write!(f, "capability check failed: {g}"),
+            Error::WouldCycle { child, parent } => write!(
+                f,
+                "making {child} visible in {parent} would create a visibility cycle"
+            ),
+            Error::NoMatch { pattern, space } => {
+                write!(f, "pattern {pattern:?} matched no visible actor in {space}")
+            }
+            Error::RootImmortal => write!(f, "the root actorSpace cannot be destroyed"),
+            Error::NotVisible { member, space } => {
+                write!(f, "{member:?} is not visible in {space}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<GuardError> for Error {
+    fn from(g: GuardError) -> Self {
+        Error::Denied(g)
+    }
+}
+
+/// Shorthand result type for registry operations.
+pub type Result<T> = std::result::Result<T, Error>;

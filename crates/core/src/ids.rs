@@ -1,0 +1,201 @@
+//! Identifiers: actor and actorSpace mail addresses.
+//!
+//! "Each actor has a unique mail address determined at the time of its
+//! creation" (§4); actorSpaces likewise get "a unique actorSpace mail
+//! address" from `create_actorSpace` (§5.2). §5.7 notes that "type
+//! information must be maintained to determine whether a mail address
+//! refers to an actor or an actorSpace" — that type information is
+//! [`MemberId`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// An actor mail address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ActorId(pub u64);
+
+/// An actorSpace mail address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SpaceId(pub u64);
+
+/// A mail address together with its kind — what can be made visible in an
+/// actorSpace.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MemberId {
+    /// An actor.
+    Actor(ActorId),
+    /// A (nested) actorSpace.
+    Space(SpaceId),
+}
+
+impl MemberId {
+    /// The actor id, if this is an actor.
+    pub fn as_actor(self) -> Option<ActorId> {
+        match self {
+            MemberId::Actor(a) => Some(a),
+            MemberId::Space(_) => None,
+        }
+    }
+
+    /// The space id, if this is a space.
+    pub fn as_space(self) -> Option<SpaceId> {
+        match self {
+            MemberId::Space(s) => Some(s),
+            MemberId::Actor(_) => None,
+        }
+    }
+}
+
+impl From<ActorId> for MemberId {
+    fn from(a: ActorId) -> Self {
+        MemberId::Actor(a)
+    }
+}
+
+impl From<SpaceId> for MemberId {
+    fn from(s: SpaceId) -> Self {
+        MemberId::Space(s)
+    }
+}
+
+impl fmt::Debug for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor:{}", self.0)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor:{}", self.0)
+    }
+}
+
+impl fmt::Debug for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "space:{}", self.0)
+    }
+}
+
+impl fmt::Display for SpaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "space:{}", self.0)
+    }
+}
+
+impl fmt::Debug for MemberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemberId::Actor(a) => write!(f, "{a:?}"),
+            MemberId::Space(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// Allocates unique ids. In a distributed deployment each node's generator
+/// is seeded with a disjoint range (`node_id << 48`) so addresses stay
+/// globally unique without coordination — the Actor locality property
+/// depends on "mail addresses of new actors are unique" (§3).
+#[derive(Debug)]
+pub struct IdGen {
+    next: AtomicU64,
+}
+
+impl IdGen {
+    /// A generator starting at `base`. Node `n` in a cluster uses
+    /// `IdGen::new((n as u64) << 48)`.
+    pub fn new(base: u64) -> IdGen {
+        IdGen { next: AtomicU64::new(base) }
+    }
+
+    /// The next unique raw id.
+    pub fn next(&self) -> u64 {
+        self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The next actor id.
+    pub fn next_actor(&self) -> ActorId {
+        ActorId(self.next())
+    }
+
+    /// The next space id.
+    pub fn next_space(&self) -> SpaceId {
+        SpaceId(self.next())
+    }
+}
+
+impl Default for IdGen {
+    fn default() -> Self {
+        IdGen::new(1) // id 0 is reserved for the root space
+    }
+}
+
+/// The automatically-created root actorSpace (§7.1): "a globally visible
+/// actorSpace which is the 'root' of the tree of actorSpaces, is created
+/// automatically by the run-time system."
+pub const ROOT_SPACE: SpaceId = SpaceId(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idgen_is_monotonic_and_unique() {
+        let g = IdGen::default();
+        let a = g.next_actor();
+        let b = g.next_actor();
+        let s = g.next_space();
+        assert_ne!(a, b);
+        assert_ne!(a.0, s.0);
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn idgen_never_yields_root() {
+        let g = IdGen::default();
+        for _ in 0..100 {
+            assert_ne!(g.next_space(), ROOT_SPACE);
+        }
+    }
+
+    #[test]
+    fn node_bases_do_not_collide() {
+        let g0 = IdGen::new(1);
+        let g1 = IdGen::new(1 << 48);
+        for _ in 0..1000 {
+            let a = g0.next();
+            let b = g1.next();
+            assert_ne!(a, b);
+            assert!(a < (1 << 48));
+            assert!(b >= (1 << 48));
+        }
+    }
+
+    #[test]
+    fn member_id_kind_accessors() {
+        let a = MemberId::Actor(ActorId(7));
+        let s = MemberId::Space(SpaceId(9));
+        assert_eq!(a.as_actor(), Some(ActorId(7)));
+        assert_eq!(a.as_space(), None);
+        assert_eq!(s.as_space(), Some(SpaceId(9)));
+        assert_eq!(s.as_actor(), None);
+    }
+
+    #[test]
+    fn concurrent_generation_is_unique() {
+        let g = std::sync::Arc::new(IdGen::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| g.next()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+}

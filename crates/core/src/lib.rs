@@ -1,0 +1,70 @@
+//! The ActorSpace core: the paper's contribution, runtime-agnostic.
+//!
+//! An *actorSpace* is "a computationally passive container of actors which
+//! acts as a context for matching patterns" (§1). This crate implements the
+//! full model of §5:
+//!
+//! * **Attributes and patterns** — attributes are [`Path`]s of atoms;
+//!   destination patterns are regular expressions over atoms
+//!   ([`actorspace_pattern`]). Matching is scoped to a space and descends
+//!   through visible sub-spaces by joining attributes with `/`
+//!   ([`Registry::resolve`]).
+//! * **Visibility** — [`Registry::make_visible`],
+//!   [`Registry::make_invisible`], [`Registry::change_attributes`], all
+//!   guarded by capabilities (§5.4) and constrained to keep the
+//!   space-visibility relation a DAG (§5.7).
+//! * **Communication** — [`Registry::send`] (one non-deterministic
+//!   recipient) and [`Registry::broadcast`] (all recipients), with the
+//!   §5.6 unmatched-message policies: suspend (default), discard, error,
+//!   and persistent exactly-once broadcast.
+//! * **Managers** — per-space [`policy::ManagerPolicy`] tables and fully
+//!   programmable [`manager::Manager`] hooks (§8).
+//! * **Garbage collection** — mark/sweep over visibility and acquaintance
+//!   edges ([`Registry::collect_garbage`], §5.5).
+//!
+//! The registry is generic over the message payload `M` and delivers
+//! through caller-supplied sinks, so the same core backs the
+//! single-node runtime (`actorspace-runtime`), the simulated cluster
+//! (`actorspace-net`), and direct use in tests and benchmarks.
+//!
+//! ```
+//! use actorspace_core::{Registry, policy::ManagerPolicy, Disposition};
+//! use actorspace_atoms::path;
+//! use actorspace_pattern::pattern;
+//!
+//! let mut reg: Registry<&str> = Registry::new(ManagerPolicy::default());
+//! let pool = reg.create_space(None);
+//! let worker = reg.create_actor(pool, None).unwrap();
+//!
+//! let mut deliveries = Vec::new();
+//! let mut sink = |to, msg| deliveries.push((to, msg));
+//!
+//! reg.make_visible(worker.into(), vec![path("worker/fast")], pool, None, &mut sink)
+//!     .unwrap();
+//! let d = reg.send(&pattern("worker/*"), pool, "job-1", &mut sink).unwrap();
+//! assert_eq!(d, Disposition::Delivered(1));
+//! assert_eq!(deliveries, vec![(worker, "job-1")]);
+//! ```
+
+pub mod delivery;
+pub mod error;
+pub mod gc;
+pub mod ids;
+pub mod manager;
+pub mod managers;
+pub mod matching;
+pub mod policy;
+pub mod registry;
+pub mod space;
+pub mod visibility;
+
+pub use actorspace_atoms::{Atom, Path};
+pub use actorspace_pattern::Pattern;
+pub use delivery::Disposition;
+pub use error::{Error, Result};
+pub use gc::GcReport;
+pub use ids::{ActorId, IdGen, MemberId, SpaceId, ROOT_SPACE};
+pub use manager::{DefaultManager, Manager};
+pub use policy::{CyclePolicy, ManagerPolicy, SelectionPolicy, Selector, UnmatchedPolicy};
+pub use registry::{ActorRecord, Registry, Sink, SpaceInfo};
+pub use space::{DeliveryKind, MatchFilter, Pending, PersistentBroadcast, Space};

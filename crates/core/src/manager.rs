@@ -1,0 +1,108 @@
+//! Programmable actorSpace managers (§2, §8).
+//!
+//! "Corresponding to each actorSpace is a manager who validates
+//! capabilities and enforces visibility changes. Although we describe
+//! default policies for actorSpaces, further customization may be obtained
+//! by manipulating managers."
+//!
+//! The default manager is wholly described by
+//! [`ManagerPolicy`](crate::policy::ManagerPolicy). A [`Manager`]
+//! implementation installed on a space can override each decision point;
+//! returning `None` from a hook falls through to the configured policy, so
+//! managers compose with, rather than replace, the policy table.
+
+use actorspace_atoms::Path;
+
+use crate::ids::{ActorId, MemberId};
+use crate::policy::UnmatchedPolicy;
+
+/// Decision hooks for one actorSpace. All hooks have pass-through defaults.
+pub trait Manager: Send {
+    /// Custom arbitration: pick the recipient of a pattern-directed `send`
+    /// from the (non-empty, deduplicated) matching group. `None` delegates
+    /// to the space's [`SelectionPolicy`](crate::policy::SelectionPolicy).
+    ///
+    /// This is §8's "arbitration mechanisms which may be used instead of
+    /// the current indeterminate choice".
+    fn choose(&mut self, candidates: &[ActorId]) -> Option<ActorId> {
+        let _ = candidates;
+        None
+    }
+
+    /// Custom unmatched-send handling; `None` uses the policy table.
+    fn unmatched_send(&mut self) -> Option<UnmatchedPolicy> {
+        None
+    }
+
+    /// Custom unmatched-broadcast handling; `None` uses the policy table.
+    fn unmatched_broadcast(&mut self) -> Option<UnmatchedPolicy> {
+        None
+    }
+
+    /// Additional validation of a visibility request *after* the capability
+    /// check passes — e.g. a daemon enforcing coordination constraints on
+    /// attribute shapes. Returning `false` denies the request.
+    fn authorize_visibility(&mut self, member: MemberId, attrs: &[Path]) -> bool {
+        let _ = (member, attrs);
+        true
+    }
+
+    /// Observation hook: called after any visibility or attribute change in
+    /// the space, with the member affected. §8: "more powerful managers
+    /// could use daemons to monitor actors in an actorSpace and update
+    /// attributes in order to maintain specified coordination constraints."
+    fn on_change(&mut self, member: MemberId) {
+        let _ = member;
+    }
+}
+
+/// The do-nothing manager: every decision falls through to the policy
+/// table. Installed by default on every space.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DefaultManager;
+
+impl Manager for DefaultManager {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_manager_passes_everything_through() {
+        let mut m = DefaultManager;
+        assert_eq!(m.choose(&[ActorId(1)]), None);
+        assert_eq!(m.unmatched_send(), None);
+        assert_eq!(m.unmatched_broadcast(), None);
+        assert!(m.authorize_visibility(MemberId::Actor(ActorId(1)), &[]));
+    }
+
+    struct PickFirst;
+    impl Manager for PickFirst {
+        fn choose(&mut self, candidates: &[ActorId]) -> Option<ActorId> {
+            candidates.iter().min().copied()
+        }
+    }
+
+    #[test]
+    fn custom_manager_overrides_choice() {
+        let mut m = PickFirst;
+        assert_eq!(m.choose(&[ActorId(9), ActorId(3), ActorId(5)]), Some(ActorId(3)));
+    }
+
+    struct NoSecrets;
+    impl Manager for NoSecrets {
+        fn authorize_visibility(&mut self, _member: MemberId, attrs: &[Path]) -> bool {
+            use actorspace_atoms::atom;
+            !attrs.iter().any(|p| p.atoms().first() == Some(&atom("secret")))
+        }
+    }
+
+    #[test]
+    fn custom_manager_can_veto_visibility() {
+        use actorspace_atoms::path;
+        let mut m = NoSecrets;
+        let a = MemberId::Actor(ActorId(1));
+        assert!(m.authorize_visibility(a, &[path("public/x")]));
+        assert!(!m.authorize_visibility(a, &[path("secret/x")]));
+    }
+}

@@ -1,0 +1,749 @@
+//! The registry: every actor, every actorSpace, and the visibility relation
+//! between them.
+//!
+//! One [`Registry`] is the authoritative ActorSpace state of a node — the
+//! paper's Coordinator "maintains coherence of the state of ActorSpace.
+//! This state includes 'live' actors and actorSpaces as well as visibility
+//! of actors" (§7.3). The registry is deliberately runtime-agnostic: it is
+//! generic over the message payload `M` and performs deliveries through a
+//! caller-supplied sink, so the same type backs the single-node runtime,
+//! the simulated cluster, and plain in-test use.
+
+use std::collections::{HashMap, HashSet};
+
+use actorspace_atoms::Path;
+use actorspace_capability::{Capability, Guard, Rights};
+
+use crate::error::{Error, Result};
+use crate::ids::{ActorId, IdGen, MemberId, SpaceId, ROOT_SPACE};
+use crate::manager::Manager;
+use crate::policy::ManagerPolicy;
+use crate::space::Space;
+use crate::visibility;
+
+/// Per-actor bookkeeping.
+#[derive(Debug, Clone)]
+pub struct ActorRecord {
+    /// The capability guard protecting this actor's visibility/attributes.
+    pub guard: Guard,
+    /// The space the actor was created in (§7.1: its "host" space). Used as
+    /// the default pattern-resolution scope; does *not* imply visibility.
+    pub host: SpaceId,
+}
+
+/// A sink receiving `(recipient, message)` pairs as the registry decides
+/// deliveries. The runtime's sink enqueues into mailboxes; tests collect
+/// into vectors.
+pub type Sink<'a, M> = &'a mut dyn FnMut(ActorId, M);
+
+/// Observability snapshot of one actorSpace (see [`Registry::space_info`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpaceInfo {
+    /// The space.
+    pub id: SpaceId,
+    /// Visible actor members.
+    pub actor_members: usize,
+    /// Visible sub-space members.
+    pub space_members: usize,
+    /// Suspended messages waiting for a match (§5.6).
+    pub pending_messages: usize,
+    /// Registered persistent broadcasts (§5.6).
+    pub persistent_broadcasts: usize,
+    /// True when a capability guards the space.
+    pub guarded: bool,
+}
+
+/// The ActorSpace universe for one node.
+pub struct Registry<M> {
+    ids: IdGen,
+    spaces: HashMap<SpaceId, Space<M>>,
+    actors: HashMap<ActorId, ActorRecord>,
+    /// Reverse visibility: member → spaces it is visible in. Kept in exact
+    /// correspondence with each space's membership table.
+    containers: HashMap<MemberId, HashSet<SpaceId>>,
+    /// Actors with live external handles — garbage-collection roots.
+    roots: HashSet<ActorId>,
+    /// Policy template applied to newly created spaces.
+    default_policy: ManagerPolicy,
+}
+
+impl<M: Clone> Registry<M> {
+    /// Creates a registry whose root space (§7.1) uses `default_policy`.
+    pub fn new(default_policy: ManagerPolicy) -> Registry<M> {
+        let mut spaces = HashMap::new();
+        spaces.insert(ROOT_SPACE, Space::new(ROOT_SPACE, Guard::Open, default_policy.clone()));
+        Registry {
+            ids: IdGen::default(),
+            spaces,
+            actors: HashMap::new(),
+            containers: HashMap::new(),
+            roots: HashSet::new(),
+            default_policy,
+        }
+    }
+
+    /// Creates a registry whose id generator starts at `base` — used by the
+    /// cluster layer to give each node a disjoint address range.
+    pub fn with_id_base(default_policy: ManagerPolicy, base: u64) -> Registry<M> {
+        let mut r = Registry::new(default_policy);
+        r.ids = IdGen::new(base.max(1));
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Creation and destruction
+    // ------------------------------------------------------------------
+
+    /// `create_actorSpace(capability)` (§5.2): returns a fresh actorSpace
+    /// mail address. The capability, if given, guards later visibility
+    /// operations *on this space as a member* and manage operations on it.
+    pub fn create_space(&mut self, cap: Option<&Capability>) -> SpaceId {
+        let id = self.ids.next_space();
+        let space = Space::new(id, Guard::from_creation(cap), self.default_policy.clone());
+        self.spaces.insert(id, space);
+        id
+    }
+
+    /// Registers a new actor created in `host` (§7.1: "actors are actually
+    /// created inside an actorSpace (their host space), although they are
+    /// not visible in this actorSpace unless explicitly made so").
+    pub fn create_actor(&mut self, host: SpaceId, cap: Option<&Capability>) -> Result<ActorId> {
+        if !self.spaces.contains_key(&host) {
+            return Err(Error::NoSuchSpace(host));
+        }
+        let id = self.ids.next_actor();
+        self.actors.insert(id, ActorRecord { guard: Guard::from_creation(cap), host });
+        Ok(id)
+    }
+
+    /// Allocates a fresh actor id without creating a record — cluster
+    /// nodes allocate first, then replicate the creation via the ordered
+    /// bus (§7.3).
+    pub fn allocate_actor_id(&mut self) -> ActorId {
+        self.ids.next_actor()
+    }
+
+    /// Allocates a fresh space id without creating a record.
+    pub fn allocate_space_id(&mut self) -> SpaceId {
+        self.ids.next_space()
+    }
+
+    /// Inserts an actor record with a caller-chosen id — used by cluster
+    /// nodes applying a remotely-originated create event to their replica
+    /// of the ActorSpace state (§7.3). Returns false if the id was already
+    /// present (duplicate bus delivery).
+    pub fn insert_actor_record(&mut self, id: ActorId, host: SpaceId, guard: Guard) -> bool {
+        if self.actors.contains_key(&id) {
+            return false;
+        }
+        self.actors.insert(id, ActorRecord { guard, host });
+        true
+    }
+
+    /// Inserts a space record with a caller-chosen id — the replica-side
+    /// counterpart of [`Registry::create_space`]. Returns false if present.
+    pub fn insert_space_record(&mut self, id: SpaceId, guard: Guard) -> bool {
+        if self.spaces.contains_key(&id) {
+            return false;
+        }
+        self.spaces.insert(id, Space::new(id, guard, self.default_policy.clone()));
+        true
+    }
+
+    /// Removes an actor (death / remote destroy event).
+    pub fn remove_actor(&mut self, id: ActorId) {
+        self.remove_actor_internal(id);
+    }
+
+    /// Destroys a space (§7.1 provides explicit destruction because the
+    /// globally visible root makes automatic collection of reachable spaces
+    /// infeasible). Requires `Rights::MANAGE` if the space is guarded. The
+    /// space's members survive; they are simply no longer visible through
+    /// it. Pending and persistent messages addressed to the space are
+    /// dropped.
+    pub fn destroy_space(&mut self, id: SpaceId, cap: Option<&Capability>) -> Result<()> {
+        if id == ROOT_SPACE {
+            return Err(Error::RootImmortal);
+        }
+        let space = self.spaces.get(&id).ok_or(Error::NoSuchSpace(id))?;
+        space.guard().check(cap, Rights::MANAGE)?;
+        self.remove_space_internal(id);
+        Ok(())
+    }
+
+    pub(crate) fn remove_space_internal(&mut self, id: SpaceId) {
+        if let Some(space) = self.spaces.remove(&id) {
+            // Drop reverse edges of its members.
+            for member in space.members().keys() {
+                if let Some(set) = self.containers.get_mut(member) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.containers.remove(member);
+                    }
+                }
+            }
+        }
+        // Remove the space from any space it was visible in.
+        let as_member = MemberId::Space(id);
+        if let Some(parents) = self.containers.remove(&as_member) {
+            for p in parents {
+                if let Some(ps) = self.spaces.get_mut(&p) {
+                    ps.remove_member(as_member);
+                }
+            }
+        }
+        // Actors hosted in the destroyed space are re-hosted to the root so
+        // later sends from them still have a resolution scope.
+        for rec in self.actors.values_mut() {
+            if rec.host == id {
+                rec.host = ROOT_SPACE;
+            }
+        }
+    }
+
+    /// Removes an actor entirely (death). Its memberships disappear.
+    pub(crate) fn remove_actor_internal(&mut self, id: ActorId) {
+        self.actors.remove(&id);
+        let as_member = MemberId::Actor(id);
+        if let Some(parents) = self.containers.remove(&as_member) {
+            for p in parents {
+                if let Some(ps) = self.spaces.get_mut(&p) {
+                    ps.remove_member(as_member);
+                }
+            }
+        }
+        self.roots.remove(&id);
+    }
+
+    // ------------------------------------------------------------------
+    // Visibility (§5.4)
+    // ------------------------------------------------------------------
+
+    /// `make_visible(a, attributes @ space, capability)`: subjects `member`
+    /// to pattern matching inside `space`, registering `attrs` as its
+    /// attributes there. Returns the deliveries triggered by waking
+    /// suspended and persistent messages through `sink`.
+    ///
+    /// Fails if the member's guard rejects the capability, if the space's
+    /// manager vetoes the request, or — for space members — if visibility
+    /// would create a cycle (§5.7).
+    pub fn make_visible(
+        &mut self,
+        member: MemberId,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+        sink: Sink<'_, M>,
+    ) -> Result<()> {
+        self.member_guard(member)?.check(cap, Rights::VISIBILITY)?;
+        if !self.spaces.contains_key(&space) {
+            return Err(Error::NoSuchSpace(space));
+        }
+        // §5.7: reject cycles in the visibility DAG *before* inserting —
+        // unless the space's manager tolerates cycles (the tagging
+        // alternative; resolution then dedups visited states).
+        if let MemberId::Space(child) = member {
+            let forbid = self
+                .spaces
+                .get(&space)
+                .is_some_and(|sp| sp.policy().cycles == crate::policy::CyclePolicy::Forbid);
+            if forbid && visibility::would_cycle(&self.spaces, child, space) {
+                return Err(Error::WouldCycle { child, parent: space });
+            }
+        }
+        let sp = self.spaces.get_mut(&space).expect("checked above");
+        if !sp.manager_mut().authorize_visibility(member, &attrs) {
+            return Err(Error::Denied(actorspace_capability::GuardError::Missing));
+        }
+        sp.add_member(member, attrs);
+        sp.manager_mut().on_change(member);
+        self.containers.entry(member).or_default().insert(space);
+        self.wake_after_change(space, sink);
+        Ok(())
+    }
+
+    /// `make_invisible(actor, space, capability)`: removes the member from
+    /// the space "and thus any other enclosing actorSpace" — enclosing
+    /// spaces reach members only *through* this space, so removal here is
+    /// sufficient.
+    pub fn make_invisible(
+        &mut self,
+        member: MemberId,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.member_guard(member)?.check(cap, Rights::VISIBILITY)?;
+        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        if !sp.remove_member(member) {
+            return Err(Error::NotVisible { member, space });
+        }
+        sp.manager_mut().on_change(member);
+        if let Some(set) = self.containers.get_mut(&member) {
+            set.remove(&space);
+            if set.is_empty() {
+                self.containers.remove(&member);
+            }
+        }
+        Ok(())
+    }
+
+    /// `change_attributes(member, attrs @ space, capability)` (§5.4): the
+    /// member's attributes, as viewed by `space`, are replaced. May wake
+    /// suspended messages whose patterns now match.
+    pub fn change_attributes(
+        &mut self,
+        member: MemberId,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+        sink: Sink<'_, M>,
+    ) -> Result<()> {
+        self.member_guard(member)?.check(cap, Rights::ATTRIBUTES)?;
+        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        if !sp.manager_mut().authorize_visibility(member, &attrs) {
+            return Err(Error::Denied(actorspace_capability::GuardError::Missing));
+        }
+        if !sp.set_attributes(member, attrs) {
+            return Err(Error::NotVisible { member, space });
+        }
+        sp.manager_mut().on_change(member);
+        self.wake_after_change(space, sink);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Manager customization (§8)
+    // ------------------------------------------------------------------
+
+    /// Replaces a space's policy table. Requires `Rights::MANAGE`.
+    pub fn set_space_policy(
+        &mut self,
+        space: SpaceId,
+        policy: ManagerPolicy,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        sp.guard().check(cap, Rights::MANAGE)?;
+        sp.set_policy(policy);
+        Ok(())
+    }
+
+    /// Installs a custom manager on a space. Requires `Rights::MANAGE`.
+    pub fn set_space_manager(
+        &mut self,
+        space: SpaceId,
+        manager: Box<dyn Manager>,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        sp.guard().check(cap, Rights::MANAGE)?;
+        sp.set_manager(manager);
+        Ok(())
+    }
+
+    /// Installs (or clears) a custom matching rule on a space — the §5
+    /// "customization of matching rules" managers inherit from first-class
+    /// tuple spaces. Requires `Rights::MANAGE`.
+    pub fn set_match_filter(
+        &mut self,
+        space: SpaceId,
+        filter: Option<crate::space::MatchFilter>,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        sp.guard().check(cap, Rights::MANAGE)?;
+        sp.set_match_filter(filter);
+        Ok(())
+    }
+
+    /// Reports an actor's load for
+    /// [`SelectionPolicy::LeastLoaded`](crate::policy::SelectionPolicy::LeastLoaded)
+    /// arbitration in `space`. Actors self-report; no capability needed.
+    pub fn report_load(&mut self, space: SpaceId, actor: ActorId, load: u64) -> Result<()> {
+        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        sp.selector_mut().set_load(actor, load);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Roots (external handles) — GC anchoring
+    // ------------------------------------------------------------------
+
+    /// Marks an actor as externally referenced (a live handle exists).
+    pub fn add_root(&mut self, a: ActorId) {
+        self.roots.insert(a);
+    }
+
+    /// Clears the external-reference mark.
+    pub fn remove_root(&mut self, a: ActorId) {
+        self.roots.remove(&a);
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Does this space exist?
+    pub fn space_exists(&self, id: SpaceId) -> bool {
+        self.spaces.contains_key(&id)
+    }
+
+    /// Does this actor exist?
+    pub fn actor_exists(&self, id: ActorId) -> bool {
+        self.actors.contains_key(&id)
+    }
+
+    /// The actor's record.
+    pub fn actor(&self, id: ActorId) -> Result<&ActorRecord> {
+        self.actors.get(&id).ok_or(Error::NoSuchActor(id))
+    }
+
+    /// The space, for inspection.
+    pub fn space(&self, id: SpaceId) -> Result<&Space<M>> {
+        self.spaces.get(&id).ok_or(Error::NoSuchSpace(id))
+    }
+
+    /// The space, mutably (used by the delivery engine and tests).
+    pub fn space_mut(&mut self, id: SpaceId) -> Result<&mut Space<M>> {
+        self.spaces.get_mut(&id).ok_or(Error::NoSuchSpace(id))
+    }
+
+    /// All spaces a member is directly visible in.
+    pub fn containers_of(&self, member: MemberId) -> impl Iterator<Item = SpaceId> + '_ {
+        self.containers.get(&member).into_iter().flatten().copied()
+    }
+
+    /// Number of live actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of live spaces (including the root).
+    pub fn space_count(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// Iterates over live actor ids.
+    pub fn actor_ids(&self) -> impl Iterator<Item = ActorId> + '_ {
+        self.actors.keys().copied()
+    }
+
+    /// Iterates over live space ids.
+    pub fn space_ids(&self) -> impl Iterator<Item = SpaceId> + '_ {
+        self.spaces.keys().copied()
+    }
+
+    /// An observability snapshot of one space.
+    pub fn space_info(&self, id: SpaceId) -> Result<SpaceInfo> {
+        let sp = self.spaces.get(&id).ok_or(Error::NoSuchSpace(id))?;
+        let mut actor_members = 0usize;
+        let mut space_members = 0usize;
+        for m in sp.members().keys() {
+            match m {
+                MemberId::Actor(_) => actor_members += 1,
+                MemberId::Space(_) => space_members += 1,
+            }
+        }
+        Ok(SpaceInfo {
+            id,
+            actor_members,
+            space_members,
+            pending_messages: sp.pending().len(),
+            persistent_broadcasts: sp.persistent().len(),
+            guarded: !sp.guard().is_open(),
+        })
+    }
+
+    pub(crate) fn roots(&self) -> &HashSet<ActorId> {
+        &self.roots
+    }
+
+    pub(crate) fn containers(&self) -> &HashMap<MemberId, HashSet<SpaceId>> {
+        &self.containers
+    }
+
+    pub(crate) fn member_guard(&self, member: MemberId) -> Result<&Guard> {
+        match member {
+            MemberId::Actor(a) => {
+                Ok(&self.actors.get(&a).ok_or(Error::NoSuchActor(a))?.guard)
+            }
+            MemberId::Space(s) => {
+                Ok(self.spaces.get(&s).ok_or(Error::NoSuchSpace(s))?.guard())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorspace_atoms::path;
+    use actorspace_capability::CapMinter;
+
+    fn reg() -> Registry<u32> {
+        Registry::new(ManagerPolicy::default())
+    }
+
+    /// A sink that drops deliveries (these tests target structure only).
+    fn null_sink() -> impl FnMut(ActorId, u32) {
+        |_, _| {}
+    }
+
+    #[test]
+    fn root_space_exists_at_birth() {
+        let r = reg();
+        assert!(r.space_exists(ROOT_SPACE));
+        assert_eq!(r.space_count(), 1);
+    }
+
+    #[test]
+    fn create_space_and_actor() {
+        let mut r = reg();
+        let s = r.create_space(None);
+        assert!(r.space_exists(s));
+        let a = r.create_actor(s, None).unwrap();
+        assert!(r.actor_exists(a));
+        assert_eq!(r.actor(a).unwrap().host, s);
+    }
+
+    #[test]
+    fn create_actor_in_missing_space_fails() {
+        let mut r = reg();
+        let err = r.create_actor(SpaceId(999), None).unwrap_err();
+        assert_eq!(err, Error::NoSuchSpace(SpaceId(999)));
+    }
+
+    #[test]
+    fn make_visible_then_invisible() {
+        let mut r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        let m = MemberId::Actor(a);
+        let mut sink = null_sink();
+        r.make_visible(m, vec![path("w")], s, None, &mut sink).unwrap();
+        assert!(r.space(s).unwrap().contains(m));
+        assert_eq!(r.containers_of(m).collect::<Vec<_>>(), vec![s]);
+        r.make_invisible(m, s, None).unwrap();
+        assert!(!r.space(s).unwrap().contains(m));
+        assert_eq!(r.containers_of(m).count(), 0);
+    }
+
+    #[test]
+    fn make_invisible_when_not_visible_errors() {
+        let mut r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        let err = r.make_invisible(MemberId::Actor(a), s, None).unwrap_err();
+        assert!(matches!(err, Error::NotVisible { .. }));
+    }
+
+    #[test]
+    fn actors_are_not_visible_by_default() {
+        // §5.4: "When an actor or an actorSpace is created, it is not
+        // automatically placed in an actorSpace."
+        let mut r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        assert!(!r.space(s).unwrap().contains(MemberId::Actor(a)));
+        assert!(!r.space(ROOT_SPACE).unwrap().contains(MemberId::Actor(a)));
+    }
+
+    #[test]
+    fn capability_guards_visibility() {
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let wrong = mint.new_capability();
+        let mut r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, Some(&cap)).unwrap();
+        let m = MemberId::Actor(a);
+        let mut sink = null_sink();
+        // No capability → denied.
+        assert!(matches!(
+            r.make_visible(m, vec![path("w")], s, None, &mut sink),
+            Err(Error::Denied(_))
+        ));
+        // Wrong capability → denied.
+        assert!(matches!(
+            r.make_visible(m, vec![path("w")], s, Some(&wrong), &mut sink),
+            Err(Error::Denied(_))
+        ));
+        // Right capability → ok.
+        r.make_visible(m, vec![path("w")], s, Some(&cap), &mut sink).unwrap();
+        // Restricted capability lacking VISIBILITY → denied for invisibility.
+        let weak = cap.restrict(Rights::ATTRIBUTES);
+        assert!(matches!(r.make_invisible(m, s, Some(&weak)), Err(Error::Denied(_))));
+        r.make_invisible(m, s, Some(&cap)).unwrap();
+    }
+
+    #[test]
+    fn change_attributes_requires_visibility_and_right() {
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let mut r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, Some(&cap)).unwrap();
+        let m = MemberId::Actor(a);
+        let mut sink = null_sink();
+        // Not visible yet.
+        assert!(matches!(
+            r.change_attributes(m, vec![path("x")], s, Some(&cap), &mut sink),
+            Err(Error::NotVisible { .. })
+        ));
+        r.make_visible(m, vec![path("w")], s, Some(&cap), &mut sink).unwrap();
+        r.change_attributes(m, vec![path("x")], s, Some(&cap), &mut sink).unwrap();
+        assert_eq!(r.space(s).unwrap().members()[&m], vec![path("x")]);
+        // VISIBILITY-only capability cannot change attributes.
+        let weak = cap.restrict(Rights::VISIBILITY);
+        assert!(matches!(
+            r.change_attributes(m, vec![path("y")], s, Some(&weak), &mut sink),
+            Err(Error::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn self_visibility_is_rejected() {
+        // §5.7: "we do not allow an actorSpace to be made visible in itself".
+        let mut r = reg();
+        let s = r.create_space(None);
+        let mut sink = null_sink();
+        let err = r
+            .make_visible(MemberId::Space(s), vec![path("me")], s, None, &mut sink)
+            .unwrap_err();
+        assert_eq!(err, Error::WouldCycle { child: s, parent: s });
+    }
+
+    #[test]
+    fn indirect_cycles_are_rejected() {
+        // a visible in b, b visible in c ⇒ c cannot become visible in a.
+        let mut r = reg();
+        let a = r.create_space(None);
+        let b = r.create_space(None);
+        let c = r.create_space(None);
+        let mut sink = null_sink();
+        r.make_visible(MemberId::Space(a), vec![path("a")], b, None, &mut sink).unwrap();
+        r.make_visible(MemberId::Space(b), vec![path("b")], c, None, &mut sink).unwrap();
+        let err = r
+            .make_visible(MemberId::Space(c), vec![path("c")], a, None, &mut sink)
+            .unwrap_err();
+        assert_eq!(err, Error::WouldCycle { child: c, parent: a });
+        // The non-cyclic direction still works: a may also be visible in c.
+        r.make_visible(MemberId::Space(a), vec![path("a2")], c, None, &mut sink).unwrap();
+    }
+
+    #[test]
+    fn overlap_is_allowed() {
+        // §3: "actorSpaces may overlap arbitrarily" — one actor in many
+        // spaces, with different attributes in each.
+        let mut r = reg();
+        let s1 = r.create_space(None);
+        let s2 = r.create_space(None);
+        let a = r.create_actor(s1, None).unwrap();
+        let m = MemberId::Actor(a);
+        let mut sink = null_sink();
+        r.make_visible(m, vec![path("red")], s1, None, &mut sink).unwrap();
+        r.make_visible(m, vec![path("blue")], s2, None, &mut sink).unwrap();
+        assert_eq!(r.space(s1).unwrap().members()[&m], vec![path("red")]);
+        assert_eq!(r.space(s2).unwrap().members()[&m], vec![path("blue")]);
+        let mut parents: Vec<SpaceId> = r.containers_of(m).collect();
+        parents.sort_unstable();
+        let mut want = vec![s1, s2];
+        want.sort_unstable();
+        assert_eq!(parents, want);
+    }
+
+    #[test]
+    fn destroy_space_spares_members() {
+        // §5.5: "when an actorSpace is garbage collected, the actors
+        // contained in that actorSpace themselves are not deleted."
+        let mut r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        let m = MemberId::Actor(a);
+        let mut sink = null_sink();
+        r.make_visible(m, vec![path("w")], s, None, &mut sink).unwrap();
+        r.destroy_space(s, None).unwrap();
+        assert!(!r.space_exists(s));
+        assert!(r.actor_exists(a));
+        assert_eq!(r.containers_of(m).count(), 0);
+        // The orphaned actor is re-hosted to the root.
+        assert_eq!(r.actor(a).unwrap().host, ROOT_SPACE);
+    }
+
+    #[test]
+    fn destroy_space_detaches_from_parents() {
+        let mut r = reg();
+        let parent = r.create_space(None);
+        let child = r.create_space(None);
+        let mut sink = null_sink();
+        r.make_visible(MemberId::Space(child), vec![path("c")], parent, None, &mut sink)
+            .unwrap();
+        r.destroy_space(child, None).unwrap();
+        assert!(!r.space(parent).unwrap().contains(MemberId::Space(child)));
+    }
+
+    #[test]
+    fn destroy_root_fails() {
+        let mut r = reg();
+        assert_eq!(r.destroy_space(ROOT_SPACE, None).unwrap_err(), Error::RootImmortal);
+    }
+
+    #[test]
+    fn destroy_guarded_space_needs_manage_right() {
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let mut r = reg();
+        let s = r.create_space(Some(&cap));
+        assert!(matches!(r.destroy_space(s, None), Err(Error::Denied(_))));
+        let weak = cap.restrict(Rights::VISIBILITY);
+        assert!(matches!(r.destroy_space(s, Some(&weak)), Err(Error::Denied(_))));
+        r.destroy_space(s, Some(&cap)).unwrap();
+    }
+
+    #[test]
+    fn space_info_snapshots_membership_and_queues() {
+        use actorspace_pattern::pattern;
+        let mut r = reg();
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let s = r.create_space(Some(&cap));
+        let sub = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        let mut k = null_sink();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
+        r.make_visible(sub.into(), vec![path("sub")], s, None, &mut k).unwrap();
+        // One suspended message.
+        r.send(&pattern("ghost"), s, 1, &mut k).unwrap();
+        let info = r.space_info(s).unwrap();
+        assert_eq!(info.actor_members, 1);
+        assert_eq!(info.space_members, 1);
+        assert_eq!(info.pending_messages, 1);
+        assert_eq!(info.persistent_broadcasts, 0);
+        assert!(info.guarded);
+        let sub_info = r.space_info(sub).unwrap();
+        assert!(!sub_info.guarded);
+        assert_eq!(sub_info.actor_members, 0);
+        assert!(r.space_info(SpaceId(404)).is_err());
+    }
+
+    #[test]
+    fn manager_can_veto_visibility() {
+        use crate::manager::Manager;
+        struct Veto;
+        impl Manager for Veto {
+            fn authorize_visibility(&mut self, _m: MemberId, attrs: &[Path]) -> bool {
+                !attrs.iter().any(|p| p.to_string().starts_with("secret"))
+            }
+        }
+        let mut r = reg();
+        let s = r.create_space(None);
+        r.set_space_manager(s, Box::new(Veto), None).unwrap();
+        let a = r.create_actor(s, None).unwrap();
+        let mut sink = null_sink();
+        assert!(r
+            .make_visible(MemberId::Actor(a), vec![path("secret/x")], s, None, &mut sink)
+            .is_err());
+        r.make_visible(MemberId::Actor(a), vec![path("open/x")], s, None, &mut sink)
+            .unwrap();
+    }
+}

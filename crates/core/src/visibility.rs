@@ -1,0 +1,183 @@
+//! The visibility relation between actorSpaces, kept acyclic (§5.7).
+//!
+//! "The consequence of an actorSpace being visible in itself can be quite
+//! catastrophic: if its attributes are matched by some broadcast message,
+//! an infinite number of messages may be generated … As part of the
+//! semantics of make_visible we do not allow an actorSpace to be made
+//! visible in itself, or recursively in any contained actorSpace. This
+//! avoids cycles in the directed acyclic graph defined by the visibility
+//! relation between actorSpaces. In implementation terms, avoiding such
+//! cycles means that a visibility relation graph must be constructed
+//! before an actorSpace is allowed to be visible."
+//!
+//! The graph here *is* the membership tables: an edge `P → C` exists when
+//! space `C` is visible in space `P`. `make_visible(C in P)` is legal iff
+//! `P` is not reachable from `C` (and `C ≠ P`).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::ids::{MemberId, SpaceId};
+use crate::space::Space;
+
+/// Would making `child` visible in `parent` create a cycle? True iff
+/// `child == parent` or `parent` is reachable from `child` through
+/// space-in-space visibility edges.
+pub fn would_cycle<M>(
+    spaces: &HashMap<SpaceId, Space<M>>,
+    child: SpaceId,
+    parent: SpaceId,
+) -> bool {
+    if child == parent {
+        return true;
+    }
+    // DFS from `child` through its visible sub-spaces.
+    let mut stack = vec![child];
+    let mut seen = HashSet::new();
+    seen.insert(child);
+    while let Some(s) = stack.pop() {
+        let Some(space) = spaces.get(&s) else { continue };
+        for member in space.members().keys() {
+            if let MemberId::Space(sub) = member {
+                if *sub == parent {
+                    return true;
+                }
+                if seen.insert(*sub) {
+                    stack.push(*sub);
+                }
+            }
+        }
+    }
+    false
+}
+
+/// All spaces from which `start` is transitively reachable (the spaces
+/// whose pattern resolutions can descend into `start`), including `start`
+/// itself. Used to decide which suspended-message queues a change may wake.
+pub fn ancestors(
+    containers: &HashMap<MemberId, HashSet<SpaceId>>,
+    start: SpaceId,
+) -> HashSet<SpaceId> {
+    let mut out = HashSet::new();
+    out.insert(start);
+    let mut stack = vec![start];
+    while let Some(s) = stack.pop() {
+        if let Some(parents) = containers.get(&MemberId::Space(s)) {
+            for &p in parents {
+                if out.insert(p) {
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Validates that the whole visibility relation is acyclic — an invariant
+/// checked by property tests after random operation sequences.
+pub fn is_dag<M>(spaces: &HashMap<SpaceId, Space<M>>) -> bool {
+    // Kahn's algorithm over the space-in-space edges.
+    let mut indegree: HashMap<SpaceId, usize> = spaces.keys().map(|&s| (s, 0)).collect();
+    for space in spaces.values() {
+        for member in space.members().keys() {
+            if let MemberId::Space(sub) = member {
+                if let Some(d) = indegree.get_mut(sub) {
+                    *d += 1;
+                }
+            }
+        }
+    }
+    let mut queue: Vec<SpaceId> =
+        indegree.iter().filter(|(_, &d)| d == 0).map(|(&s, _)| s).collect();
+    let mut visited = 0usize;
+    while let Some(s) = queue.pop() {
+        visited += 1;
+        let Some(space) = spaces.get(&s) else { continue };
+        for member in space.members().keys() {
+            if let MemberId::Space(sub) = member {
+                if let Some(d) = indegree.get_mut(sub) {
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(*sub);
+                    }
+                }
+            }
+        }
+    }
+    visited == spaces.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorspace_capability::Guard;
+    use crate::policy::ManagerPolicy;
+
+    fn mk(n: u64) -> (HashMap<SpaceId, Space<u32>>, Vec<SpaceId>) {
+        let mut spaces = HashMap::new();
+        let ids: Vec<SpaceId> = (0..n).map(SpaceId).collect();
+        for &id in &ids {
+            spaces.insert(id, Space::new(id, Guard::Open, ManagerPolicy::default()));
+        }
+        (spaces, ids)
+    }
+
+    fn link<M>(spaces: &mut HashMap<SpaceId, Space<M>>, child: SpaceId, parent: SpaceId) {
+        spaces
+            .get_mut(&parent)
+            .unwrap()
+            .add_member(MemberId::Space(child), vec![actorspace_atoms::path("x")]);
+    }
+
+    #[test]
+    fn self_loop_detected() {
+        let (spaces, ids) = mk(1);
+        assert!(would_cycle(&spaces, ids[0], ids[0]));
+    }
+
+    #[test]
+    fn chain_is_fine_but_closing_it_is_not() {
+        let (mut spaces, ids) = mk(3);
+        // 0 visible in 1, 1 visible in 2: edges 1→0, 2→1.
+        link(&mut spaces, ids[0], ids[1]);
+        link(&mut spaces, ids[1], ids[2]);
+        assert!(is_dag(&spaces));
+        // Closing the loop: 2 visible in 0 would cycle.
+        assert!(would_cycle(&spaces, ids[2], ids[0]));
+        // A diamond is fine: 0 visible in 2 directly.
+        assert!(!would_cycle(&spaces, ids[0], ids[2]));
+        link(&mut spaces, ids[0], ids[2]);
+        assert!(is_dag(&spaces));
+    }
+
+    #[test]
+    fn deep_chain_reachability() {
+        let (mut spaces, ids) = mk(50);
+        for w in ids.windows(2) {
+            link(&mut spaces, w[0], w[1]); // i visible in i+1
+        }
+        assert!(would_cycle(&spaces, *ids.last().unwrap(), ids[0]));
+        assert!(!would_cycle(&spaces, ids[0], *ids.last().unwrap()));
+        assert!(is_dag(&spaces));
+    }
+
+    #[test]
+    fn ancestors_walks_reverse_edges() {
+        // containers: 0 in {1}, 1 in {2, 3}
+        let mut containers: HashMap<MemberId, HashSet<SpaceId>> = HashMap::new();
+        containers.insert(MemberId::Space(SpaceId(0)), [SpaceId(1)].into());
+        containers.insert(MemberId::Space(SpaceId(1)), [SpaceId(2), SpaceId(3)].into());
+        let anc = ancestors(&containers, SpaceId(0));
+        assert_eq!(anc, [SpaceId(0), SpaceId(1), SpaceId(2), SpaceId(3)].into());
+        let anc1 = ancestors(&containers, SpaceId(2));
+        assert_eq!(anc1, [SpaceId(2)].into());
+    }
+
+    #[test]
+    fn is_dag_rejects_manufactured_cycle() {
+        let (mut spaces, ids) = mk(2);
+        // Bypass would_cycle to build a bad graph directly.
+        link(&mut spaces, ids[0], ids[1]);
+        link(&mut spaces, ids[1], ids[0]);
+        assert!(!is_dag(&spaces));
+    }
+}

@@ -1,0 +1,821 @@
+//! The sequential evaluator.
+//!
+//! Evaluation is environment-based over [`Value`]s, with actor effects
+//! routed through the [`ActorOps`] trait so the same evaluator runs pure
+//! (expression tests, `eval_str`) and effectful (inside a behavior, wired
+//! to the runtime's [`Ctx`](actorspace_runtime::Ctx)).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use actorspace_runtime::Value;
+
+use crate::parse::{parse_one, Sexp};
+
+/// An evaluation error (unbound variable, type mismatch, arity, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "eval error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, EvalError> {
+    Err(EvalError(msg.into()))
+}
+
+/// Lexical environment: a stack of scopes.
+#[derive(Debug, Default, Clone)]
+pub struct Env {
+    scopes: Vec<HashMap<String, Value>>,
+}
+
+impl Env {
+    /// An environment with one (base) scope holding `bindings`.
+    pub fn with_base(bindings: HashMap<String, Value>) -> Env {
+        Env { scopes: vec![bindings] }
+    }
+
+    /// Pushes a fresh scope.
+    pub fn push(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Pops the innermost scope.
+    pub fn pop(&mut self) {
+        self.scopes.pop();
+    }
+
+    /// Defines `name` in the innermost scope.
+    pub fn define(&mut self, name: &str, v: Value) {
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        self.scopes.last_mut().expect("non-empty").insert(name.to_owned(), v);
+    }
+
+    /// Reads a variable, innermost scope first.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    /// Assigns to an *existing* variable (`set!` semantics).
+    pub fn set(&mut self, name: &str, v: Value) -> Result<(), EvalError> {
+        for scope in self.scopes.iter_mut().rev() {
+            if let Some(slot) = scope.get_mut(name) {
+                *slot = v;
+                return Ok(());
+            }
+        }
+        err(format!("set! of unbound variable `{name}`"))
+    }
+
+    /// The base (outermost) scope — an actor's persistent state. Panics on
+    /// an environment with no scopes (construct with [`Env::with_base`]).
+    pub fn base(&self) -> &HashMap<String, Value> {
+        self.scopes.first().expect("environment has a base scope")
+    }
+}
+
+/// Actor effects the evaluator can request. A pure evaluation context
+/// rejects them all.
+pub trait ActorOps {
+    /// This actor's address.
+    fn self_id(&mut self) -> Result<Value, EvalError>;
+    /// The current message's sender.
+    fn sender(&mut self) -> Result<Value, EvalError>;
+    /// The host space.
+    fn host_space(&mut self) -> Result<Value, EvalError>;
+    /// Point-to-point send.
+    fn send_addr(&mut self, to: Value, msg: Value) -> Result<(), EvalError>;
+    /// Pattern send; `space` of `None` means the host space.
+    fn send_pattern(&mut self, pat: &str, space: Option<Value>, msg: Value)
+        -> Result<(), EvalError>;
+    /// Pattern broadcast.
+    fn broadcast(&mut self, pat: &str, space: Option<Value>, msg: Value)
+        -> Result<(), EvalError>;
+    /// Reply to the sender.
+    fn reply(&mut self, msg: Value) -> Result<(), EvalError>;
+    /// Create an actor from a named behavior with creation arguments.
+    fn create(&mut self, behavior: &str, args: Vec<Value>) -> Result<Value, EvalError>;
+    /// Replace this actor's behavior after the current message.
+    fn become_(&mut self, behavior: &str, args: Vec<Value>) -> Result<(), EvalError>;
+    /// Stop this actor after the current message.
+    fn stop(&mut self) -> Result<(), EvalError>;
+    /// Make this actor visible under an attribute in a space.
+    fn make_visible(&mut self, attr: &str, space: Value) -> Result<(), EvalError>;
+    /// Make this actor invisible in a space.
+    fn make_invisible(&mut self, space: Value) -> Result<(), EvalError>;
+    /// Create a new actorSpace.
+    fn create_space(&mut self) -> Result<Value, EvalError>;
+}
+
+/// The pure context: every actor op is an error.
+pub struct PureOps;
+
+impl ActorOps for PureOps {
+    fn self_id(&mut self) -> Result<Value, EvalError> {
+        err("`self` outside an actor")
+    }
+    fn sender(&mut self) -> Result<Value, EvalError> {
+        err("`sender` outside an actor")
+    }
+    fn host_space(&mut self) -> Result<Value, EvalError> {
+        err("`host-space` outside an actor")
+    }
+    fn send_addr(&mut self, _: Value, _: Value) -> Result<(), EvalError> {
+        err("`send-addr` outside an actor")
+    }
+    fn send_pattern(&mut self, _: &str, _: Option<Value>, _: Value) -> Result<(), EvalError> {
+        err("`send` outside an actor")
+    }
+    fn broadcast(&mut self, _: &str, _: Option<Value>, _: Value) -> Result<(), EvalError> {
+        err("`broadcast` outside an actor")
+    }
+    fn reply(&mut self, _: Value) -> Result<(), EvalError> {
+        err("`reply` outside an actor")
+    }
+    fn create(&mut self, _: &str, _: Vec<Value>) -> Result<Value, EvalError> {
+        err("`create` outside an actor")
+    }
+    fn become_(&mut self, _: &str, _: Vec<Value>) -> Result<(), EvalError> {
+        err("`become` outside an actor")
+    }
+    fn stop(&mut self) -> Result<(), EvalError> {
+        err("`stop` outside an actor")
+    }
+    fn make_visible(&mut self, _: &str, _: Value) -> Result<(), EvalError> {
+        err("`make-visible` outside an actor")
+    }
+    fn make_invisible(&mut self, _: Value) -> Result<(), EvalError> {
+        err("`make-invisible` outside an actor")
+    }
+    fn create_space(&mut self) -> Result<Value, EvalError> {
+        err("`create-space` outside an actor")
+    }
+}
+
+/// Evaluates one expression string in an empty pure environment — for
+/// tests and the examples' smoke checks.
+///
+/// ```
+/// use actorspace_interp::eval_str;
+/// use actorspace_runtime::Value;
+/// assert_eq!(eval_str("(+ 1 (* 2 3))").unwrap(), Value::int(7));
+/// ```
+pub fn eval_str(src: &str) -> Result<Value, EvalError> {
+    let sexp = parse_one(src).map_err(|e| EvalError(e.to_string()))?;
+    let mut env = Env::with_base(HashMap::new());
+    eval(&sexp, &mut env, &mut PureOps)
+}
+
+/// Evaluates `expr` in `env` with actor effects routed to `ops`.
+pub fn eval(expr: &Sexp, env: &mut Env, ops: &mut dyn ActorOps) -> Result<Value, EvalError> {
+    match expr {
+        Sexp::Int(i) => Ok(Value::Int(*i)),
+        Sexp::Float(f) => Ok(Value::Float(*f)),
+        Sexp::Str(s) => Ok(Value::str(s)),
+        Sexp::Sym(s) => match s.as_str() {
+            "true" => Ok(Value::Bool(true)),
+            "false" => Ok(Value::Bool(false)),
+            "nil" => Ok(Value::Unit),
+            "self" => ops.self_id(),
+            "sender" => ops.sender(),
+            "host-space" => ops.host_space(),
+            _ => env
+                .get(s)
+                .cloned()
+                .ok_or_else(|| EvalError(format!("unbound variable `{s}`"))),
+        },
+        Sexp::List(items) => {
+            let Some(head) = items.first() else {
+                return Ok(Value::Unit);
+            };
+            let args = &items[1..];
+            let Some(form) = head.as_sym() else {
+                return err(format!("cannot apply non-symbol {head}"));
+            };
+            match form {
+                // ---- special forms ----
+                "quote" => {
+                    arity(args, 1, "quote")?;
+                    Ok(quote_value(&args[0]))
+                }
+                "if" => {
+                    if args.len() < 2 || args.len() > 3 {
+                        return err("if needs 2 or 3 arguments");
+                    }
+                    let c = eval(&args[0], env, ops)?;
+                    if c.truthy() {
+                        eval(&args[1], env, ops)
+                    } else if let Some(e) = args.get(2) {
+                        eval(e, env, ops)
+                    } else {
+                        Ok(Value::Unit)
+                    }
+                }
+                "let" => {
+                    // (let ((x 1) (y 2)) body...)
+                    let Some(bindings) = args.first().and_then(Sexp::as_list) else {
+                        return err("let needs a binding list");
+                    };
+                    let bindings = bindings.to_vec();
+                    env.push();
+                    let result = (|| {
+                        for b in &bindings {
+                            let pair = b.as_list().filter(|l| l.len() == 2);
+                            let Some(pair) = pair else {
+                                return err("let binding must be (name expr)");
+                            };
+                            let Some(name) = pair[0].as_sym().map(str::to_owned) else {
+                                return err("let binding name must be a symbol");
+                            };
+                            let v = eval(&pair[1], env, ops)?;
+                            env.define(&name, v);
+                        }
+                        eval_body(&args[1..], env, ops)
+                    })();
+                    env.pop();
+                    result
+                }
+                "begin" => eval_body(args, env, ops),
+                "cond" => {
+                    // (cond (test body…)… (else body…))
+                    for clause in args {
+                        let Some(parts) = clause.as_list().filter(|l| !l.is_empty()) else {
+                            return err("cond clause must be (test body…)");
+                        };
+                        let is_else = parts[0].as_sym() == Some("else");
+                        if is_else || eval(&parts[0], env, ops)?.truthy() {
+                            return eval_body(&parts[1..], env, ops);
+                        }
+                    }
+                    Ok(Value::Unit)
+                }
+                "set!" => {
+                    arity(args, 2, "set!")?;
+                    let Some(name) = args[0].as_sym() else {
+                        return err("set! needs a variable name");
+                    };
+                    let v = eval(&args[1], env, ops)?;
+                    env.set(name, v.clone())?;
+                    Ok(v)
+                }
+                "define" => {
+                    arity(args, 2, "define")?;
+                    let Some(name) = args[0].as_sym() else {
+                        return err("define needs a variable name");
+                    };
+                    let v = eval(&args[1], env, ops)?;
+                    env.define(name, v.clone());
+                    Ok(v)
+                }
+                "and" => {
+                    let mut last = Value::Bool(true);
+                    for a in args {
+                        last = eval(a, env, ops)?;
+                        if !last.truthy() {
+                            return Ok(Value::Bool(false));
+                        }
+                    }
+                    Ok(last)
+                }
+                "or" => {
+                    for a in args {
+                        let v = eval(a, env, ops)?;
+                        if v.truthy() {
+                            return Ok(v);
+                        }
+                    }
+                    Ok(Value::Bool(false))
+                }
+                "match" => {
+                    // (match expr (pattern body…)… (else body…))
+                    //
+                    // Patterns: literals match by equality; 'sym matches
+                    // that atom; `_` matches anything; a bare symbol binds;
+                    // a list destructures element-wise (exact arity).
+                    if args.is_empty() {
+                        return err("match needs a subject expression");
+                    }
+                    let subject = eval(&args[0], env, ops)?;
+                    for clause in &args[1..] {
+                        let Some(parts) = clause.as_list().filter(|l| !l.is_empty()) else {
+                            return err("match clause must be (pattern body…)");
+                        };
+                        if parts[0].as_sym() == Some("else") {
+                            return eval_body(&parts[1..], env, ops);
+                        }
+                        let mut bindings = Vec::new();
+                        if match_value(&parts[0], &subject, &mut bindings)? {
+                            env.push();
+                            for (name, v) in bindings {
+                                env.define(&name, v);
+                            }
+                            let result = eval_body(&parts[1..], env, ops);
+                            env.pop();
+                            return result;
+                        }
+                    }
+                    Ok(Value::Unit)
+                }
+                "while" => {
+                    if args.is_empty() {
+                        return err("while needs a condition");
+                    }
+                    let mut guard = 0u32;
+                    while eval(&args[0], env, ops)?.truthy() {
+                        eval_body(&args[1..], env, ops)?;
+                        guard += 1;
+                        if guard > 1_000_000 {
+                            return err("while: iteration limit exceeded");
+                        }
+                    }
+                    Ok(Value::Unit)
+                }
+
+                // ---- actor primitives ----
+                "send-addr" => {
+                    arity(args, 2, "send-addr")?;
+                    let to = eval(&args[0], env, ops)?;
+                    let msg = eval(&args[1], env, ops)?;
+                    ops.send_addr(to, msg)?;
+                    Ok(Value::Unit)
+                }
+                "send" | "broadcast" => {
+                    // (send "pat" msg) or (send "pat" space msg)
+                    if args.len() < 2 || args.len() > 3 {
+                        return err(format!("{form} needs 2 or 3 arguments"));
+                    }
+                    let pat = match eval(&args[0], env, ops)? {
+                        Value::Str(s) => s.to_string(),
+                        Value::Atom(a) => a.as_str().to_owned(),
+                        other => return err(format!("{form}: pattern must be a string, got {other}")),
+                    };
+                    let (space, msg) = if args.len() == 3 {
+                        (Some(eval(&args[1], env, ops)?), eval(&args[2], env, ops)?)
+                    } else {
+                        (None, eval(&args[1], env, ops)?)
+                    };
+                    if form == "send" {
+                        ops.send_pattern(&pat, space, msg)?;
+                    } else {
+                        ops.broadcast(&pat, space, msg)?;
+                    }
+                    Ok(Value::Unit)
+                }
+                "reply" => {
+                    arity(args, 1, "reply")?;
+                    let msg = eval(&args[0], env, ops)?;
+                    ops.reply(msg)?;
+                    Ok(Value::Unit)
+                }
+                "create" => {
+                    if args.is_empty() {
+                        return err("create needs a behavior name");
+                    }
+                    let Some(name) = args[0].as_sym() else {
+                        return err("create: behavior name must be a symbol");
+                    };
+                    let mut vals = Vec::new();
+                    for a in &args[1..] {
+                        vals.push(eval(a, env, ops)?);
+                    }
+                    ops.create(name, vals)
+                }
+                "become" => {
+                    if args.is_empty() {
+                        return err("become needs a behavior name");
+                    }
+                    let Some(name) = args[0].as_sym() else {
+                        return err("become: behavior name must be a symbol");
+                    };
+                    let mut vals = Vec::new();
+                    for a in &args[1..] {
+                        vals.push(eval(a, env, ops)?);
+                    }
+                    ops.become_(name, vals)?;
+                    Ok(Value::Unit)
+                }
+                "stop" => {
+                    ops.stop()?;
+                    Ok(Value::Unit)
+                }
+                "make-visible" => {
+                    arity(args, 2, "make-visible")?;
+                    let attr = match eval(&args[0], env, ops)? {
+                        Value::Str(s) => s.to_string(),
+                        Value::Atom(a) => a.as_str().to_owned(),
+                        other => return err(format!("make-visible: attribute must be a string, got {other}")),
+                    };
+                    let space = eval(&args[1], env, ops)?;
+                    ops.make_visible(&attr, space)?;
+                    Ok(Value::Unit)
+                }
+                "make-invisible" => {
+                    arity(args, 1, "make-invisible")?;
+                    let space = eval(&args[0], env, ops)?;
+                    ops.make_invisible(space)?;
+                    Ok(Value::Unit)
+                }
+                "create-space" => {
+                    arity(args, 0, "create-space")?;
+                    ops.create_space()
+                }
+
+                // ---- builtins ----
+                _ => {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(eval(a, env, ops)?);
+                    }
+                    builtin(form, &vals)
+                }
+            }
+        }
+    }
+}
+
+/// Structural match of `pattern` against `value`, collecting bindings.
+/// Returns Ok(false) on mismatch, Err on malformed patterns.
+fn match_value(
+    pattern: &Sexp,
+    value: &Value,
+    bindings: &mut Vec<(String, Value)>,
+) -> Result<bool, EvalError> {
+    match pattern {
+        Sexp::Int(i) => Ok(value == &Value::Int(*i)),
+        Sexp::Float(f) => Ok(value == &Value::Float(*f)),
+        Sexp::Str(s) => Ok(value.as_str() == Some(s)),
+        Sexp::Sym(s) if s == "_" => Ok(true),
+        Sexp::Sym(s) if s == "true" => Ok(value == &Value::Bool(true)),
+        Sexp::Sym(s) if s == "false" => Ok(value == &Value::Bool(false)),
+        Sexp::Sym(s) if s == "nil" => Ok(value == &Value::Unit),
+        Sexp::Sym(name) => {
+            bindings.push((name.clone(), value.clone()));
+            Ok(true)
+        }
+        Sexp::List(items) => {
+            // 'sym — the quoted-atom literal.
+            if let [Sexp::Sym(q), Sexp::Sym(atom_name)] = items.as_slice() {
+                if q == "quote" {
+                    return Ok(value == &Value::atom(atom_name));
+                }
+            }
+            let Some(vals) = value.as_list() else { return Ok(false) };
+            if vals.len() != items.len() {
+                return Ok(false);
+            }
+            for (p, v) in items.iter().zip(vals) {
+                if !match_value(p, v, bindings)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+    }
+}
+
+fn eval_body(body: &[Sexp], env: &mut Env, ops: &mut dyn ActorOps) -> Result<Value, EvalError> {
+    let mut last = Value::Unit;
+    for e in body {
+        last = eval(e, env, ops)?;
+    }
+    Ok(last)
+}
+
+fn arity(args: &[Sexp], n: usize, form: &str) -> Result<(), EvalError> {
+    if args.len() != n {
+        return err(format!("{form} needs {n} argument(s), got {}", args.len()));
+    }
+    Ok(())
+}
+
+/// Quotation: symbols become atoms, lists become value lists.
+fn quote_value(s: &Sexp) -> Value {
+    match s {
+        Sexp::Int(i) => Value::Int(*i),
+        Sexp::Float(f) => Value::Float(*f),
+        Sexp::Str(st) => Value::str(st),
+        Sexp::Sym(sym) => Value::atom(sym),
+        Sexp::List(items) => Value::list(items.iter().map(quote_value).collect::<Vec<_>>()),
+    }
+}
+
+fn num2(vals: &[Value], name: &str) -> Result<(i64, i64), EvalError> {
+    match (vals[0].as_int(), vals[1].as_int()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => err(format!("{name}: expected integers, got {} {}", vals[0], vals[1])),
+    }
+}
+
+fn builtin(name: &str, vals: &[Value]) -> Result<Value, EvalError> {
+    match name {
+        "+" | "*" => {
+            let mut acc: i64 = if name == "+" { 0 } else { 1 };
+            let mut facc: f64 = if name == "+" { 0.0 } else { 1.0 };
+            let mut float = false;
+            for v in vals {
+                match v {
+                    Value::Int(i) => {
+                        acc = if name == "+" { acc.wrapping_add(*i) } else { acc.wrapping_mul(*i) };
+                        facc = if name == "+" { facc + *i as f64 } else { facc * *i as f64 };
+                    }
+                    Value::Float(f) => {
+                        float = true;
+                        facc = if name == "+" { facc + f } else { facc * f };
+                    }
+                    other => return err(format!("{name}: not a number: {other}")),
+                }
+            }
+            Ok(if float { Value::Float(facc) } else { Value::Int(acc) })
+        }
+        "-" => {
+            if vals.is_empty() {
+                return err("-: needs arguments");
+            }
+            if vals.len() == 1 {
+                return vals[0]
+                    .as_int()
+                    .map(|i| Value::Int(-i))
+                    .ok_or_else(|| EvalError("-: not an integer".into()));
+            }
+            let (a, b) = num2(vals, "-")?;
+            Ok(Value::Int(a.wrapping_sub(b)))
+        }
+        "/" => {
+            let (a, b) = num2(vals, "/")?;
+            if b == 0 {
+                return err("/: division by zero");
+            }
+            Ok(Value::Int(a / b))
+        }
+        "mod" => {
+            let (a, b) = num2(vals, "mod")?;
+            if b == 0 {
+                return err("mod: division by zero");
+            }
+            Ok(Value::Int(a.rem_euclid(b)))
+        }
+        "<" | ">" | "<=" | ">=" => {
+            let (a, b) = match (vals[0].as_float(), vals[1].as_float()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return err(format!("{name}: expected numbers")),
+            };
+            Ok(Value::Bool(match name {
+                "<" => a < b,
+                ">" => a > b,
+                "<=" => a <= b,
+                _ => a >= b,
+            }))
+        }
+        "=" => Ok(Value::Bool(vals.len() == 2 && vals[0] == vals[1])),
+        "!=" => Ok(Value::Bool(vals.len() == 2 && vals[0] != vals[1])),
+        "not" => Ok(Value::Bool(!vals.first().map(Value::truthy).unwrap_or(false))),
+        "min" => {
+            let (a, b) = num2(vals, "min")?;
+            Ok(Value::Int(a.min(b)))
+        }
+        "max" => {
+            let (a, b) = num2(vals, "max")?;
+            Ok(Value::Int(a.max(b)))
+        }
+        "list" => Ok(Value::list(vals.to_vec())),
+        "head" => match vals.first().and_then(|v| v.as_list()) {
+            Some([first, ..]) => Ok(first.clone()),
+            Some([]) => err("head: empty list"),
+            None => err("head: not a list"),
+        },
+        "tail" => match vals.first().and_then(|v| v.as_list()) {
+            Some([_, rest @ ..]) => Ok(Value::list(rest.to_vec())),
+            Some([]) => err("tail: empty list"),
+            None => err("tail: not a list"),
+        },
+        "len" => match vals.first() {
+            Some(Value::List(l)) => Ok(Value::Int(l.len() as i64)),
+            Some(Value::Str(s)) => Ok(Value::Int(s.len() as i64)),
+            _ => err("len: not a list or string"),
+        },
+        "nth" => {
+            let idx = vals.get(1).and_then(Value::as_int).ok_or(EvalError("nth: bad index".into()))?;
+            match vals.first().and_then(|v| v.as_list()) {
+                Some(items) => items
+                    .get(idx as usize)
+                    .cloned()
+                    .ok_or_else(|| EvalError(format!("nth: index {idx} out of range"))),
+                None => err("nth: not a list"),
+            }
+        }
+        "cons" => {
+            if vals.len() != 2 {
+                return err("cons: needs 2 arguments");
+            }
+            let mut out = vec![vals[0].clone()];
+            match vals[1].as_list() {
+                Some(rest) => out.extend(rest.iter().cloned()),
+                None => return err("cons: second argument must be a list"),
+            }
+            Ok(Value::list(out))
+        }
+        "append" => {
+            let mut out = Vec::new();
+            for v in vals {
+                match v.as_list() {
+                    Some(items) => out.extend(items.iter().cloned()),
+                    None => return err("append: all arguments must be lists"),
+                }
+            }
+            Ok(Value::list(out))
+        }
+        "str" => {
+            let mut s = String::new();
+            for v in vals {
+                match v {
+                    Value::Str(inner) => s.push_str(inner),
+                    other => s.push_str(&other.to_string()),
+                }
+            }
+            Ok(Value::str(s))
+        }
+        "list?" => Ok(Value::Bool(matches!(vals.first(), Some(Value::List(_))))),
+        "int?" => Ok(Value::Bool(matches!(vals.first(), Some(Value::Int(_))))),
+        "addr?" => Ok(Value::Bool(matches!(vals.first(), Some(Value::Addr(_))))),
+        _ => err(format!("unknown function `{name}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: &str) -> Value {
+        eval_str(src).unwrap_or_else(|e| panic!("{src}: {e}"))
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(ev("(+ 1 2 3)"), Value::int(6));
+        assert_eq!(ev("(* 2 3 4)"), Value::int(24));
+        assert_eq!(ev("(- 10 4)"), Value::int(6));
+        assert_eq!(ev("(- 5)"), Value::int(-5));
+        assert_eq!(ev("(/ 9 2)"), Value::int(4));
+        assert_eq!(ev("(mod 7 3)"), Value::int(1));
+        assert_eq!(ev("(mod -1 3)"), Value::int(2));
+        assert_eq!(ev("(+ 1 2.5)"), Value::Float(3.5));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(ev("(< 1 2)"), Value::Bool(true));
+        assert_eq!(ev("(>= 2 2)"), Value::Bool(true));
+        assert_eq!(ev("(= 3 3)"), Value::Bool(true));
+        assert_eq!(ev("(!= 3 4)"), Value::Bool(true));
+        assert_eq!(ev("(not false)"), Value::Bool(true));
+        assert_eq!(ev("(and 1 2 3)"), Value::int(3));
+        assert_eq!(ev("(and 1 false 3)"), Value::Bool(false));
+        assert_eq!(ev("(or false 7)"), Value::int(7));
+        assert_eq!(ev("(or false false)"), Value::Bool(false));
+    }
+
+    #[test]
+    fn conditionals() {
+        assert_eq!(ev("(if true 1 2)"), Value::int(1));
+        assert_eq!(ev("(if false 1 2)"), Value::int(2));
+        assert_eq!(ev("(if false 1)"), Value::Unit);
+        assert_eq!(ev("(if (< 5 3) \"a\" \"b\")"), Value::str("b"));
+    }
+
+    #[test]
+    fn cond_selects_first_true_clause() {
+        assert_eq!(ev("(cond ((< 2 1) 'a) ((< 1 2) 'b) (else 'c))"), Value::atom("b"));
+        assert_eq!(ev("(cond ((< 2 1) 'a) (else 'c))"), Value::atom("c"));
+        assert_eq!(ev("(cond ((< 2 1) 'a))"), Value::Unit);
+        // Bodies may be multi-expression.
+        assert_eq!(ev("(cond (true (define x 1) (+ x 1)))"), Value::int(2));
+        assert!(eval_str("(cond bad-clause)").is_err());
+    }
+
+    #[test]
+    fn let_scoping_and_shadowing() {
+        assert_eq!(ev("(let ((x 2) (y 3)) (+ x y))"), Value::int(5));
+        assert_eq!(ev("(let ((x 1)) (let ((x 2)) x))"), Value::int(2));
+        assert_eq!(ev("(let ((x 1)) (begin (let ((x 2)) x) x))"), Value::int(1));
+    }
+
+    #[test]
+    fn match_destructures_lists() {
+        // Tagged-message dispatch, the shape behaviors use.
+        let src = r#"
+            (match (list 'job 3 9)
+              (('bound b) (list "bound" b))
+              (('job lo hi) (list "job" (- hi lo)))
+              (else "other"))
+        "#;
+        assert_eq!(ev(src), Value::list([Value::str("job"), Value::int(6)]));
+    }
+
+    #[test]
+    fn match_literals_and_wildcards() {
+        assert_eq!(ev("(match 5 (5 'five) (else 'other))"), Value::atom("five"));
+        assert_eq!(ev("(match 6 (5 'five) (else 'other))"), Value::atom("other"));
+        assert_eq!(ev("(match \"x\" (\"x\" 1) (else 2))"), Value::int(1));
+        assert_eq!(ev("(match 'tag ('tag 1) (else 2))"), Value::int(1));
+        assert_eq!(ev("(match (list 1 2) ((_ b) b))"), Value::int(2));
+        assert_eq!(ev("(match true (true 'yes) (else 'no))"), Value::atom("yes"));
+        assert_eq!(ev("(match nil (nil 'unit) (else 'no))"), Value::atom("unit"));
+    }
+
+    #[test]
+    fn match_arity_must_agree() {
+        assert_eq!(ev("(match (list 1 2 3) ((a b) 'two) ((a b c) 'three))"), Value::atom("three"));
+        // No clause matches → Unit.
+        assert_eq!(ev("(match (list 1) ((a b) a))"), Value::Unit);
+    }
+
+    #[test]
+    fn match_bindings_are_scoped_to_the_clause() {
+        assert_eq!(
+            ev("(begin (define v 1) (match 9 (x (+ x 1))) v)"),
+            Value::int(1),
+            "clause binding must not leak"
+        );
+    }
+
+    #[test]
+    fn match_errors_on_malformed_clause() {
+        assert!(eval_str("(match 1 notaclause)").is_err());
+        assert!(eval_str("(match)").is_err());
+    }
+
+    #[test]
+    fn set_and_define_and_while() {
+        assert_eq!(
+            ev("(let ((i 0) (sum 0)) (while (< i 5) (set! sum (+ sum i)) (set! i (+ i 1))) sum)"),
+            Value::int(10)
+        );
+        assert_eq!(ev("(begin (define z 4) (* z z))"), Value::int(16));
+    }
+
+    #[test]
+    fn set_of_unbound_fails() {
+        assert!(eval_str("(set! nope 1)").is_err());
+    }
+
+    #[test]
+    fn lists() {
+        assert_eq!(ev("(len (list 1 2 3))"), Value::int(3));
+        assert_eq!(ev("(head (list 7 8))"), Value::int(7));
+        assert_eq!(ev("(tail (list 7 8 9))"), Value::list([Value::int(8), Value::int(9)]));
+        assert_eq!(ev("(nth (list 5 6 7) 1)"), Value::int(6));
+        assert_eq!(ev("(cons 1 (list 2))"), Value::list([Value::int(1), Value::int(2)]));
+        assert_eq!(
+            ev("(append (list 1) (list 2 3))"),
+            Value::list([Value::int(1), Value::int(2), Value::int(3)])
+        );
+        assert!(eval_str("(head (list))").is_err());
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(ev("'foo"), Value::atom("foo"));
+        assert_eq!(ev("'(a 1)"), Value::list([Value::atom("a"), Value::int(1)]));
+        assert_eq!(ev("(quote (1 2))"), Value::list([Value::int(1), Value::int(2)]));
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(ev("(str \"a\" 1 'b)"), Value::str("a1b"));
+        assert_eq!(ev("(len \"abc\")"), Value::int(3));
+    }
+
+    #[test]
+    fn predicates() {
+        assert_eq!(ev("(list? (list))"), Value::Bool(true));
+        assert_eq!(ev("(int? 3)"), Value::Bool(true));
+        assert_eq!(ev("(int? \"3\")"), Value::Bool(false));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for bad in [
+            "(unknown-fn 1)",
+            "(+ 1 \"x\")",
+            "(/ 1 0)",
+            "(mod 1 0)",
+            "nosuchvar",
+            "(send \"p\" 1)", // actor op outside an actor
+            "(if)",
+        ] {
+            assert!(eval_str(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn while_guard_prevents_infinite_loops() {
+        assert!(eval_str("(while true 1)").is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! S-expression tokenizer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `'` (quote shorthand)
+    Quote,
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// A string literal (escapes `\"` `\\` `\n` `\t` handled).
+    Str(String),
+    /// A symbol (identifiers, operators, attribute paths like `srv/fib`).
+    Sym(String),
+}
+
+/// A lexical error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_sym_char(c: char) -> bool {
+    !c.is_whitespace() && !matches!(c, '(' | ')' | '\'' | '"' | ';')
+}
+
+/// Tokenizes `src`. Comments run from `;` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let mut it = src.char_indices().peekable();
+    while let Some(&(i, c)) = it.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                it.next();
+            }
+            ';' => {
+                for (_, c) in it.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                it.next();
+                out.push(Token::LParen);
+            }
+            ')' => {
+                it.next();
+                out.push(Token::RParen);
+            }
+            '\'' => {
+                it.next();
+                out.push(Token::Quote);
+            }
+            '"' => {
+                it.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((j, c)) = it.next() {
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match it.next() {
+                            Some((_, 'n')) => s.push('\n'),
+                            Some((_, 't')) => s.push('\t'),
+                            Some((_, '"')) => s.push('"'),
+                            Some((_, '\\')) => s.push('\\'),
+                            other => {
+                                return Err(LexError {
+                                    offset: j,
+                                    message: format!("bad escape: {other:?}"),
+                                })
+                            }
+                        },
+                        other => s.push(other),
+                    }
+                }
+                if !closed {
+                    return Err(LexError { offset: i, message: "unterminated string".into() });
+                }
+                out.push(Token::Str(s));
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&(_, c)) = it.peek() {
+                    if is_sym_char(c) {
+                        s.push(c);
+                        it.next();
+                    } else {
+                        break;
+                    }
+                }
+                // Numbers: an optional sign followed by digits (and at most
+                // one dot) is numeric; everything else is a symbol.
+                let tok = parse_number(&s).unwrap_or(Token::Sym(s));
+                out.push(tok);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_number(s: &str) -> Option<Token> {
+    let body = s.strip_prefix('-').unwrap_or(s);
+    if body.is_empty() || !body.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Some(Token::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Some(Token::Float(f));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("(+ 1 -2 3.5 \"hi\" foo)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::Sym("+".into()),
+                Token::Int(1),
+                Token::Int(-2),
+                Token::Float(3.5),
+                Token::Str("hi".into()),
+                Token::Sym("foo".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("; whole line\n(a ; trailing\n b)").unwrap();
+        assert_eq!(toks.len(), 4); // ( a b )
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex(r#""a\nb\"c\\d""#).unwrap();
+        assert_eq!(toks, vec![Token::Str("a\nb\"c\\d".into())]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn quote_shorthand() {
+        let toks = lex("'x").unwrap();
+        assert_eq!(toks, vec![Token::Quote, Token::Sym("x".into())]);
+    }
+
+    #[test]
+    fn symbols_with_slashes_and_stars() {
+        // Attribute paths and patterns are plain symbols to the lexer.
+        let toks = lex("srv/fib/* **").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Sym("srv/fib/*".into()), Token::Sym("**".into())]
+        );
+    }
+
+    #[test]
+    fn negative_vs_minus() {
+        assert_eq!(lex("-5").unwrap(), vec![Token::Int(-5)]);
+        assert_eq!(lex("-").unwrap(), vec![Token::Sym("-".into())]);
+        assert_eq!(lex("-x").unwrap(), vec![Token::Sym("-x".into())]);
+    }
+}

@@ -1,0 +1,53 @@
+//! The prototype's behavior interpreter (§7).
+//!
+//! "Instead of building a compiler … we have chosen to build a small
+//! sequential interpreter for interpreting the code associated with each
+//! method definition. An interpreter gives us the additional flexibility of
+//! easily loading behaviors at run-time."
+//!
+//! Behaviors are written in a small s-expression language and loaded into a
+//! [`BehaviorLib`]; [`InterpBehavior`] adapts a named behavior to the
+//! runtime's [`Behavior`](actorspace_runtime::Behavior) trait, so
+//! interpreted and native actors coexist in one system.
+//!
+//! # The language
+//!
+//! ```lisp
+//! (behavior echo (owner)            ; parameters become actor state
+//!   (on msg                         ; handler: binds `msg`, `sender`, `self`
+//!     (send-addr owner msg)))
+//! ```
+//!
+//! Special forms: `if`, `cond`, `match` (list destructuring for
+//! tagged-message dispatch), `let`, `begin`, `set!`, `define`,
+//! `quote`/`'x`, `and`, `or`, `while`. ActorSpace primitives: `send-addr`, `send`, `broadcast`,
+//! `reply`, `create`, `become`, `stop`, `make-visible`, `make-invisible`,
+//! `create-space`, `new-capability`, `self`, `sender`, `host-space`.
+//! General builtins: arithmetic/comparison, list operations, strings.
+//!
+//! ```
+//! use actorspace_interp::{BehaviorLib, InterpBehavior};
+//! use actorspace_runtime::{ActorSystem, Config, Value};
+//! use std::sync::Arc;
+//!
+//! let lib = Arc::new(BehaviorLib::load(r#"
+//!   (behavior doubler (out)
+//!     (on msg (send-addr out (* 2 msg))))
+//! "#).unwrap());
+//!
+//! let sys = ActorSystem::new(Config::default());
+//! let (inbox, rx) = sys.inbox();
+//! let d = sys.spawn(InterpBehavior::new(lib, "doubler", vec![Value::Addr(inbox)]).unwrap());
+//! d.send(Value::int(21));
+//! assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap().body, Value::int(42));
+//! sys.shutdown();
+//! ```
+
+pub mod eval;
+pub mod lex;
+pub mod lib_loader;
+pub mod parse;
+
+pub use eval::{eval_str, Env, EvalError};
+pub use lib_loader::{eval_with_ctx, BehaviorLib, InterpBehavior};
+pub use parse::{parse_all, parse_one, Sexp};

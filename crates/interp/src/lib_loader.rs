@@ -1,0 +1,366 @@
+//! Behavior definitions and the runtime adapter.
+//!
+//! A behavior library is loaded from source text containing
+//! `(behavior <name> (<params>…) (on <msg-var> <body>…))` forms — the
+//! "parsed representation of the behavior specification" the prototype's
+//! interpreter uses (§7.2). [`InterpBehavior`] then adapts any named
+//! behavior to the runtime's [`Behavior`] trait; `create` and `become`
+//! instantiate other behaviors from the same library, which is how new
+//! code is "loaded at run time".
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use actorspace_atoms::Path;
+use actorspace_core::{MemberId, SpaceId};
+use actorspace_pattern::Pattern;
+use actorspace_runtime::{Behavior, Ctx, Message, Value};
+
+use crate::eval::{eval, ActorOps, Env, EvalError};
+use crate::parse::{parse_all, Sexp};
+
+/// One behavior definition.
+#[derive(Debug, Clone)]
+pub struct BehaviorDef {
+    /// Creation parameters — they become the actor's persistent state.
+    pub params: Vec<String>,
+    /// The message-variable name bound in the handler (`msg` by
+    /// convention).
+    pub msg_var: String,
+    /// Handler body expressions.
+    pub body: Vec<Sexp>,
+    /// Optional `(init …)` expressions run once at actor start.
+    pub init: Vec<Sexp>,
+}
+
+/// A library of named behaviors, loadable at run time.
+#[derive(Debug, Default)]
+pub struct BehaviorLib {
+    defs: HashMap<String, BehaviorDef>,
+}
+
+impl BehaviorLib {
+    /// Parses `(behavior …)` forms from source text.
+    pub fn load(src: &str) -> Result<BehaviorLib, EvalError> {
+        let mut lib = BehaviorLib::default();
+        lib.load_more(src)?;
+        Ok(lib)
+    }
+
+    /// Adds definitions from more source text (run-time loading). Existing
+    /// names are replaced.
+    pub fn load_more(&mut self, src: &str) -> Result<(), EvalError> {
+        let forms = parse_all(src).map_err(|e| EvalError(e.to_string()))?;
+        for form in forms {
+            let def = parse_behavior(&form)?;
+            self.defs.insert(def.0, def.1);
+        }
+        Ok(())
+    }
+
+    /// Looks up a behavior by name.
+    pub fn get(&self, name: &str) -> Option<&BehaviorDef> {
+        self.defs.get(name)
+    }
+
+    /// Defined behavior names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.defs.keys().map(String::as_str)
+    }
+}
+
+fn parse_behavior(form: &Sexp) -> Result<(String, BehaviorDef), EvalError> {
+    let items = form
+        .as_list()
+        .ok_or_else(|| EvalError("top-level form must be (behavior …)".into()))?;
+    match items {
+        [Sexp::Sym(kw), Sexp::Sym(name), Sexp::List(params), rest @ ..] if kw == "behavior" => {
+            let params: Result<Vec<String>, EvalError> = params
+                .iter()
+                .map(|p| {
+                    p.as_sym()
+                        .map(str::to_owned)
+                        .ok_or_else(|| EvalError("behavior parameter must be a symbol".into()))
+                })
+                .collect();
+            let params = params?;
+            let mut init = Vec::new();
+            let mut handler: Option<(String, Vec<Sexp>)> = None;
+            for clause in rest {
+                let c = clause
+                    .as_list()
+                    .ok_or_else(|| EvalError("behavior clause must be a list".into()))?;
+                match c {
+                    [Sexp::Sym(kw), rest2 @ ..] if kw == "init" => {
+                        init.extend(rest2.iter().cloned());
+                    }
+                    [Sexp::Sym(kw), Sexp::Sym(var), body @ ..] if kw == "on" => {
+                        if handler.is_some() {
+                            return Err(EvalError("behavior has two (on …) clauses".into()));
+                        }
+                        handler = Some((var.clone(), body.to_vec()));
+                    }
+                    _ => return Err(EvalError(format!("unknown behavior clause: {clause}"))),
+                }
+            }
+            let (msg_var, body) =
+                handler.ok_or_else(|| EvalError(format!("behavior {name} lacks (on …)")))?;
+            Ok((name.clone(), BehaviorDef { params, msg_var, body, init }))
+        }
+        _ => Err(EvalError(format!("not a behavior definition: {form}"))),
+    }
+}
+
+/// An interpreted actor: a named behavior plus its state bindings.
+pub struct InterpBehavior {
+    lib: Arc<BehaviorLib>,
+    name: String,
+    state: HashMap<String, Value>,
+}
+
+impl InterpBehavior {
+    /// Instantiates `name` from `lib` with creation arguments (must match
+    /// the declared parameter count).
+    pub fn new(lib: Arc<BehaviorLib>, name: &str, args: Vec<Value>) -> Result<InterpBehavior, EvalError> {
+        let def = lib
+            .get(name)
+            .ok_or_else(|| EvalError(format!("unknown behavior `{name}`")))?;
+        if def.params.len() != args.len() {
+            return Err(EvalError(format!(
+                "behavior `{name}` takes {} argument(s), got {}",
+                def.params.len(),
+                args.len()
+            )));
+        }
+        let state = def.params.iter().cloned().zip(args).collect();
+        Ok(InterpBehavior { lib, name: name.to_owned(), state })
+    }
+
+    /// The behavior's current name (changes on `become`).
+    pub fn behavior_name(&self) -> &str {
+        &self.name
+    }
+
+    fn run(&mut self, ctx: &mut Ctx<'_>, msg: Option<Message>, run_init: bool) {
+        let Some(def) = self.lib.get(&self.name).cloned() else { return };
+        let mut env = Env::with_base(self.state.clone());
+        if let Some(m) = &msg {
+            env.define(&def.msg_var, m.body.clone());
+        }
+        let mut ops = CtxOps {
+            ctx,
+            lib: &self.lib,
+            pending_become: None,
+        };
+        let body = if run_init { &def.init } else { &def.body };
+        for expr in body {
+            if let Err(e) = eval(expr, &mut env, &mut ops) {
+                // A failing handler drops the message, actor survives
+                // (fail-soft, mirroring the native runtime's panic policy).
+                eprintln!("[interp] behavior `{}`: {e}", self.name);
+                break;
+            }
+        }
+        let pending = ops.pending_become.take();
+        // Persist base-scope mutations (set! on state variables).
+        self.state = env.base().clone();
+        // Apply become: swap name and state to the new instantiation.
+        if let Some((name, args)) = pending {
+            match InterpBehavior::new(self.lib.clone(), &name, args) {
+                Ok(next) => {
+                    self.name = next.name;
+                    self.state = next.state;
+                }
+                Err(e) => eprintln!("[interp] become failed: {e}"),
+            }
+        }
+    }
+}
+
+impl Behavior for InterpBehavior {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.run(ctx, None, true);
+    }
+
+    fn receive(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        self.run(ctx, Some(msg), false);
+    }
+}
+
+/// A `become` requested during evaluation: behavior name plus creation
+/// arguments.
+pub type PendingBecome = (String, Vec<Value>);
+
+/// Evaluates one expression with full actor effects, against `lib` for
+/// `create`/`become` lookups — the entry point for drivers that embed the
+/// interpreter inside a hand-written behavior (e.g. the `asi` REPL).
+///
+/// Returns the value plus any `become` the expression requested (which the
+/// caller may apply or ignore).
+pub fn eval_with_ctx(
+    lib: &Arc<BehaviorLib>,
+    env: &mut Env,
+    ctx: &mut Ctx<'_>,
+    expr: &Sexp,
+) -> Result<(Value, Option<PendingBecome>), EvalError> {
+    let mut ops = CtxOps { ctx, lib, pending_become: None };
+    let v = eval(expr, env, &mut ops)?;
+    Ok((v, ops.pending_become))
+}
+
+/// Routes evaluator effects into the runtime [`Ctx`].
+struct CtxOps<'a, 'b> {
+    ctx: &'a mut Ctx<'b>,
+    lib: &'a Arc<BehaviorLib>,
+    pending_become: Option<(String, Vec<Value>)>,
+}
+
+fn space_of(v: &Value) -> Result<SpaceId, EvalError> {
+    v.as_space().ok_or_else(|| EvalError(format!("expected a space, got {v}")))
+}
+
+fn pattern_of(text: &str) -> Result<Pattern, EvalError> {
+    Pattern::parse(text).map_err(|e| EvalError(format!("bad pattern {text:?}: {e}")))
+}
+
+impl ActorOps for CtxOps<'_, '_> {
+    fn self_id(&mut self) -> Result<Value, EvalError> {
+        Ok(Value::Addr(self.ctx.self_id()))
+    }
+
+    fn sender(&mut self) -> Result<Value, EvalError> {
+        Ok(self.ctx.sender().map(Value::Addr).unwrap_or(Value::Unit))
+    }
+
+    fn host_space(&mut self) -> Result<Value, EvalError> {
+        Ok(Value::Space(self.ctx.host_space()))
+    }
+
+    fn send_addr(&mut self, to: Value, msg: Value) -> Result<(), EvalError> {
+        let to = to.as_addr().ok_or_else(|| EvalError(format!("send-addr: not an address: {to}")))?;
+        self.ctx.send_addr(to, msg);
+        Ok(())
+    }
+
+    fn send_pattern(
+        &mut self,
+        pat: &str,
+        space: Option<Value>,
+        msg: Value,
+    ) -> Result<(), EvalError> {
+        let pattern = pattern_of(pat)?;
+        let result = match space {
+            Some(s) => self.ctx.send_pattern(&pattern, space_of(&s)?, msg),
+            None => self.ctx.send_here(&pattern, msg),
+        };
+        result.map(|_| ()).map_err(|e| EvalError(e.to_string()))
+    }
+
+    fn broadcast(&mut self, pat: &str, space: Option<Value>, msg: Value) -> Result<(), EvalError> {
+        let pattern = pattern_of(pat)?;
+        let result = match space {
+            Some(s) => self.ctx.broadcast(&pattern, space_of(&s)?, msg),
+            None => self.ctx.broadcast_here(&pattern, msg),
+        };
+        result.map(|_| ()).map_err(|e| EvalError(e.to_string()))
+    }
+
+    fn reply(&mut self, msg: Value) -> Result<(), EvalError> {
+        if !self.ctx.reply(msg) {
+            return Err(EvalError("reply: no sender to reply to".into()));
+        }
+        Ok(())
+    }
+
+    fn create(&mut self, behavior: &str, args: Vec<Value>) -> Result<Value, EvalError> {
+        let b = InterpBehavior::new(self.lib.clone(), behavior, args)?;
+        Ok(Value::Addr(self.ctx.create(b)))
+    }
+
+    fn become_(&mut self, behavior: &str, args: Vec<Value>) -> Result<(), EvalError> {
+        if self.lib.get(behavior).is_none() {
+            return Err(EvalError(format!("become: unknown behavior `{behavior}`")));
+        }
+        self.pending_become = Some((behavior.to_owned(), args));
+        Ok(())
+    }
+
+    fn stop(&mut self) -> Result<(), EvalError> {
+        self.ctx.stop();
+        Ok(())
+    }
+
+    fn make_visible(&mut self, attr: &str, space: Value) -> Result<(), EvalError> {
+        let path = Path::parse(attr).map_err(|e| EvalError(e.to_string()))?;
+        let me = MemberId::Actor(self.ctx.self_id());
+        self.ctx
+            .make_visible(me, vec![path], space_of(&space)?, None)
+            .map_err(|e| EvalError(e.to_string()))
+    }
+
+    fn make_invisible(&mut self, space: Value) -> Result<(), EvalError> {
+        self.ctx
+            .make_self_invisible(space_of(&space)?, None)
+            .map_err(|e| EvalError(e.to_string()))
+    }
+
+    fn create_space(&mut self) -> Result<Value, EvalError> {
+        Ok(Value::Space(self.ctx.create_space(None)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_parses_definitions() {
+        let lib = BehaviorLib::load(
+            r#"
+            (behavior a (x y) (on m (reply m)))
+            (behavior b () (init (make-visible "w" host-space)) (on m (stop)))
+            "#,
+        )
+        .unwrap();
+        let a = lib.get("a").unwrap();
+        assert_eq!(a.params, vec!["x", "y"]);
+        assert_eq!(a.msg_var, "m");
+        assert!(a.init.is_empty());
+        let b = lib.get("b").unwrap();
+        assert!(b.params.is_empty());
+        assert_eq!(b.init.len(), 1);
+        let mut names: Vec<&str> = lib.names().collect();
+        names.sort_unstable();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn load_rejects_malformed_definitions() {
+        for bad in [
+            "(behavior)",
+            "(behavior x)",
+            "(behavior x (p))",                       // no handler
+            "(behavior x (p) (on m 1) (on m 2))",     // two handlers
+            "(behavior x (1) (on m 1))",              // non-symbol param
+            "(notbehavior x () (on m 1))",
+            "(behavior x () (weird 1))",
+        ] {
+            assert!(BehaviorLib::load(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn instantiation_checks_arity() {
+        let lib = Arc::new(BehaviorLib::load("(behavior a (x) (on m m))").unwrap());
+        assert!(InterpBehavior::new(lib.clone(), "a", vec![Value::int(1)]).is_ok());
+        assert!(InterpBehavior::new(lib.clone(), "a", vec![]).is_err());
+        assert!(InterpBehavior::new(lib, "nope", vec![]).is_err());
+    }
+
+    #[test]
+    fn load_more_replaces() {
+        let mut lib = BehaviorLib::load("(behavior a () (on m 1))").unwrap();
+        lib.load_more("(behavior a (x) (on m 2))").unwrap();
+        assert_eq!(lib.get("a").unwrap().params.len(), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! S-expression reader.
+
+use std::fmt;
+
+use crate::lex::{lex, LexError, Token};
+
+/// A parsed s-expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sexp {
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A string literal.
+    Str(String),
+    /// A symbol.
+    Sym(String),
+    /// A parenthesized list.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// The symbol name, if this is a symbol.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Sexp::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list elements, if this is a list.
+    pub fn as_list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::List(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Sexp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sexp::Int(i) => write!(f, "{i}"),
+            Sexp::Float(x) => write!(f, "{x}"),
+            Sexp::Str(s) => write!(f, "{s:?}"),
+            Sexp::Sym(s) => write!(f, "{s}"),
+            Sexp::List(items) => {
+                write!(f, "(")?;
+                for (i, e) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A reader error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Structure was malformed.
+    Syntax(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "{e}"),
+            ParseError::Syntax(m) => write!(f, "syntax error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Reads every top-level form in `src`.
+pub fn parse_all(src: &str) -> Result<Vec<Sexp>, ParseError> {
+    let toks = lex(src)?;
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < toks.len() {
+        let (sexp, next) = read(&toks, pos)?;
+        out.push(sexp);
+        pos = next;
+    }
+    Ok(out)
+}
+
+/// Reads exactly one form.
+pub fn parse_one(src: &str) -> Result<Sexp, ParseError> {
+    let all = parse_all(src)?;
+    match all.len() {
+        1 => Ok(all.into_iter().next().expect("len checked")),
+        n => Err(ParseError::Syntax(format!("expected one form, found {n}"))),
+    }
+}
+
+fn read(toks: &[Token], pos: usize) -> Result<(Sexp, usize), ParseError> {
+    match toks.get(pos) {
+        None => Err(ParseError::Syntax("unexpected end of input".into())),
+        Some(Token::Int(i)) => Ok((Sexp::Int(*i), pos + 1)),
+        Some(Token::Float(f)) => Ok((Sexp::Float(*f), pos + 1)),
+        Some(Token::Str(s)) => Ok((Sexp::Str(s.clone()), pos + 1)),
+        Some(Token::Sym(s)) => Ok((Sexp::Sym(s.clone()), pos + 1)),
+        Some(Token::Quote) => {
+            let (inner, next) = read(toks, pos + 1)?;
+            Ok((Sexp::List(vec![Sexp::Sym("quote".into()), inner]), next))
+        }
+        Some(Token::LParen) => {
+            let mut items = Vec::new();
+            let mut p = pos + 1;
+            loop {
+                match toks.get(p) {
+                    Some(Token::RParen) => return Ok((Sexp::List(items), p + 1)),
+                    None => return Err(ParseError::Syntax("unclosed `(`".into())),
+                    _ => {
+                        let (item, next) = read(toks, p)?;
+                        items.push(item);
+                        p = next;
+                    }
+                }
+            }
+        }
+        Some(Token::RParen) => Err(ParseError::Syntax("unexpected `)`".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_and_lists() {
+        assert_eq!(parse_one("42").unwrap(), Sexp::Int(42));
+        assert_eq!(parse_one("x").unwrap(), Sexp::Sym("x".into()));
+        assert_eq!(
+            parse_one("(a (b 1) \"s\")").unwrap(),
+            Sexp::List(vec![
+                Sexp::Sym("a".into()),
+                Sexp::List(vec![Sexp::Sym("b".into()), Sexp::Int(1)]),
+                Sexp::Str("s".into()),
+            ])
+        );
+    }
+
+    #[test]
+    fn quote_expands() {
+        assert_eq!(
+            parse_one("'foo").unwrap(),
+            Sexp::List(vec![Sexp::Sym("quote".into()), Sexp::Sym("foo".into())])
+        );
+    }
+
+    #[test]
+    fn multiple_top_level_forms() {
+        let forms = parse_all("(a) (b) 3").unwrap();
+        assert_eq!(forms.len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_one("(a").is_err());
+        assert!(parse_one(")").is_err());
+        assert!(parse_one("(a) (b)").is_err()); // parse_one wants exactly one
+        assert!(parse_one("").is_err());
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let src = "(behavior w (x) (on msg (send-addr x msg)))";
+        let s = parse_one(src).unwrap();
+        assert_eq!(parse_one(&s.to_string()).unwrap(), s);
+    }
+}

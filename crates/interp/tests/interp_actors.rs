@@ -1,0 +1,248 @@
+//! Interpreted actors running on the real runtime: become, create,
+//! self-visibility, pattern communication, and a miniature of the paper's
+//! §6 process pool written entirely in the behavior language.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use actorspace_interp::{BehaviorLib, InterpBehavior};
+use actorspace_pattern::pattern;
+use actorspace_runtime::{ActorSystem, Config, Value};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn sys() -> ActorSystem {
+    ActorSystem::new(Config { workers: 3, ..Config::default() })
+}
+
+#[test]
+fn counter_with_set_state() {
+    let lib = Arc::new(
+        BehaviorLib::load(
+            r#"
+            (behavior counter (n out)
+              (on m
+                (if (= m 'get)
+                    (send-addr out n)
+                    (set! n (+ n 1)))))
+            "#,
+        )
+        .unwrap(),
+    );
+    let s = sys();
+    let (inbox, rx) = s.inbox();
+    let c = s
+        .spawn(InterpBehavior::new(lib, "counter", vec![Value::int(0), Value::Addr(inbox)]).unwrap());
+    for _ in 0..7 {
+        c.send(Value::atom("inc"));
+    }
+    c.send(Value::atom("get"));
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(7));
+    s.shutdown();
+}
+
+#[test]
+fn become_switches_behavior() {
+    let lib = Arc::new(
+        BehaviorLib::load(
+            r#"
+            (behavior open (out)
+              (on m
+                (if (= m 'close)
+                    (become closed out)
+                    (send-addr out (list 'open m)))))
+            (behavior closed (out)
+              (on m (send-addr out (list 'closed m))))
+            "#,
+        )
+        .unwrap(),
+    );
+    let s = sys();
+    let (inbox, rx) = s.inbox();
+    let door =
+        s.spawn(InterpBehavior::new(lib, "open", vec![Value::Addr(inbox)]).unwrap());
+    door.send(Value::int(1));
+    assert_eq!(
+        rx.recv_timeout(TIMEOUT).unwrap().body.as_list().unwrap()[0],
+        Value::atom("open")
+    );
+    door.send(Value::atom("close"));
+    s.await_idle(TIMEOUT);
+    door.send(Value::int(2));
+    assert_eq!(
+        rx.recv_timeout(TIMEOUT).unwrap().body.as_list().unwrap()[0],
+        Value::atom("closed")
+    );
+    s.shutdown();
+}
+
+#[test]
+fn interpreted_actor_advertises_itself_and_serves_patterns() {
+    let lib = Arc::new(
+        BehaviorLib::load(
+            r#"
+            (behavior fib-server (space)
+              (init (make-visible "srv/fib" space))
+              (on m
+                ; m = (n reply-to)
+                (let ((n (nth m 0)) (reply-to (nth m 1)))
+                  (send-addr reply-to (* n n)))))
+            "#,
+        )
+        .unwrap(),
+    );
+    let s = sys();
+    let space = s.create_space(None).unwrap();
+    let (inbox, rx) = s.inbox();
+    let _srv = s
+        .spawn(InterpBehavior::new(lib, "fib-server", vec![Value::Space(space)]).unwrap());
+    s.await_idle(TIMEOUT);
+    s.send_pattern(
+        &pattern("srv/*"),
+        space,
+        Value::list([Value::int(9), Value::Addr(inbox)]),
+        None,
+    )
+    .unwrap();
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(81));
+    s.shutdown();
+}
+
+#[test]
+fn interpreted_divide_and_conquer_pool() {
+    // The paper's §6 example shape: a job is split if too big, else
+    // processed; results are merged by interpreted collector actors.
+    let lib = Arc::new(
+        BehaviorLib::load(
+            r#"
+            (behavior summer ()
+              (on m
+                ; m = (lo hi reply-to)
+                (let ((lo (nth m 0)) (hi (nth m 1)) (reply-to (nth m 2)))
+                  (if (<= (- hi lo) 8)
+                      (begin
+                        (define s 0)
+                        (define i lo)
+                        (while (< i hi) (set! s (+ s i)) (set! i (+ i 1)))
+                        (send-addr reply-to s))
+                      (let ((mid (/ (+ lo hi) 2))
+                            (joiner (create joiner reply-to nil)))
+                        (send-addr (create summer) (list lo mid joiner))
+                        (send-addr (create summer) (list mid hi joiner)))))))
+            (behavior joiner (reply-to first)
+              (on m
+                (if (= first nil)
+                    (set! first m)
+                    (begin (send-addr reply-to (+ first m)) (stop)))))
+            "#,
+        )
+        .unwrap(),
+    );
+    let s = sys();
+    let (inbox, rx) = s.inbox();
+    let root = s.spawn(InterpBehavior::new(lib, "summer", vec![]).unwrap());
+    root.send(Value::list([Value::int(0), Value::int(500), Value::Addr(inbox)]));
+    let got = rx.recv_timeout(TIMEOUT).unwrap().body.as_int().unwrap();
+    assert_eq!(got, (0..500i64).sum::<i64>());
+    s.shutdown();
+}
+
+#[test]
+fn match_based_message_dispatch() {
+    // The idiomatic behavior shape: one `match` over tagged messages.
+    let lib = Arc::new(
+        BehaviorLib::load(
+            r#"
+            (behavior account (balance out)
+              (on m
+                (match m
+                  (('deposit n) (set! balance (+ balance n)))
+                  (('withdraw n)
+                    (if (<= n balance)
+                        (set! balance (- balance n))
+                        (send-addr out 'insufficient)))
+                  (('query) (send-addr out balance))
+                  (else (send-addr out 'unknown-message)))))
+            "#,
+        )
+        .unwrap(),
+    );
+    let s = sys();
+    let (inbox, rx) = s.inbox();
+    let acct = s.spawn(
+        InterpBehavior::new(lib, "account", vec![Value::int(100), Value::Addr(inbox)]).unwrap(),
+    );
+    acct.send(Value::list([Value::atom("deposit"), Value::int(50)]));
+    acct.send(Value::list([Value::atom("withdraw"), Value::int(30)]));
+    acct.send(Value::list([Value::atom("query")]));
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(120));
+    acct.send(Value::list([Value::atom("withdraw"), Value::int(999)]));
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::atom("insufficient"));
+    acct.send(Value::str("garbage"));
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::atom("unknown-message"));
+    s.shutdown();
+}
+
+#[test]
+fn native_and_interpreted_actors_interoperate() {
+    let lib = Arc::new(
+        BehaviorLib::load("(behavior forward (to) (on m (send-addr to (* m 10))))").unwrap(),
+    );
+    let s = sys();
+    let (inbox, rx) = s.inbox();
+    // Native actor adds 1, then forwards to the interpreted multiplier.
+    let multiplier =
+        s.spawn(InterpBehavior::new(lib, "forward", vec![Value::Addr(inbox)]).unwrap());
+    let mul_id = multiplier.id();
+    let adder = s.spawn(actorspace_runtime::from_fn(move |ctx, msg| {
+        let n = msg.body.as_int().unwrap();
+        ctx.send_addr(mul_id, Value::int(n + 1));
+    }));
+    adder.send(Value::int(4));
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(50));
+    s.shutdown();
+}
+
+#[test]
+fn bad_handler_drops_message_but_actor_survives() {
+    let lib = Arc::new(
+        BehaviorLib::load(
+            r#"
+            (behavior shaky (out)
+              (on m
+                (if (= m 'bad)
+                    (head (list))      ; runtime error
+                    (send-addr out m))))
+            "#,
+        )
+        .unwrap(),
+    );
+    let s = sys();
+    let (inbox, rx) = s.inbox();
+    let a = s.spawn(InterpBehavior::new(lib, "shaky", vec![Value::Addr(inbox)]).unwrap());
+    a.send(Value::atom("bad"));
+    a.send(Value::int(5));
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(5));
+    s.shutdown();
+}
+
+#[test]
+fn runtime_loading_of_new_behaviors() {
+    // §7: "An interpreter gives us the additional flexibility of easily
+    // loading behaviors at run-time." Load a second library version and
+    // spawn from it while the system runs.
+    let mut lib = BehaviorLib::load("(behavior v1 (out) (on m (send-addr out 1)))").unwrap();
+    let s = sys();
+    let (inbox, rx) = s.inbox();
+    let a = s.spawn(InterpBehavior::new(Arc::new(BehaviorLib::load(
+        "(behavior v1 (out) (on m (send-addr out 1)))").unwrap()), "v1", vec![Value::Addr(inbox)]).unwrap());
+    a.send(Value::Unit);
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(1));
+    // Hot-load v2 into a new library snapshot and spawn it.
+    lib.load_more("(behavior v2 (out) (on m (send-addr out 2)))").unwrap();
+    let lib = Arc::new(lib);
+    let b = s.spawn(InterpBehavior::new(lib, "v2", vec![Value::Addr(inbox)]).unwrap());
+    b.send(Value::Unit);
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(2));
+    s.shutdown();
+}

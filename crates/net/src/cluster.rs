@@ -1,0 +1,561 @@
+//! The cluster: nodes, replicated state, data plane, and the coordinator
+//! hook.
+//!
+//! Wiring per the paper's Figure 3: every node runs a full
+//! [`ActorSystem`]; all state-changing primitives are rerouted (via the
+//! runtime's [`CoordinatorHook`]) onto the ordered coordinator bus and
+//! applied at every node in the same global order; pattern resolution
+//! happens against the local replica; and resolved messages to non-local
+//! actors are forwarded point-to-point over reliable (but unordered) data
+//! pipes.
+//!
+//! The window between submitting a visibility change and its application
+//! is absorbed by the §5.6 suspension semantics: a send racing its own
+//! `make_visible` simply suspends on the local replica and wakes when the
+//! event applies there.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use actorspace_atoms::Path;
+use actorspace_capability::{Capability, Guard};
+use actorspace_core::{
+    ActorId, Disposition, ManagerPolicy, MemberId, Pattern, Result, SpaceId,
+};
+use actorspace_runtime::{
+    ActorSystem, Behavior, BoxBehavior, Config, CoordinatorHook, Message, Transport, Value,
+};
+
+use crate::bus::{Applier, BusEvent, BusOp, OrderedBroadcast, SeqEvent};
+use crate::directory::{id_base, node_of_actor, NodeId};
+use crate::link::{Link, LinkConfig};
+use crate::reliable::ReliablePipe;
+use crate::sequencer::Sequencer;
+use crate::tokenbus::TokenBus;
+
+/// Which ordered-broadcast protocol runs the coordinator bus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingProtocol {
+    /// Centralized broadcaster/sequencer \[9].
+    Sequencer,
+    /// Rotating token, Amoeba style \[23].
+    TokenBus,
+}
+
+/// Cluster construction parameters.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Worker threads per node.
+    pub workers_per_node: usize,
+    /// Fault/delay model for the data plane (actor messages).
+    pub data_link: LinkConfig,
+    /// Delay model for the coordinator bus (loss-free by assumption).
+    pub bus_link: LinkConfig,
+    /// Ordering protocol for the bus.
+    pub protocol: OrderingProtocol,
+    /// Token hop time (token-bus protocol only).
+    pub token_hop: Duration,
+    /// Registry policy template for every node.
+    pub policy: ManagerPolicy,
+    /// Data-plane retransmission period.
+    pub retx_every: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            workers_per_node: 2,
+            data_link: LinkConfig::ideal(),
+            bus_link: LinkConfig::ideal(),
+            protocol: OrderingProtocol::Sequencer,
+            token_hop: Duration::from_micros(200),
+            policy: ManagerPolicy::default(),
+            retx_every: Duration::from_millis(20),
+        }
+    }
+}
+
+/// Per-node counters.
+#[derive(Debug, Clone)]
+pub struct NodeStats {
+    /// Bus events applied on this node.
+    pub applied: u64,
+    /// Bus events whose application failed (e.g. capability refused).
+    pub apply_errors: u64,
+    /// Data messages forwarded to other nodes.
+    pub forwarded: u64,
+    /// Inbound wire packets that failed to decode (always 0 between
+    /// well-behaved nodes; counted defensively).
+    pub decode_failures: u64,
+    /// The node's runtime counters.
+    pub system: actorspace_runtime::Stats,
+}
+
+struct NodeInner {
+    id: NodeId,
+    system: Arc<ActorSystem>,
+    applier: Arc<Applier>,
+    apply_errors: Arc<AtomicU64>,
+    forwarded: Arc<AtomicU64>,
+    decode_failures: Arc<AtomicU64>,
+}
+
+/// A handle to one cluster node. All ActorSpace primitives invoked through
+/// it (or through behaviors running on it) are globally ordered via the
+/// bus.
+#[derive(Clone)]
+pub struct NodeHandle {
+    inner: Arc<NodeInner>,
+}
+
+impl NodeHandle {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.inner.id
+    }
+
+    /// The underlying actor system (for `inbox`, `await_idle`, stats, …).
+    pub fn system(&self) -> &ActorSystem {
+        &self.inner.system
+    }
+
+    /// Spawns an actor on this node. The creation event is replicated; the
+    /// actor starts once its creation is globally ordered.
+    pub fn spawn(&self, behavior: impl Behavior) -> ActorId {
+        self.inner
+            .system
+            .spawn(behavior)
+            .leak() // cluster actors are kept alive until removed
+    }
+
+    /// Creates an actorSpace; the id is immediately usable (operations
+    /// referencing it are ordered after its creation event).
+    pub fn create_space(&self, cap: Option<&Capability>) -> SpaceId {
+        self.inner.system.create_space(cap).expect("create_space is infallible")
+    }
+
+    /// `make_visible` via the bus.
+    pub fn make_visible(
+        &self,
+        member: impl Into<MemberId>,
+        attr: &Path,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.inner.system.make_visible(member, attr, space, cap)
+    }
+
+    /// `make_invisible` via the bus.
+    pub fn make_invisible(
+        &self,
+        member: impl Into<MemberId>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.inner.system.make_invisible(member, space, cap)
+    }
+
+    /// `change_attributes` via the bus.
+    pub fn change_attributes(
+        &self,
+        member: impl Into<MemberId>,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.inner.system.change_attributes(member, attrs, space, cap)
+    }
+
+    /// Pattern send resolved against this node's replica (§7.3: resolution
+    /// is local; forwarding is automatic).
+    pub fn send_pattern(
+        &self,
+        pattern: &Pattern,
+        space: SpaceId,
+        body: Value,
+    ) -> Result<Disposition> {
+        self.inner.system.send_pattern(pattern, space, body, None)
+    }
+
+    /// Pattern broadcast resolved against this node's replica.
+    pub fn broadcast(
+        &self,
+        pattern: &Pattern,
+        space: SpaceId,
+        body: Value,
+    ) -> Result<Disposition> {
+        self.inner.system.broadcast(pattern, space, body, None)
+    }
+
+    /// Point-to-point send; forwards across the data plane when the target
+    /// is remote.
+    pub fn send_to(&self, to: ActorId, body: Value) -> bool {
+        self.inner.system.send_to(to, body)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            applied: self.inner.applier.applied(),
+            apply_errors: self.inner.apply_errors.load(Ordering::Relaxed),
+            forwarded: self.inner.forwarded.load(Ordering::Relaxed),
+            decode_failures: self.inner.decode_failures.load(Ordering::Relaxed),
+            system: self.inner.system.stats(),
+        }
+    }
+}
+
+/// What crosses a data link: the destination plus the *encoded* message —
+/// §5's run-time-selected data representation. `Arc` keeps retransmission
+/// clones cheap.
+type WirePacket = (ActorId, Arc<Vec<u8>>);
+
+/// A simulated multi-node ActorSpace deployment (Figure 3).
+pub struct Cluster {
+    nodes: Vec<NodeHandle>,
+    bus: Arc<dyn OrderedBroadcast>,
+    data_pipes: Vec<Vec<Option<Arc<ReliablePipe<WirePacket>>>>>,
+}
+
+impl Cluster {
+    /// Boots `config.nodes` nodes and wires the bus and data plane.
+    pub fn new(config: ClusterConfig) -> Cluster {
+        let n = config.nodes.max(1);
+
+        // 1. Node systems with disjoint id ranges.
+        let systems: Vec<Arc<ActorSystem>> = (0..n)
+            .map(|i| {
+                Arc::new(ActorSystem::new(Config {
+                    workers: config.workers_per_node,
+                    policy: config.policy.clone(),
+                    id_base: id_base(NodeId(i as u16)),
+                    ..Config::default()
+                }))
+            })
+            .collect();
+
+        // 2. Data plane: reliable pipes for every ordered pair. Messages
+        // cross the wire encoded (§5 data representation); decode failures
+        // are impossible for packets our own nodes produced, but are
+        // counted defensively as dead letters.
+        let decode_failures: Vec<Arc<AtomicU64>> =
+            (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut data_pipes: Vec<Vec<Option<Arc<ReliablePipe<WirePacket>>>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        for (src, row) in data_pipes.iter_mut().enumerate() {
+            for (dst, slot) in row.iter_mut().enumerate() {
+                if src == dst {
+                    continue;
+                }
+                let target = systems[dst].clone();
+                let fails = decode_failures[dst].clone();
+                let cfg = LinkConfig {
+                    seed: config
+                        .data_link
+                        .seed
+                        .wrapping_add((src * n + dst) as u64 * 7919),
+                    ..config.data_link.clone()
+                };
+                *slot = Some(Arc::new(ReliablePipe::new(
+                    cfg,
+                    config.retx_every,
+                    move |(to, bytes): WirePacket| {
+                        match actorspace_runtime::codec::decode_message(&bytes) {
+                            Ok(msg) => {
+                                target.deliver_remote(to, msg);
+                            }
+                            Err(_) => {
+                                fails.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    },
+                )));
+            }
+        }
+
+        // 3. Per-node appliers + bus downlinks.
+        let apply_errors: Vec<Arc<AtomicU64>> =
+            (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let appliers: Vec<Arc<Applier>> = (0..n)
+            .map(|i| {
+                let system = systems[i].clone();
+                let me = NodeId(i as u16);
+                let errors = apply_errors[i].clone();
+                Arc::new(Applier::new(move |e: BusEvent| {
+                    apply_op(&system, me, e.op, &errors);
+                }))
+            })
+            .collect();
+        let downlinks: Vec<Arc<Link<SeqEvent>>> = appliers
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let a = a.clone();
+                let cfg = LinkConfig {
+                    seed: config.bus_link.seed.wrapping_add(i as u64 * 104729),
+                    drop_prob: 0.0,
+                    dup_prob: 0.0,
+                    ..config.bus_link.clone()
+                };
+                Arc::new(Link::new(cfg, move |e| a.on_event(e)))
+            })
+            .collect();
+
+        // 4. The ordering protocol.
+        let bus: Arc<dyn OrderedBroadcast> = match config.protocol {
+            OrderingProtocol::Sequencer => {
+                Arc::new(Sequencer::new(config.bus_link.clone(), downlinks))
+            }
+            OrderingProtocol::TokenBus => {
+                Arc::new(TokenBus::new(n, config.token_hop, downlinks))
+            }
+        };
+
+        // 5. Hooks (bus rerouting) and uplinks (data forwarding).
+        let forwarded: Vec<Arc<AtomicU64>> =
+            (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let mut nodes = Vec::with_capacity(n);
+        for i in 0..n {
+            let me = NodeId(i as u16);
+            let hook = Arc::new(ClusterHook {
+                node: me,
+                system: systems[i].clone(),
+                bus: bus.clone(),
+            });
+            systems[i].set_coordinator_hook(hook);
+
+            let pipes_row: Vec<Option<Arc<ReliablePipe<WirePacket>>>> = data_pipes[i].clone();
+            let fwd = forwarded[i].clone();
+            systems[i].set_uplink(Arc::new(NodeUplink { me, pipes: pipes_row, forwarded: fwd }));
+
+            nodes.push(NodeHandle {
+                inner: Arc::new(NodeInner {
+                    id: me,
+                    system: systems[i].clone(),
+                    applier: appliers[i].clone(),
+                    apply_errors: apply_errors[i].clone(),
+                    forwarded: forwarded[i].clone(),
+                    decode_failures: decode_failures[i].clone(),
+                }),
+            });
+        }
+
+        Cluster { nodes, bus, data_pipes }
+    }
+
+    /// The node handles.
+    pub fn nodes(&self) -> &[NodeHandle] {
+        &self.nodes
+    }
+
+    /// One node.
+    pub fn node(&self, i: usize) -> &NodeHandle {
+        &self.nodes[i]
+    }
+
+    /// The bus (for issued/submitted counters).
+    pub fn bus(&self) -> &dyn OrderedBroadcast {
+        &*self.bus
+    }
+
+    /// Waits until every submitted bus event has been applied on every
+    /// node. Returns false on timeout.
+    pub fn await_coherence(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let submitted = self.bus.submitted();
+            let coherent = self.bus.issued() == submitted
+                && self.nodes.iter().all(|nh| nh.inner.applier.applied() == submitted);
+            if coherent {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Waits for full quiescence: coherence, idle nodes, and an empty data
+    /// plane — checked twice in a row to close in-flight windows.
+    pub fn await_quiescence(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut stable = 0;
+        while stable < 2 {
+            let quiet = self.await_coherence(Duration::from_millis(50))
+                && self
+                    .nodes
+                    .iter()
+                    .all(|nh| nh.inner.system.await_idle(Duration::from_millis(50)))
+                && self
+                    .data_pipes
+                    .iter()
+                    .flatten()
+                    .flatten()
+                    .all(|p| p.unacked() == 0);
+            if quiet {
+                stable += 1;
+            } else {
+                stable = 0;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
+    /// Stops every node.
+    pub fn shutdown(&self) {
+        for nh in &self.nodes {
+            nh.inner.system.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Applies one replicated operation to a node's local state.
+fn apply_op(system: &ActorSystem, me: NodeId, op: BusOp, errors: &AtomicU64) {
+    let result: Result<()> = match op {
+        BusOp::CreateActor { id, host, guard } => {
+            let inserted =
+                system.with_registry(|reg, _| reg.insert_actor_record(id, host, guard));
+            // Activation: the owning node starts the actor only once its
+            // creation is globally ordered.
+            if inserted && node_of_actor(id) == Some(me) {
+                system.send_start(id);
+            }
+            Ok(())
+        }
+        BusOp::CreateSpace { id, guard } => {
+            system.with_registry(|reg, _| reg.insert_space_record(id, guard));
+            Ok(())
+        }
+        BusOp::MakeVisible { member, attrs, space, cap } => system
+            .with_registry(|reg, sink| reg.make_visible(member, attrs, space, cap.as_ref(), sink)),
+        BusOp::MakeInvisible { member, space, cap } => {
+            system.with_registry(|reg, _| reg.make_invisible(member, space, cap.as_ref()))
+        }
+        BusOp::ChangeAttributes { member, attrs, space, cap } => system.with_registry(
+            |reg, sink| reg.change_attributes(member, attrs, space, cap.as_ref(), sink),
+        ),
+        BusOp::DestroySpace { space, cap } => {
+            system.with_registry(|reg, _| reg.destroy_space(space, cap.as_ref()))
+        }
+        BusOp::RemoveActor { id } => {
+            system.with_registry(|reg, _| {
+                reg.remove_actor(id);
+                Ok(())
+            })
+        }
+    };
+    if result.is_err() {
+        errors.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The per-node coordinator hook: allocate locally, replicate via the bus.
+struct ClusterHook {
+    node: NodeId,
+    system: Arc<ActorSystem>,
+    bus: Arc<dyn OrderedBroadcast>,
+}
+
+impl ClusterHook {
+    fn submit(&self, op: BusOp) {
+        self.bus.submit(BusEvent { origin: self.node, op });
+    }
+}
+
+impl CoordinatorHook for ClusterHook {
+    fn make_visible(
+        &self,
+        member: MemberId,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<Capability>,
+    ) -> Result<()> {
+        self.submit(BusOp::MakeVisible { member, attrs, space, cap });
+        Ok(())
+    }
+
+    fn make_invisible(
+        &self,
+        member: MemberId,
+        space: SpaceId,
+        cap: Option<Capability>,
+    ) -> Result<()> {
+        self.submit(BusOp::MakeInvisible { member, space, cap });
+        Ok(())
+    }
+
+    fn change_attributes(
+        &self,
+        member: MemberId,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<Capability>,
+    ) -> Result<()> {
+        self.submit(BusOp::ChangeAttributes { member, attrs, space, cap });
+        Ok(())
+    }
+
+    fn create_space(&self, cap: Option<Capability>) -> SpaceId {
+        let id = self.system.with_registry(|reg, _| reg.allocate_space_id());
+        self.submit(BusOp::CreateSpace { id, guard: Guard::from_creation(cap.as_ref()) });
+        id
+    }
+
+    fn destroy_space(&self, space: SpaceId, cap: Option<Capability>) -> Result<()> {
+        self.submit(BusOp::DestroySpace { space, cap });
+        Ok(())
+    }
+
+    fn create_actor(
+        &self,
+        host: SpaceId,
+        cap: Option<Capability>,
+        behavior: BoxBehavior,
+    ) -> Result<ActorId> {
+        let id = self.system.with_registry(|reg, _| reg.allocate_actor_id());
+        self.system.install_cell_boxed(id, behavior);
+        self.submit(BusOp::CreateActor {
+            id,
+            host,
+            guard: Guard::from_creation(cap.as_ref()),
+        });
+        Ok(id)
+    }
+}
+
+/// The data-plane uplink: encodes and forwards messages for remote actors
+/// over the reliable pipe to the owning node.
+struct NodeUplink {
+    me: NodeId,
+    pipes: Vec<Option<Arc<ReliablePipe<WirePacket>>>>,
+    forwarded: Arc<AtomicU64>,
+}
+
+impl Transport for NodeUplink {
+    fn deliver(&self, to: ActorId, msg: Message) -> bool {
+        let Some(target) = node_of_actor(to) else { return false };
+        if target == self.me {
+            return false; // local but no cell: dead actor
+        }
+        let Some(Some(pipe)) = self.pipes.get(target.0 as usize) else { return false };
+        let bytes = actorspace_runtime::codec::message_to_bytes(&msg);
+        pipe.send((to, Arc::new(bytes)));
+        self.forwarded.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+}

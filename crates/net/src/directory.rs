@@ -1,0 +1,71 @@
+//! Actor location: "the coordinators automatically determine the location
+//! of an actor given its name" (§7.3).
+//!
+//! Location is encoded in the address itself: node `n` allocates ids from
+//! the range `[(n+1) << 48, (n+2) << 48)`, so the owning node is a shift
+//! and subtract — no directory lookups, no coordination, and the Actor
+//! model's global address uniqueness (§3) holds by construction. (The `+1`
+//! keeps the root space id, 0, out of every node range.)
+
+use actorspace_core::ActorId;
+
+/// A node's index within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u16);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+/// The first raw id node `n` allocates.
+pub fn id_base(node: NodeId) -> u64 {
+    (u64::from(node.0) + 1) << 48
+}
+
+/// The node owning an actor address, or `None` for addresses outside any
+/// node range (standalone-system ids).
+pub fn node_of_actor(a: ActorId) -> Option<NodeId> {
+    let hi = a.0 >> 48;
+    if hi == 0 {
+        return None;
+    }
+    u16::try_from(hi - 1).ok().map(NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bases_are_disjoint_and_ordered() {
+        let b0 = id_base(NodeId(0));
+        let b1 = id_base(NodeId(1));
+        assert!(b0 < b1);
+        assert_eq!(b1 - b0, 1 << 48);
+        assert!(b0 > 0, "node 0's range must not contain the root space id");
+    }
+
+    #[test]
+    fn round_trip_id_to_node() {
+        for n in [0u16, 1, 2, 7, 255] {
+            let node = NodeId(n);
+            let id = ActorId(id_base(node) + 12345);
+            assert_eq!(node_of_actor(id), Some(node));
+        }
+    }
+
+    #[test]
+    fn standalone_ids_have_no_node() {
+        assert_eq!(node_of_actor(ActorId(1)), None);
+        assert_eq!(node_of_actor(ActorId(999_999)), None);
+    }
+
+    #[test]
+    fn boundary_ids() {
+        let node = NodeId(3);
+        assert_eq!(node_of_actor(ActorId(id_base(node))), Some(node));
+        assert_eq!(node_of_actor(ActorId(id_base(node) - 1)), Some(NodeId(2)));
+    }
+}

@@ -1,0 +1,306 @@
+//! Simulated point-to-point links.
+//!
+//! A [`Link`] is a unidirectional channel with a delivery thread that
+//! imposes latency (base + uniform jitter), probabilistic drops, and
+//! probabilistic duplication. Jitter makes delivery order differ from send
+//! order — deliberately, since the paper guarantees no order on messages
+//! (§5.3/§5.6); tests that need loss-free links set the probabilities to
+//! zero. The faulty configurations are what [`crate::reliable`] is built
+//! to survive.
+
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault and delay model for one link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Base one-way latency.
+    pub latency: Duration,
+    /// Uniform extra delay in `[0, jitter]` per message.
+    pub jitter: Duration,
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub dup_prob: f64,
+    /// RNG seed (deterministic faults for tests).
+    pub seed: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: Duration::from_micros(50),
+            jitter: Duration::from_micros(20),
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A loss-free, low-latency configuration.
+    pub fn ideal() -> LinkConfig {
+        LinkConfig { jitter: Duration::ZERO, ..LinkConfig::default() }
+    }
+
+    /// A lossy configuration for failure-injection tests.
+    pub fn lossy(drop_prob: f64, dup_prob: f64, seed: u64) -> LinkConfig {
+        LinkConfig { drop_prob, dup_prob, seed, ..LinkConfig::default() }
+    }
+}
+
+struct Scheduled<T> {
+    due: Instant,
+    order: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.order == other.order
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: the heap becomes a min-heap on due time.
+        other.due.cmp(&self.due).then(other.order.cmp(&self.order))
+    }
+}
+
+/// A unidirectional, fault-injected, delayed delivery channel.
+pub struct Link<T: Send + 'static> {
+    tx: mpsc::Sender<T>,
+}
+
+impl<T: Send + 'static> Link<T> {
+    /// Builds a link whose messages are handed to `deliver` after the
+    /// configured delay (possibly dropped or reordered). Duplication
+    /// requires `T: Clone` — use [`Link::new_cloneable`]; here `dup_prob`
+    /// is forced to zero.
+    pub fn new(cfg: LinkConfig, deliver: impl Fn(T) + Send + 'static) -> Link<T> {
+        let cfg = LinkConfig { dup_prob: 0.0, ..cfg };
+        let (tx, rx) = mpsc::channel::<T>();
+        std::thread::Builder::new()
+            .name("actorspace-link".into())
+            .spawn(move || pump(cfg, rx, deliver))
+            .expect("spawn link thread");
+        Link { tx }
+    }
+
+    /// Sends an item into the link. Returns false if the link is down.
+    pub fn send(&self, item: T) -> bool {
+        self.tx.send(item).is_ok()
+    }
+}
+
+fn pump<T>(cfg: LinkConfig, rx: mpsc::Receiver<T>, deliver: impl Fn(T)) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut heap: BinaryHeap<Scheduled<T>> = BinaryHeap::new();
+    let mut order = 0u64;
+    let mut closed = false;
+    loop {
+        // Deliver everything due.
+        let now = Instant::now();
+        while heap.peek().is_some_and(|s| s.due <= now) {
+            let s = heap.pop().expect("peeked");
+            deliver(s.item);
+        }
+        if closed && heap.is_empty() {
+            return;
+        }
+        // Wait for the next due time or the next incoming message.
+        let wait = heap
+            .peek()
+            .map(|s| s.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(item) => {
+                if rng.gen_bool(cfg.drop_prob.clamp(0.0, 1.0)) {
+                    continue; // dropped on the wire
+                }
+                let jitter = if cfg.jitter.is_zero() {
+                    Duration::ZERO
+                } else {
+                    cfg.jitter.mul_f64(rng.gen::<f64>())
+                };
+                let due = Instant::now() + cfg.latency + jitter;
+                heap.push(Scheduled { due, order, item });
+                order += 1;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => closed = true,
+        }
+    }
+}
+
+impl<T: Clone + Send + 'static> Link<T> {
+    /// Like [`Link::new`] but supports duplication (requires `T: Clone`).
+    pub fn new_cloneable(cfg: LinkConfig, deliver: impl Fn(T) + Send + 'static) -> Link<T> {
+        let (tx, rx) = mpsc::channel::<T>();
+        std::thread::Builder::new()
+            .name("actorspace-link".into())
+            .spawn(move || pump_cloneable(cfg, rx, deliver))
+            .expect("spawn link thread");
+        Link { tx }
+    }
+}
+
+fn pump_cloneable<T: Clone>(cfg: LinkConfig, rx: mpsc::Receiver<T>, deliver: impl Fn(T)) {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut heap: BinaryHeap<Scheduled<T>> = BinaryHeap::new();
+    let mut order = 0u64;
+    let mut closed = false;
+    loop {
+        let now = Instant::now();
+        while heap.peek().is_some_and(|s| s.due <= now) {
+            let s = heap.pop().expect("peeked");
+            deliver(s.item);
+        }
+        if closed && heap.is_empty() {
+            return;
+        }
+        let wait = heap
+            .peek()
+            .map(|s| s.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+        match rx.recv_timeout(wait) {
+            Ok(item) => {
+                if rng.gen_bool(cfg.drop_prob.clamp(0.0, 1.0)) {
+                    continue;
+                }
+                let mut schedule = |item: T, rng: &mut SmallRng, order: &mut u64| {
+                    let jitter = if cfg.jitter.is_zero() {
+                        Duration::ZERO
+                    } else {
+                        cfg.jitter.mul_f64(rng.gen::<f64>())
+                    };
+                    heap.push(Scheduled {
+                        due: Instant::now() + cfg.latency + jitter,
+                        order: *order,
+                        item,
+                    });
+                    *order += 1;
+                };
+                if rng.gen_bool(cfg.dup_prob.clamp(0.0, 1.0)) {
+                    schedule(item.clone(), &mut rng, &mut order);
+                }
+                schedule(item, &mut rng, &mut order);
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => closed = true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn delivers_after_latency() {
+        let got = Arc::new(AtomicUsize::new(0));
+        let g = got.clone();
+        let cfg = LinkConfig {
+            latency: Duration::from_millis(20),
+            jitter: Duration::ZERO,
+            ..LinkConfig::ideal()
+        };
+        let link = Link::new(cfg, move |x: u32| {
+            g.store(x as usize, Ordering::Release);
+        });
+        let t0 = Instant::now();
+        assert!(link.send(7));
+        while got.load(Ordering::Acquire) == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(5));
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(18), "{:?}", t0.elapsed());
+        assert_eq!(got.load(Ordering::Acquire), 7);
+    }
+
+    #[test]
+    fn all_messages_arrive_without_faults() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = got.clone();
+        let link = Link::new(LinkConfig::ideal(), move |x: u32| {
+            g.lock().unwrap().push(x);
+        });
+        for i in 0..500 {
+            link.send(i);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.lock().unwrap().len() < 500 {
+            assert!(Instant::now() < deadline, "only {} arrived", got.lock().unwrap().len());
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut v = got.lock().unwrap().clone();
+        v.sort_unstable();
+        assert_eq!(v, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn jitter_can_reorder() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = got.clone();
+        let cfg = LinkConfig {
+            latency: Duration::from_micros(100),
+            jitter: Duration::from_millis(5),
+            seed: 42,
+            ..LinkConfig::ideal()
+        };
+        let link = Link::new(cfg, move |x: u32| {
+            g.lock().unwrap().push(x);
+        });
+        for i in 0..200 {
+            link.send(i);
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while got.lock().unwrap().len() < 200 {
+            assert!(Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let v = got.lock().unwrap().clone();
+        assert_ne!(v, (0..200).collect::<Vec<_>>(), "jitter should reorder some pair");
+    }
+
+    #[test]
+    fn drops_lose_messages_and_dups_duplicate() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let cfg = LinkConfig { drop_prob: 0.5, seed: 7, ..LinkConfig::ideal() };
+        let link = Link::new_cloneable(cfg, move |_x: u32| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..1000 {
+            link.send(i);
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        let n = count.load(Ordering::Relaxed);
+        assert!((300..700).contains(&n), "≈50% should survive, got {n}");
+
+        let count2 = Arc::new(AtomicUsize::new(0));
+        let c2 = count2.clone();
+        let cfg = LinkConfig { dup_prob: 1.0, seed: 9, ..LinkConfig::ideal() };
+        let link2 = Link::new_cloneable(cfg, move |_x: u32| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..100 {
+            link2.send(i);
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(count2.load(Ordering::Relaxed), 200, "dup_prob=1 doubles every message");
+    }
+}

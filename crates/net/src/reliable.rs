@@ -1,0 +1,251 @@
+//! Reliable at-least-once delivery with receiver-side deduplication —
+//! exactly-once end to end over lossy links.
+//!
+//! The paper's delivery guarantee is "message delivery is only finitely
+//! delayed" (§5.3/§5.6); this layer restores that guarantee over a link
+//! that drops and duplicates. Classic mechanism: the sender numbers
+//! packets and retransmits unacknowledged ones on a timer; the receiver
+//! delivers each sequence number once and (re-)acknowledges everything it
+//! has seen. No ordering is imposed — reordering remains visible to the
+//! application, as the paper allows.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::link::{Link, LinkConfig};
+
+/// A numbered packet or an acknowledgment.
+#[derive(Debug, Clone)]
+pub enum Packet<T> {
+    /// Payload with sender-assigned sequence number.
+    Data {
+        /// Sender-assigned, strictly increasing.
+        seq: u64,
+        /// The payload.
+        payload: T,
+    },
+    /// Cumulative-free ack of one sequence number.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+struct SenderState<T> {
+    unacked: HashMap<u64, T>,
+    next_seq: u64,
+}
+
+/// The sending half: call [`ReliableSender::send`]; a retransmit timer
+/// thread re-sends unacked packets until acknowledged. Dropping the sender
+/// stops the timer thread.
+pub struct ReliableSender<T: Clone + Send + 'static> {
+    state: Arc<Mutex<SenderState<T>>>,
+    link: Arc<Link<Packet<T>>>,
+    stop: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl<T: Clone + Send + 'static> Drop for ReliableSender<T> {
+    fn drop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+    }
+}
+
+impl<T: Clone + Send + 'static> ReliableSender<T> {
+    /// Wraps a forward link. `retx_every` is the retransmission period.
+    pub fn new(link: Arc<Link<Packet<T>>>, retx_every: Duration) -> ReliableSender<T> {
+        let state: Arc<Mutex<SenderState<T>>> =
+            Arc::new(Mutex::new(SenderState { unacked: HashMap::new(), next_seq: 0 }));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let s2 = state.clone();
+        let l2 = link.clone();
+        let stop2 = stop.clone();
+        std::thread::Builder::new()
+            .name("actorspace-retx".into())
+            .spawn(move || loop {
+                std::thread::sleep(retx_every);
+                if stop2.load(std::sync::atomic::Ordering::Acquire) {
+                    return;
+                }
+                let pending: Vec<(u64, T)> =
+                    s2.lock().unacked.iter().map(|(&s, p)| (s, p.clone())).collect();
+                for (seq, payload) in pending {
+                    if !l2.send(Packet::Data { seq, payload }) {
+                        return; // link down
+                    }
+                }
+            })
+            .expect("spawn retx thread");
+        ReliableSender { state, link, stop }
+    }
+
+    /// Sends a payload; it will be retransmitted until acked.
+    pub fn send(&self, payload: T) {
+        let seq = {
+            let mut st = self.state.lock();
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            st.unacked.insert(seq, payload.clone());
+            seq
+        };
+        self.link.send(Packet::Data { seq, payload });
+    }
+
+    /// Processes an incoming ack (fed from the reverse link).
+    pub fn on_ack(&self, seq: u64) {
+        self.state.lock().unacked.remove(&seq);
+    }
+
+    /// Packets not yet acknowledged (for tests/metrics).
+    pub fn unacked(&self) -> usize {
+        self.state.lock().unacked.len()
+    }
+}
+
+/// The receiving half: deduplicates and acks.
+pub struct ReliableReceiver {
+    seen: Mutex<HashSet<u64>>,
+}
+
+impl ReliableReceiver {
+    /// Fresh receiver state.
+    pub fn new() -> ReliableReceiver {
+        ReliableReceiver { seen: Mutex::new(HashSet::new()) }
+    }
+
+    /// Handles an incoming data packet: returns `Some(payload)` on first
+    /// receipt, `None` for duplicates. `send_ack` transmits the ack on the
+    /// reverse path (it may itself be lost; retransmission covers that).
+    pub fn on_data<T>(&self, seq: u64, payload: T, send_ack: impl FnOnce(u64)) -> Option<T> {
+        let fresh = self.seen.lock().insert(seq);
+        send_ack(seq);
+        fresh.then_some(payload)
+    }
+}
+
+impl Default for ReliableReceiver {
+    fn default() -> Self {
+        ReliableReceiver::new()
+    }
+}
+
+/// A bidirectional reliable pipe over two lossy links — convenience used
+/// by the cluster's data plane and by tests.
+pub struct ReliablePipe<T: Clone + Send + 'static> {
+    sender: ReliableSender<T>,
+}
+
+impl<T: Clone + Send + 'static> ReliablePipe<T> {
+    /// Builds the forward path `a → b` over `cfg`-faulty links. `deliver`
+    /// receives each payload exactly once on the `b` side.
+    pub fn new(
+        cfg: LinkConfig,
+        retx_every: Duration,
+        deliver: impl Fn(T) + Send + Sync + 'static,
+    ) -> ReliablePipe<T> {
+        // The ack (reverse) link shares the fault model.
+        type AckLink<T> = Arc<Mutex<Option<Arc<Link<Packet<T>>>>>>;
+        let ack_holder: AckLink<T> = Arc::new(Mutex::new(None));
+
+        let receiver = Arc::new(ReliableReceiver::new());
+        let ack_for_fwd = ack_holder.clone();
+        let fwd: Arc<Link<Packet<T>>> = Arc::new(Link::new_cloneable(
+            LinkConfig { seed: cfg.seed, ..cfg.clone() },
+            move |pkt| {
+                if let Packet::Data { seq, payload } = pkt {
+                    let ack = ack_for_fwd.lock().clone();
+                    if let Some(p) = receiver.on_data(seq, payload, |s| {
+                        if let Some(ack) = &ack {
+                            ack.send(Packet::Ack { seq: s });
+                        }
+                    }) {
+                        deliver(p);
+                    }
+                }
+            },
+        ));
+
+        let sender = ReliableSender::new(fwd, retx_every);
+
+        // Reverse link: acks flow back into the sender.
+        let sender_state = sender.state.clone();
+        let rev: Arc<Link<Packet<T>>> = Arc::new(Link::new_cloneable(
+            LinkConfig { seed: cfg.seed.wrapping_add(1), ..cfg },
+            move |pkt| {
+                if let Packet::Ack { seq } = pkt {
+                    sender_state.lock().unacked.remove(&seq);
+                }
+            },
+        ));
+        *ack_holder.lock() = Some(rev);
+
+        ReliablePipe { sender }
+    }
+
+    /// Sends a payload with the exactly-once guarantee.
+    pub fn send(&self, payload: T) {
+        self.sender.send(payload);
+    }
+
+    /// Outstanding unacknowledged packets.
+    pub fn unacked(&self) -> usize {
+        self.sender.unacked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Instant;
+
+    fn wait_for(pred: impl Fn() -> bool, secs: u64) {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        while !pred() {
+            assert!(Instant::now() < deadline, "timed out");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn exactly_once_over_clean_link() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let pipe = ReliablePipe::new(LinkConfig::ideal(), Duration::from_millis(20), move |_x: u32| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        for i in 0..200 {
+            pipe.send(i);
+        }
+        wait_for(|| count.load(Ordering::Relaxed) >= 200, 10);
+        // Let retransmits run a bit; duplicates must NOT appear.
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(count.load(Ordering::Relaxed), 200);
+        wait_for(|| pipe.unacked() == 0, 10);
+    }
+
+    #[test]
+    fn exactly_once_under_heavy_loss_and_duplication() {
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let g = got.clone();
+        let cfg = LinkConfig::lossy(0.4, 0.3, 99);
+        let pipe = ReliablePipe::new(cfg, Duration::from_millis(10), move |x: u32| {
+            g.lock().push(x);
+        });
+        let n = 300u32;
+        for i in 0..n {
+            pipe.send(i);
+        }
+        wait_for(|| got.lock().len() >= n as usize, 30);
+        std::thread::sleep(Duration::from_millis(300));
+        let mut v = got.lock().clone();
+        let len = v.len();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(len, v.len(), "duplicates leaked through");
+        assert_eq!(v, (0..n).collect::<Vec<_>>(), "payloads missing");
+    }
+}

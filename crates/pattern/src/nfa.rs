@@ -1,0 +1,271 @@
+//! Thompson construction of an NFA over the atom alphabet.
+//!
+//! States and transitions are plain vectors; atom identity is the interned
+//! id, so a transition test is an integer comparison (or a small sorted-set
+//! membership test for classes). The alphabet is *open* — new atoms may be
+//! interned at any time — which matters for negated classes and for the
+//! satisfiability/intersection analyses in [`crate::matcher`].
+
+use actorspace_atoms::Atom;
+
+use crate::ast::Ast;
+
+/// Index of a state inside its [`Nfa`].
+pub type StateId = u32;
+
+/// A transition label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trans {
+    /// Consume exactly this atom.
+    Atom(Atom),
+    /// Consume any single atom.
+    Any,
+    /// Consume one atom from a sorted set.
+    In(Vec<Atom>),
+    /// Consume one atom *not* in a sorted set.
+    NotIn(Vec<Atom>),
+}
+
+impl Trans {
+    /// Whether this label accepts `a`.
+    pub fn accepts(&self, a: Atom) -> bool {
+        match self {
+            Trans::Atom(x) => *x == a,
+            Trans::Any => true,
+            Trans::In(set) => set.binary_search(&a).is_ok(),
+            Trans::NotIn(set) => set.binary_search(&a).is_err(),
+        }
+    }
+
+    /// Whether *some* atom is accepted. Only `In([])` would be empty, and
+    /// the parser rejects empty classes; `NotIn` is always satisfiable
+    /// because the alphabet is open.
+    pub fn satisfiable(&self) -> bool {
+        match self {
+            Trans::In(set) => !set.is_empty(),
+            _ => true,
+        }
+    }
+}
+
+/// One NFA state: labelled transitions plus epsilon moves.
+#[derive(Debug, Clone, Default)]
+pub struct State {
+    /// `(label, target)` pairs.
+    pub trans: Vec<(Trans, StateId)>,
+    /// Epsilon (no-consume) moves.
+    pub eps: Vec<StateId>,
+}
+
+/// A compiled pattern automaton with a single start and a single accept
+/// state (the classic Thompson shape).
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    states: Vec<State>,
+    start: StateId,
+    accept: StateId,
+}
+
+impl Nfa {
+    /// Assembles an NFA from raw parts. Used by the lattice constructions
+    /// (product, determinization, complement), which synthesize automata
+    /// that have no surface-syntax AST.
+    pub fn from_parts(states: Vec<State>, start: StateId, accept: StateId) -> Nfa {
+        debug_assert!((start as usize) < states.len());
+        debug_assert!((accept as usize) < states.len());
+        Nfa { states, start, accept }
+    }
+
+    /// The start state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// The unique accept state.
+    pub fn accept(&self) -> StateId {
+        self.accept
+    }
+
+    /// All states, indexed by [`StateId`].
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// NFAs always have at least a start and accept state.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+struct Builder {
+    states: Vec<State>,
+}
+
+impl Builder {
+    fn new_state(&mut self) -> StateId {
+        let id = u32::try_from(self.states.len()).expect("NFA too large");
+        self.states.push(State::default());
+        id
+    }
+
+    fn eps(&mut self, from: StateId, to: StateId) {
+        self.states[from as usize].eps.push(to);
+    }
+
+    fn edge(&mut self, from: StateId, label: Trans, to: StateId) {
+        self.states[from as usize].trans.push((label, to));
+    }
+
+    /// Builds the fragment for `ast` between fresh start/end states,
+    /// returning `(start, end)`.
+    fn fragment(&mut self, ast: &Ast) -> (StateId, StateId) {
+        match ast {
+            Ast::Empty => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.eps(s, e);
+                (s, e)
+            }
+            Ast::Atom(a) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.edge(s, Trans::Atom(*a), e);
+                (s, e)
+            }
+            Ast::AnyAtom => {
+                let s = self.new_state();
+                let e = self.new_state();
+                self.edge(s, Trans::Any, e);
+                (s, e)
+            }
+            Ast::Class { atoms, negated } => {
+                let s = self.new_state();
+                let e = self.new_state();
+                let label = if *negated {
+                    Trans::NotIn(atoms.clone())
+                } else {
+                    Trans::In(atoms.clone())
+                };
+                self.edge(s, label, e);
+                (s, e)
+            }
+            Ast::Seq(parts) => {
+                let mut cur: Option<(StateId, StateId)> = None;
+                for p in parts {
+                    let (ps, pe) = self.fragment(p);
+                    cur = Some(match cur {
+                        None => (ps, pe),
+                        Some((s, e)) => {
+                            self.eps(e, ps);
+                            (s, pe)
+                        }
+                    });
+                }
+                cur.unwrap_or_else(|| {
+                    let s = self.new_state();
+                    let e = self.new_state();
+                    self.eps(s, e);
+                    (s, e)
+                })
+            }
+            Ast::Alt(parts) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                for p in parts {
+                    let (ps, pe) = self.fragment(p);
+                    self.eps(s, ps);
+                    self.eps(pe, e);
+                }
+                (s, e)
+            }
+            Ast::Star(inner) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                let (is, ie) = self.fragment(inner);
+                self.eps(s, is);
+                self.eps(s, e);
+                self.eps(ie, is);
+                self.eps(ie, e);
+                (s, e)
+            }
+            Ast::Plus(inner) => {
+                // p+ ≡ p / p*
+                let (is, ie) = self.fragment(inner);
+                let e = self.new_state();
+                self.eps(ie, is);
+                self.eps(ie, e);
+                (is, e)
+            }
+            Ast::Opt(inner) => {
+                let s = self.new_state();
+                let e = self.new_state();
+                let (is, ie) = self.fragment(inner);
+                self.eps(s, is);
+                self.eps(s, e);
+                self.eps(ie, e);
+                (s, e)
+            }
+        }
+    }
+}
+
+/// Compiles an AST into its Thompson NFA.
+pub fn compile(ast: &Ast) -> Nfa {
+    let mut b = Builder { states: Vec::new() };
+    let (start, accept) = b.fragment(ast);
+    Nfa { states: b.states, start, accept }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn nfa(s: &str) -> Nfa {
+        compile(&parse(s).unwrap())
+    }
+
+    #[test]
+    fn trans_accepts() {
+        use actorspace_atoms::atom;
+        let a = atom("nfa-a");
+        let b = atom("nfa-b");
+        assert!(Trans::Atom(a).accepts(a));
+        assert!(!Trans::Atom(a).accepts(b));
+        assert!(Trans::Any.accepts(a));
+        let mut set = vec![a, b];
+        set.sort_unstable();
+        assert!(Trans::In(set.clone()).accepts(a));
+        assert!(!Trans::NotIn(set.clone()).accepts(a));
+        assert!(Trans::NotIn(set).accepts(atom("nfa-c")));
+    }
+
+    #[test]
+    fn state_counts_are_linear() {
+        // Thompson construction: at most 2 states per AST node.
+        let n = nfa("a/b/c/d/e");
+        assert!(n.len() <= 2 * 6, "got {}", n.len());
+        let n = nfa("(a|b)*");
+        assert!(n.len() <= 2 * 5, "got {}", n.len());
+    }
+
+    #[test]
+    fn empty_pattern_has_eps_path() {
+        let n = nfa("");
+        assert_eq!(n.states()[n.start() as usize].eps, vec![n.accept()]);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let a = nfa("x/{y, z}/**");
+        let b = nfa("x/{y, z}/**");
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.start(), b.start());
+        assert_eq!(a.accept(), b.accept());
+    }
+}

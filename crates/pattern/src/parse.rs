@@ -1,0 +1,476 @@
+//! Lexer and recursive-descent parser for the pattern syntax.
+//!
+//! The one subtlety is *adjacency*: a postfix operator (`*`, `+`, `?`)
+//! applies to the preceding element only when written immediately against
+//! it (`(a/b)*`), while a `*` separated by `/` or whitespace is the
+//! any-single-atom wildcard (`a/*`). The lexer therefore records, for every
+//! token, whether it was glued to the previous one.
+
+use std::fmt;
+
+use actorspace_atoms::atom;
+
+use crate::ast::Ast;
+
+/// Parses pattern `text` into an [`Ast`].
+pub fn parse(text: &str) -> Result<Ast, ParseError> {
+    let tokens = lex(text)?;
+    let mut p = Parser { tokens, pos: 0, text };
+    let ast = p.parse_alt()?;
+    if p.pos != p.tokens.len() {
+        return Err(p.err_here("unexpected trailing input"));
+    }
+    Ok(ast)
+}
+
+/// A pattern syntax error, with byte offset into the source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where the error was noticed.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokKind {
+    Ident(String),
+    Star,
+    DblStar,
+    Plus,
+    Question,
+    Slash,
+    Pipe,
+    Comma,
+    Caret,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+}
+
+#[derive(Debug, Clone)]
+struct Tok {
+    kind: TokKind,
+    /// Byte offset of the token's first character.
+    offset: usize,
+    /// True when this token directly follows the previous token with no
+    /// whitespace or `/` in between.
+    joined: bool,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || matches!(c, '_' | '-' | '.')
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = text.char_indices().peekable();
+    let mut joined = false; // first token is never "joined"
+    while let Some(&(i, c)) = chars.peek() {
+        if c.is_whitespace() {
+            chars.next();
+            joined = false;
+            continue;
+        }
+        let kind = match c {
+            '/' => {
+                chars.next();
+                joined = false;
+                toks.push(Tok { kind: TokKind::Slash, offset: i, joined: false });
+                continue;
+            }
+            '*' => {
+                chars.next();
+                if let Some(&(_, '*')) = chars.peek() {
+                    chars.next();
+                    TokKind::DblStar
+                } else {
+                    TokKind::Star
+                }
+            }
+            '+' => {
+                chars.next();
+                TokKind::Plus
+            }
+            '?' => {
+                chars.next();
+                TokKind::Question
+            }
+            '|' => {
+                chars.next();
+                TokKind::Pipe
+            }
+            ',' => {
+                chars.next();
+                TokKind::Comma
+            }
+            '^' => {
+                chars.next();
+                TokKind::Caret
+            }
+            '(' => {
+                chars.next();
+                TokKind::LParen
+            }
+            ')' => {
+                chars.next();
+                TokKind::RParen
+            }
+            '{' => {
+                chars.next();
+                TokKind::LBrace
+            }
+            '}' => {
+                chars.next();
+                TokKind::RBrace
+            }
+            '[' => {
+                chars.next();
+                TokKind::LBracket
+            }
+            ']' => {
+                chars.next();
+                TokKind::RBracket
+            }
+            c if is_ident_char(c) => {
+                let mut s = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if is_ident_char(c) {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                TokKind::Ident(s)
+            }
+            other => {
+                return Err(ParseError {
+                    offset: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        };
+        toks.push(Tok { kind, offset: i, joined });
+        joined = true;
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    text: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, msg: &str) -> ParseError {
+        let offset = self.peek().map(|t| t.offset).unwrap_or(self.text.len());
+        ParseError { offset, message: msg.to_owned() }
+    }
+
+    fn expect(&mut self, kind: TokKind, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if t.kind == kind => Ok(()),
+            Some(t) => Err(ParseError {
+                offset: t.offset,
+                message: format!("expected {what}, found {:?}", t.kind),
+            }),
+            None => Err(ParseError {
+                offset: self.text.len(),
+                message: format!("expected {what}, found end of pattern"),
+            }),
+        }
+    }
+
+    /// alt := seq ('|' seq)*
+    fn parse_alt(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = vec![self.parse_seq()?];
+        while matches!(self.peek().map(|t| &t.kind), Some(TokKind::Pipe)) {
+            self.bump();
+            parts.push(self.parse_seq()?);
+        }
+        Ok(Ast::alt(parts))
+    }
+
+    /// seq := (element ('/'? element)*)?
+    fn parse_seq(&mut self) -> Result<Ast, ParseError> {
+        let mut parts = Vec::new();
+        loop {
+            // Skip explicit separators between elements.
+            while matches!(self.peek().map(|t| &t.kind), Some(TokKind::Slash)) {
+                self.bump();
+            }
+            match self.peek().map(|t| &t.kind) {
+                Some(
+                    TokKind::Ident(_)
+                    | TokKind::Star
+                    | TokKind::DblStar
+                    | TokKind::LParen
+                    | TokKind::LBrace
+                    | TokKind::LBracket,
+                ) => {
+                    parts.push(self.parse_element()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Ast::seq(parts))
+    }
+
+    /// element := primary postfix*   (postfix must be adjacent)
+    fn parse_element(&mut self) -> Result<Ast, ParseError> {
+        let mut node = self.parse_primary()?;
+        loop {
+            match self.peek() {
+                Some(t) if t.joined && t.kind == TokKind::Star => {
+                    self.bump();
+                    node = Ast::Star(Box::new(node));
+                }
+                Some(t) if t.joined && t.kind == TokKind::Plus => {
+                    self.bump();
+                    node = Ast::Plus(Box::new(node));
+                }
+                Some(t) if t.joined && t.kind == TokKind::Question => {
+                    self.bump();
+                    node = Ast::Opt(Box::new(node));
+                }
+                Some(t) if t.joined && t.kind == TokKind::DblStar => {
+                    return Err(ParseError {
+                        offset: t.offset,
+                        message: "`**` cannot follow an element directly; write `a/**`".into(),
+                    });
+                }
+                // A `+`/`?` that is NOT adjacent is an error (a lone `+`
+                // never starts an element), caught here for a better message.
+                Some(t) if !t.joined && matches!(t.kind, TokKind::Plus | TokKind::Question) => {
+                    return Err(ParseError {
+                        offset: t.offset,
+                        message: "postfix operator must directly follow an element".into(),
+                    });
+                }
+                _ => break,
+            }
+        }
+        Ok(node)
+    }
+
+    fn parse_primary(&mut self) -> Result<Ast, ParseError> {
+        let t = self.bump().ok_or_else(|| self.err_here("expected a pattern element"))?;
+        match t.kind {
+            TokKind::Ident(name) => Ok(Ast::Atom(atom(&name))),
+            TokKind::Star => Ok(Ast::AnyAtom),
+            TokKind::DblStar => Ok(Ast::Star(Box::new(Ast::AnyAtom))),
+            TokKind::LParen => {
+                // `()` is the empty pattern.
+                if matches!(self.peek().map(|t| &t.kind), Some(TokKind::RParen)) {
+                    self.bump();
+                    return Ok(Ast::Empty);
+                }
+                let inner = self.parse_alt()?;
+                self.expect(TokKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            TokKind::LBrace => {
+                let mut parts = vec![self.parse_alt()?];
+                while matches!(self.peek().map(|t| &t.kind), Some(TokKind::Comma)) {
+                    self.bump();
+                    parts.push(self.parse_alt()?);
+                }
+                self.expect(TokKind::RBrace, "`}`")?;
+                Ok(Ast::alt(parts))
+            }
+            TokKind::LBracket => {
+                let negated = if matches!(self.peek().map(|t| &t.kind), Some(TokKind::Caret)) {
+                    self.bump();
+                    true
+                } else {
+                    false
+                };
+                let mut members = Vec::new();
+                loop {
+                    match self.peek().map(|t| t.kind.clone()) {
+                        Some(TokKind::Ident(name)) => {
+                            self.bump();
+                            members.push(atom(&name));
+                        }
+                        Some(TokKind::Comma) => {
+                            self.bump();
+                        }
+                        Some(TokKind::RBracket) => {
+                            self.bump();
+                            break;
+                        }
+                        _ => return Err(self.err_here("expected atom or `]` in class")),
+                    }
+                }
+                if members.is_empty() {
+                    return Err(ParseError {
+                        offset: t.offset,
+                        message: "empty atom class".into(),
+                    });
+                }
+                Ok(Ast::class(members, negated))
+            }
+            other => Err(ParseError {
+                offset: t.offset,
+                message: format!("unexpected {other:?} at start of element"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorspace_atoms::atom;
+
+    fn p(s: &str) -> Ast {
+        parse(s).unwrap_or_else(|e| panic!("{s:?}: {e}"))
+    }
+
+    #[test]
+    fn literal_paths() {
+        assert_eq!(p("a"), Ast::Atom(atom("a")));
+        assert_eq!(p("a/b"), Ast::seq(vec![Ast::Atom(atom("a")), Ast::Atom(atom("b"))]));
+    }
+
+    #[test]
+    fn wildcards() {
+        assert_eq!(p("*"), Ast::AnyAtom);
+        assert_eq!(p("**"), Ast::Star(Box::new(Ast::AnyAtom)));
+        assert_eq!(
+            p("a/*"),
+            Ast::seq(vec![Ast::Atom(atom("a")), Ast::AnyAtom])
+        );
+        assert_eq!(
+            p("a/**"),
+            Ast::seq(vec![Ast::Atom(atom("a")), Ast::Star(Box::new(Ast::AnyAtom))])
+        );
+    }
+
+    #[test]
+    fn adjacency_disambiguates_postfix_star() {
+        // `a*`: star glued to the atom → repetition.
+        assert_eq!(p("a*"), Ast::Star(Box::new(Ast::Atom(atom("a")))));
+        // `a / *`: separated → sequence with any-atom.
+        assert_eq!(p("a / *"), Ast::seq(vec![Ast::Atom(atom("a")), Ast::AnyAtom]));
+        // `(a/b)*`: group repetition.
+        assert_eq!(
+            p("(a/b)*"),
+            Ast::Star(Box::new(Ast::seq(vec![Ast::Atom(atom("a")), Ast::Atom(atom("b"))])))
+        );
+    }
+
+    #[test]
+    fn plus_and_question() {
+        assert_eq!(p("a+"), Ast::Plus(Box::new(Ast::Atom(atom("a")))));
+        assert_eq!(p("(a)?"), Ast::Opt(Box::new(Ast::Atom(atom("a")))));
+        assert_eq!(p("a?"), Ast::Opt(Box::new(Ast::Atom(atom("a")))));
+    }
+
+    #[test]
+    fn alternation_forms() {
+        let want = Ast::alt(vec![Ast::Atom(atom("x")), Ast::Atom(atom("y"))]);
+        assert_eq!(p("{x, y}"), want);
+        assert_eq!(p("x|y"), want);
+        assert_eq!(p("{x,y}"), want);
+    }
+
+    #[test]
+    fn alternation_of_sequences() {
+        let got = p("srv/{fib, fact}/fast");
+        let want = Ast::seq(vec![
+            Ast::Atom(atom("srv")),
+            Ast::alt(vec![Ast::Atom(atom("fib")), Ast::Atom(atom("fact"))]),
+            Ast::Atom(atom("fast")),
+        ]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn classes() {
+        assert_eq!(p("[a b c]"), Ast::class(vec![atom("a"), atom("b"), atom("c")], false));
+        assert_eq!(p("[a, b]"), Ast::class(vec![atom("a"), atom("b")], false));
+        assert_eq!(p("[^a]"), Ast::class(vec![atom("a")], true));
+    }
+
+    #[test]
+    fn empty_group_is_empty_pattern() {
+        assert_eq!(p("()"), Ast::Empty);
+        assert_eq!(p("(a)"), Ast::Atom(atom("a")));
+    }
+
+    #[test]
+    fn nested_groups_and_pipes() {
+        let got = p("(a|b)/c");
+        let want = Ast::seq(vec![
+            Ast::alt(vec![Ast::Atom(atom("a")), Ast::Atom(atom("b"))]),
+            Ast::Atom(atom("c")),
+        ]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn idents_with_punctuation() {
+        assert_eq!(p("node-3"), Ast::Atom(atom("node-3")));
+        assert_eq!(p("v1.2"), Ast::Atom(atom("v1.2")));
+        assert_eq!(p("under_score"), Ast::Atom(atom("under_score")));
+    }
+
+    #[test]
+    fn errors_are_reported_with_position() {
+        for bad in ["{a", "(a", "[a", "[]", "a)", "a}", "a**", "@", "+a", "a ^", "a/ +"] {
+            let err = parse(bad).expect_err(&format!("{bad:?} should fail"));
+            assert!(err.offset <= bad.len());
+            assert!(!err.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_pattern_is_empty_ast() {
+        assert_eq!(p(""), Ast::Empty);
+        assert_eq!(p("  "), Ast::Empty);
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        for s in [
+            "a/b/c",
+            "srv/{fib, fact}/**",
+            "(a/b)*",
+            "[a b]/c",
+            "[^x y]",
+            "a+",
+            "(a)?",
+            "{a, b/c, **}",
+        ] {
+            let once = p(s);
+            let again = p(&once.to_string());
+            assert_eq!(once, again, "round-trip failed for {s:?} → {once}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Parser robustness: arbitrary input never panics; valid patterns
+//! round-trip; error offsets stay in bounds.
+
+use actorspace_pattern::Pattern;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// The parser is total over arbitrary unicode soup.
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,60}") {
+        let _ = Pattern::parse(&s);
+    }
+
+    /// The parser is total over pattern-ish character soup (higher density
+    /// of meaningful tokens than plain unicode).
+    #[test]
+    fn parser_never_panics_on_pattern_soup(
+        s in proptest::collection::vec(
+            prop_oneof![
+                Just("a"), Just("bc"), Just("/"), Just("*"), Just("**"),
+                Just("("), Just(")"), Just("{"), Just("}"), Just(","),
+                Just("["), Just("]"), Just("^"), Just("|"), Just("+"),
+                Just("?"), Just(" "),
+            ],
+            0..30,
+        ).prop_map(|v| v.concat())
+    ) {
+        let _ = Pattern::parse(&s);
+    }
+
+    /// Error offsets point inside (or just past) the input.
+    #[test]
+    fn error_offsets_in_bounds(s in "\\PC{0,60}") {
+        if let Err(e) = Pattern::parse(&s) {
+            prop_assert!(e.offset <= s.len(), "offset {} > len {}", e.offset, s.len());
+        }
+    }
+
+    /// Any pattern that parses can be displayed and re-parsed to an equal
+    /// AST (full round-trip stability, beyond the fixed cases in the unit
+    /// tests).
+    #[test]
+    fn parsed_patterns_round_trip(
+        s in proptest::collection::vec(
+            prop_oneof![
+                Just("a"), Just("b"), Just("/"), Just("*"), Just("**"),
+                Just("{a, b}"), Just("[a b]"), Just("[^a]"), Just("(a|b)"),
+                Just("(a)+"), Just("(b)?"),
+            ],
+            0..12,
+        ).prop_map(|v| v.join("/"))
+    ) {
+        if let Ok(p) = Pattern::parse(&s) {
+            // Use the AST's canonical rendering, not the retained source
+            // text — this checks Display, not the cache.
+            let printed = p.ast().to_string();
+            let again = Pattern::parse(&printed)
+                .unwrap_or_else(|e| panic!("printed pattern {printed:?} must parse: {e}"));
+            prop_assert_eq!(p.ast(), again.ast(), "{} vs {}", s, printed);
+        }
+    }
+}

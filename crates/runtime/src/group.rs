@@ -1,0 +1,125 @@
+//! Group-communication utilities built *on top of* the primitives — the
+//! compositions the paper sketches rather than mandates.
+//!
+//! §5.3: "we do not guarantee a global or partial order on broadcast
+//! messages. … If a global order on broadcasts to a specific group is
+//! desired, it can be obtained by sending all messages that are to be
+//! broadcast to a special actor whose sole purpose is to receive messages
+//! from group members, and then broadcast these serially to the group
+//! using some agreed upon protocol (cf. sequenced send in the actor
+//! language HAL)."
+
+use actorspace_core::{Pattern, SpaceId};
+
+use crate::actor::{from_fn, Behavior};
+use crate::system::{ActorHandle, ActorSystem};
+use crate::value::Value;
+
+/// Builds the §5.3 sequencing actor: every message sent to it is
+/// re-broadcast to `pattern @ space`, serially. Because the sequencer
+/// processes one message at a time and per-recipient delivery is FIFO, all
+/// group members observe its broadcasts in the same order — a total order
+/// on the group's broadcasts without any global protocol.
+///
+/// Messages are wrapped as `(seq, original-body)` so receivers can verify
+/// (or rely on) the sequence.
+pub fn broadcast_sequencer(pattern: Pattern, space: SpaceId) -> impl Behavior {
+    let mut seq: i64 = 0;
+    from_fn(move |ctx, msg| {
+        let stamped = Value::list([Value::int(seq), msg.body]);
+        seq += 1;
+        // Delivery failures (no matching member yet) follow the space's
+        // unmatched-broadcast policy, like any other broadcast.
+        let _ = ctx.broadcast(&pattern, space, stamped);
+    })
+}
+
+/// Spawns the sequencer and returns its handle; send group messages to
+/// this actor instead of broadcasting directly.
+pub fn spawn_broadcast_sequencer(
+    system: &ActorSystem,
+    pattern: Pattern,
+    space: SpaceId,
+) -> ActorHandle {
+    system.spawn(broadcast_sequencer(pattern, space))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::Config;
+    use actorspace_atoms::path;
+    use actorspace_pattern::pattern;
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Two producers racing through the sequencer: every member receives
+    /// the messages in the *same* total order (by construction:
+    /// consecutive sequence numbers).
+    #[test]
+    fn sequenced_broadcasts_are_totally_ordered() {
+        let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+        let space = sys.create_space(None).unwrap();
+
+        let n_members = 4;
+        let logs: Vec<Arc<Mutex<Vec<i64>>>> =
+            (0..n_members).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        for (i, log) in logs.iter().enumerate() {
+            let log = log.clone();
+            let m = sys.spawn(from_fn(move |_ctx, msg| {
+                let parts = msg.body.as_list().unwrap();
+                log.lock().push(parts[0].as_int().unwrap());
+            }));
+            sys.make_visible(m.id(), &path(&format!("grp/{i}")), space, None).unwrap();
+            m.leak();
+        }
+
+        let sequencer = spawn_broadcast_sequencer(&sys, pattern("grp/*"), space);
+        let seq_id = sequencer.id();
+
+        // Two racing producers, 50 messages each.
+        let p1 = sys.spawn(from_fn(move |ctx, msg| {
+            ctx.send_addr(seq_id, msg.body);
+        }));
+        let p2 = sys.spawn(from_fn(move |ctx, msg| {
+            ctx.send_addr(seq_id, msg.body);
+        }));
+        for i in 0..50 {
+            p1.send(Value::int(1000 + i));
+            p2.send(Value::int(2000 + i));
+        }
+        assert!(sys.await_idle(Duration::from_secs(30)));
+
+        let first = logs[0].lock().clone();
+        assert_eq!(first.len(), 100);
+        // The per-member sequence numbers are exactly 0..100 in order.
+        assert_eq!(first, (0..100).collect::<Vec<i64>>());
+        for log in &logs[1..] {
+            assert_eq!(*log.lock(), first, "members disagree on broadcast order");
+        }
+        sys.shutdown();
+    }
+
+    /// Without the sequencer, the paper guarantees nothing about order —
+    /// but every member still receives every broadcast (integrity).
+    #[test]
+    fn unsequenced_broadcasts_keep_integrity() {
+        let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+        let space = sys.create_space(None).unwrap();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let l = log.clone();
+        let m = sys.spawn(from_fn(move |_ctx, msg| {
+            l.lock().push(msg.body.as_int().unwrap());
+        }));
+        sys.make_visible(m.id(), &path("grp/x"), space, None).unwrap();
+        for i in 0..50 {
+            sys.broadcast(&pattern("grp/*"), space, Value::int(i), None).unwrap();
+        }
+        assert!(sys.await_idle(Duration::from_secs(30)));
+        let mut got = log.lock().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..50).collect::<Vec<i64>>());
+        sys.shutdown();
+    }
+}

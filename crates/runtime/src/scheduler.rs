@@ -1,0 +1,126 @@
+//! The worker loop: steal a scheduled actor, drain a batch of its mailbox,
+//! hand it back.
+//!
+//! Workers share a single [`Injector`](crossbeam::deque::Injector) queue of
+//! scheduled actors. Each actor is in the queue at most once (the mailbox
+//! state machine), so fairness is per-actor round-robin with a configurable
+//! batch size. Workers park on a condition variable when the queue is
+//! empty; every injection takes the sleep lock and notifies, so wakeups are
+//! never lost.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crossbeam::deque::Steal;
+
+use crate::actor::ActorCell;
+use crate::ctx::Ctx;
+use crate::message::Payload;
+use crate::system::Shared;
+
+pub(crate) fn run_worker(shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match shared.injector.steal() {
+            Steal::Success(cell) => process_batch(&shared, cell),
+            Steal::Retry => continue,
+            Steal::Empty => park(&shared),
+        }
+    }
+}
+
+fn park(shared: &Shared) {
+    let mut sleeping = shared.sleep_lock.lock();
+    // Re-check under the lock: an injection between our failed steal and
+    // here would have notified before we wait, so verify emptiness now.
+    if shared.shutdown.load(Ordering::Acquire) || !shared.injector.is_empty() {
+        return;
+    }
+    *sleeping += 1;
+    shared.sleep_cv.wait(&mut sleeping);
+    *sleeping -= 1;
+}
+
+fn process_batch(shared: &Arc<Shared>, cell: Arc<ActorCell>) {
+    cell.mailbox.begin_running();
+    // Take the behavior out for the duration of the batch; the state
+    // machine guarantees exclusivity.
+    let mut behavior = cell.behavior.lock().take();
+    let mut stopped = behavior.is_none();
+
+    for _ in 0..shared.batch {
+        let Some(payload) = cell.mailbox.pop() else { break };
+        match payload {
+            Payload::Start => {
+                if let Some(b) = behavior.as_mut() {
+                    let mut ctx = Ctx::new(shared, cell.id, None);
+                    let unwound = catch_unwind(AssertUnwindSafe(|| b.on_start(&mut ctx)));
+                    if unwound.is_err() {
+                        shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                    }
+                    apply_ctx(shared, &cell, &mut behavior, ctx, &mut stopped);
+                }
+            }
+            Payload::Become(b) => {
+                if !stopped {
+                    behavior = Some(b);
+                }
+            }
+            Payload::User(msg) => {
+                if let Some(b) = behavior.as_mut() {
+                    let from = msg.from;
+                    let mut ctx = Ctx::new(shared, cell.id, from);
+                    let unwound =
+                        catch_unwind(AssertUnwindSafe(|| b.receive(&mut ctx, msg)));
+                    if unwound.is_err() {
+                        // A panicking behavior drops the message; the actor
+                        // survives with its current state (fail-soft).
+                        shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                    }
+                    apply_ctx(shared, &cell, &mut behavior, ctx, &mut stopped);
+                } else {
+                    // Messages to a stopped actor are dead letters.
+                    shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        shared.dec_pending();
+        if stopped {
+            // Drain whatever remains as dead letters.
+            while let Some(p) = cell.mailbox.pop() {
+                if matches!(p, Payload::User(_)) {
+                    shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.dec_pending();
+            }
+            break;
+        }
+    }
+
+    *cell.behavior.lock() = behavior;
+    if cell.mailbox.finish_running() {
+        shared.injector.push(cell);
+        shared.notify_worker();
+    }
+}
+
+fn apply_ctx(
+    shared: &Arc<Shared>,
+    cell: &Arc<ActorCell>,
+    behavior: &mut Option<Box<dyn crate::actor::Behavior>>,
+    ctx: Ctx<'_>,
+    stopped: &mut bool,
+) {
+    let (next, stop) = ctx.into_effects();
+    if let Some(nb) = next {
+        *behavior = Some(nb);
+    }
+    if stop {
+        *stopped = true;
+        *behavior = None;
+        shared.stop_actor(cell.id);
+    }
+}

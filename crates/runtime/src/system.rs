@@ -1,0 +1,647 @@
+//! The actor system: shared node state, worker pool, and the public API.
+//!
+//! One [`ActorSystem`] is a *node* in the paper's architecture (§7.2): it
+//! owns the local Coordinator state (the [`Registry`]), the actor table,
+//! and a pool of worker threads draining mailboxes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::Injector;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use actorspace_capability::{CapMinter, Capability};
+use actorspace_core::{
+    ActorId, Disposition, GcReport, ManagerPolicy, MemberId, Pattern, Registry, Result, SpaceId,
+};
+use actorspace_atoms::Path;
+
+use crate::actor::{ActorCell, Behavior};
+use crate::message::{Envelope, Message, Payload};
+use crate::scheduler;
+use crate::transport::Transport;
+use crate::value::Value;
+
+/// Node configuration.
+#[derive(Clone)]
+pub struct Config {
+    /// Worker threads. Defaults to `min(available_parallelism, 4)`.
+    pub workers: usize,
+    /// Messages processed per actor per scheduling slot.
+    pub batch: usize,
+    /// Policy template for new actorSpaces (and the root space).
+    pub policy: ManagerPolicy,
+    /// First raw id this node allocates — cluster nodes use disjoint
+    /// ranges (`node << 48`).
+    pub id_base: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
+        Config { workers, batch: 16, policy: ManagerPolicy::default(), id_base: 1 }
+    }
+}
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Messages enqueued but not yet fully processed.
+    pub pending: usize,
+    /// Messages whose destination did not exist (locally or via uplink).
+    pub dead_letters: usize,
+    /// Live local actors.
+    pub actors: usize,
+    /// Live spaces.
+    pub spaces: usize,
+}
+
+/// State shared between the API, workers, and contexts.
+pub(crate) struct Shared {
+    pub actors: RwLock<HashMap<ActorId, Arc<ActorCell>>>,
+    pub injector: Injector<Arc<ActorCell>>,
+    pub registry: Mutex<Registry<Message>>,
+    pub minter: CapMinter,
+    /// Enqueued-but-unprocessed message count; zero ⇒ quiescent.
+    pub pending: AtomicUsize,
+    pub idle_lock: Mutex<()>,
+    pub idle_cv: Condvar,
+    /// Count of parked workers, under its own lock (wakeup protocol).
+    pub sleep_lock: Mutex<usize>,
+    pub sleep_cv: Condvar,
+    pub shutdown: AtomicBool,
+    pub dead_letters: AtomicUsize,
+    /// Delivery fallback for non-local actors (§7.2 transport objects).
+    pub uplink: RwLock<Option<Arc<dyn Transport>>>,
+    /// Reroutes state-changing primitives through an external coordinator
+    /// (the cluster bus). `None` on a standalone node.
+    pub hook: RwLock<Option<Arc<dyn crate::hook::CoordinatorHook>>>,
+    pub batch: usize,
+}
+
+impl Shared {
+    /// Delivers an envelope: local mailbox, else uplink, else dead letter.
+    /// Returns true if the message found a home.
+    pub fn deliver(&self, env: Envelope) -> bool {
+        let cell = self.actors.read().get(&env.to).cloned();
+        match cell {
+            Some(cell) => {
+                self.pending.fetch_add(1, Ordering::AcqRel);
+                if cell.mailbox.push(env.port(), env.payload) {
+                    self.injector.push(cell);
+                    self.notify_worker();
+                }
+                true
+            }
+            None => {
+                if let Payload::User(msg) = env.payload {
+                    if let Some(up) = self.uplink.read().clone() {
+                        if up.deliver(env.to, msg) {
+                            return true;
+                        }
+                    }
+                }
+                self.dead_letters.fetch_add(1, Ordering::Relaxed);
+                false
+            }
+        }
+    }
+
+    pub fn notify_worker(&self) {
+        let _g = self.sleep_lock.lock();
+        self.sleep_cv.notify_one();
+    }
+
+    /// Decrements the pending counter, waking idle waiters at zero.
+    pub fn dec_pending(&self) {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _g = self.idle_lock.lock();
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Runs `f` with the registry and a sink that enqueues deliveries.
+    pub fn with_registry<R>(
+        &self,
+        f: impl FnOnce(&mut Registry<Message>, &mut dyn FnMut(ActorId, Message)) -> R,
+    ) -> R {
+        let mut reg = self.registry.lock();
+        let mut sink = |to: ActorId, msg: Message| {
+            self.deliver(Envelope::user(to, msg));
+        };
+        f(&mut reg, &mut sink)
+    }
+
+    /// Registers a new actor and schedules its start signal.
+    pub fn spawn_cell(
+        &self,
+        host: SpaceId,
+        cap: Option<&Capability>,
+        behavior: Box<dyn Behavior>,
+        rooted: bool,
+    ) -> Result<ActorId> {
+        let id = {
+            let mut reg = self.registry.lock();
+            let id = reg.create_actor(host, cap)?;
+            if rooted {
+                reg.add_root(id);
+            }
+            id
+        };
+        let cell = Arc::new(ActorCell::new(id, behavior));
+        self.actors.write().insert(id, cell);
+        self.deliver(Envelope::start(id));
+        Ok(id)
+    }
+
+    /// Removes an actor: table entry, registry record, memberships.
+    pub fn stop_actor(&self, id: ActorId) {
+        self.actors.write().remove(&id);
+        self.registry.lock().remove_actor(id);
+    }
+
+    /// Installs a behavior cell without creating a registry record or
+    /// scheduling the start signal — the cluster layer's creation path
+    /// (record and activation arrive via the ordered bus).
+    pub fn install_cell(&self, id: ActorId, behavior: Box<dyn Behavior>) {
+        let cell = Arc::new(ActorCell::new(id, behavior));
+        self.actors.write().insert(id, cell);
+    }
+
+    /// Schedules the start signal for an installed cell.
+    pub fn send_start(&self, id: ActorId) {
+        self.deliver(Envelope::start(id));
+    }
+
+    // -- hook-aware primitive dispatch -----------------------------------
+
+    pub fn op_make_visible(
+        &self,
+        member: MemberId,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        if let Some(h) = self.hook.read().clone() {
+            return h.make_visible(member, attrs, space, cap.copied());
+        }
+        self.with_registry(|reg, sink| reg.make_visible(member, attrs, space, cap, sink))
+    }
+
+    pub fn op_make_invisible(
+        &self,
+        member: MemberId,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        if let Some(h) = self.hook.read().clone() {
+            return h.make_invisible(member, space, cap.copied());
+        }
+        self.registry.lock().make_invisible(member, space, cap)
+    }
+
+    pub fn op_change_attributes(
+        &self,
+        member: MemberId,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        if let Some(h) = self.hook.read().clone() {
+            return h.change_attributes(member, attrs, space, cap.copied());
+        }
+        self.with_registry(|reg, sink| reg.change_attributes(member, attrs, space, cap, sink))
+    }
+
+    pub fn op_create_space(&self, cap: Option<&Capability>) -> SpaceId {
+        if let Some(h) = self.hook.read().clone() {
+            return h.create_space(cap.copied());
+        }
+        self.registry.lock().create_space(cap)
+    }
+
+    pub fn op_destroy_space(&self, space: SpaceId, cap: Option<&Capability>) -> Result<()> {
+        if let Some(h) = self.hook.read().clone() {
+            return h.destroy_space(space, cap.copied());
+        }
+        self.registry.lock().destroy_space(space, cap)
+    }
+
+    pub fn op_create_actor(
+        &self,
+        host: SpaceId,
+        cap: Option<&Capability>,
+        behavior: Box<dyn Behavior>,
+    ) -> Result<ActorId> {
+        if let Some(h) = self.hook.read().clone() {
+            return h.create_actor(host, cap.copied(), behavior);
+        }
+        self.spawn_cell(host, cap, behavior, false)
+    }
+}
+
+/// A single-node ActorSpace runtime.
+pub struct ActorSystem {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ActorSystem {
+    /// Boots a node: registry with its root space, plus `config.workers`
+    /// scheduler threads.
+    pub fn new(config: Config) -> ActorSystem {
+        let shared = Arc::new(Shared {
+            actors: RwLock::new(HashMap::new()),
+            injector: Injector::new(),
+            registry: Mutex::new(Registry::with_id_base(config.policy.clone(), config.id_base)),
+            minter: CapMinter::new(),
+            pending: AtomicUsize::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            sleep_lock: Mutex::new(0),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            dead_letters: AtomicUsize::new(0),
+            uplink: RwLock::new(None),
+            hook: RwLock::new(None),
+            batch: config.batch.max(1),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let s = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("actorspace-worker-{i}"))
+                    .spawn(move || scheduler::run_worker(s))
+                    .expect("spawn worker")
+            })
+            .collect();
+        ActorSystem { shared, workers: Mutex::new(workers) }
+    }
+
+    // ------------------------------------------------------------------
+    // Spawning
+    // ------------------------------------------------------------------
+
+    /// Spawns an actor hosted in the root space, returning a handle that
+    /// keeps it alive (GC root) until dropped.
+    pub fn spawn(&self, behavior: impl Behavior) -> ActorHandle {
+        self.spawn_in(actorspace_core::ROOT_SPACE, behavior, None)
+            .expect("root space always exists")
+    }
+
+    /// Spawns an actor hosted in `space`, optionally binding a capability
+    /// guard to it.
+    pub fn spawn_in(
+        &self,
+        space: SpaceId,
+        behavior: impl Behavior,
+        cap: Option<&Capability>,
+    ) -> Result<ActorHandle> {
+        let id = self.shared.op_create_actor(space, cap, Box::new(behavior))?;
+        self.shared.registry.lock().add_root(id);
+        Ok(ActorHandle { id, shared: self.shared.clone() })
+    }
+
+    /// Creates a channel-backed receiver actor: messages sent to the
+    /// returned [`ActorId`] appear on the returned `Receiver`. The inbox is
+    /// permanently rooted.
+    pub fn inbox(&self) -> (ActorId, std::sync::mpsc::Receiver<Message>) {
+        let (tx, rx) = std::sync::mpsc::channel::<Message>();
+        let behavior = crate::actor::from_fn(move |_ctx, msg| {
+            let _ = tx.send(msg);
+        });
+        let id = self
+            .shared
+            .spawn_cell(actorspace_core::ROOT_SPACE, None, Box::new(behavior), true)
+            .expect("root space always exists");
+        (id, rx)
+    }
+
+    // ------------------------------------------------------------------
+    // ActorSpace primitives (system-level: no sending actor)
+    // ------------------------------------------------------------------
+
+    /// `create_actorSpace(capability)` (§5.2).
+    pub fn create_space(&self, cap: Option<&Capability>) -> Result<SpaceId> {
+        Ok(self.shared.op_create_space(cap))
+    }
+
+    /// Destroys a space (§7.1). Requires `Rights::MANAGE` when guarded.
+    pub fn destroy_space(&self, space: SpaceId, cap: Option<&Capability>) -> Result<()> {
+        self.shared.op_destroy_space(space, cap)
+    }
+
+    /// `new_capability()` (§5.4).
+    pub fn new_capability(&self) -> Capability {
+        self.minter().new_capability()
+    }
+
+    /// The capability mint.
+    pub fn minter(&self) -> &CapMinter {
+        &self.shared.minter
+    }
+
+    /// `make_visible(member, attrs @ space, capability)` (§5.4). May wake
+    /// suspended messages, which are delivered asynchronously.
+    pub fn make_visible(
+        &self,
+        member: impl Into<MemberId>,
+        attr: &Path,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.make_visible_all(member, vec![attr.clone()], space, cap)
+    }
+
+    /// [`ActorSystem::make_visible`] with several attributes at once.
+    pub fn make_visible_all(
+        &self,
+        member: impl Into<MemberId>,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        let member = member.into();
+        self.shared.op_make_visible(member, attrs, space, cap)
+    }
+
+    /// `make_invisible(member, space, capability)` (§5.4).
+    pub fn make_invisible(
+        &self,
+        member: impl Into<MemberId>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.shared.op_make_invisible(member.into(), space, cap)
+    }
+
+    /// `change_attributes(member, attrs @ space, capability)` (§5.4).
+    pub fn change_attributes(
+        &self,
+        member: impl Into<MemberId>,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.shared.op_change_attributes(member.into(), attrs, space, cap)
+    }
+
+    /// `send(pattern@space, message)` from outside the system (no sender
+    /// address).
+    pub fn send_pattern(
+        &self,
+        pattern: &Pattern,
+        space: SpaceId,
+        body: Value,
+        from: Option<ActorId>,
+    ) -> Result<Disposition> {
+        let msg = Message { from, body, port: crate::message::Port::Invocation };
+        self.shared.with_registry(|reg, sink| reg.send(pattern, space, msg, sink))
+    }
+
+    /// `broadcast(pattern@space, message)` from outside the system.
+    pub fn broadcast(
+        &self,
+        pattern: &Pattern,
+        space: SpaceId,
+        body: Value,
+        from: Option<ActorId>,
+    ) -> Result<Disposition> {
+        let msg = Message { from, body, port: crate::message::Port::Invocation };
+        self.shared.with_registry(|reg, sink| reg.broadcast(pattern, space, msg, sink))
+    }
+
+    /// Point-to-point send by mail address — the Actor special case.
+    /// Returns false if the address is unknown here and via the uplink.
+    pub fn send_to(&self, to: ActorId, body: Value) -> bool {
+        self.shared.deliver(Envelope::user(to, Message::new(body)))
+    }
+
+    /// Installs a new behavior via the actor's Behavior port (§7.2).
+    pub fn send_behavior(&self, to: ActorId, behavior: impl Behavior) -> bool {
+        self.shared.deliver(Envelope::become_(to, Box::new(behavior)))
+    }
+
+    /// Resolves a pattern without sending (inspection).
+    pub fn resolve(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<ActorId>> {
+        self.shared.registry.lock().resolve(pattern, space)
+    }
+
+    /// Resolves a pattern to matching spaces (§5.3: pattern-based
+    /// actorSpace specification).
+    pub fn resolve_spaces(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<SpaceId>> {
+        self.shared.registry.lock().resolve_spaces(pattern, space)
+    }
+
+    /// Replaces a space's policy table. Requires `Rights::MANAGE`.
+    pub fn set_space_policy(
+        &self,
+        space: SpaceId,
+        policy: ManagerPolicy,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.shared.registry.lock().set_space_policy(space, policy, cap)
+    }
+
+    /// Installs a custom manager on a space. Requires `Rights::MANAGE`.
+    pub fn set_space_manager(
+        &self,
+        space: SpaceId,
+        manager: Box<dyn actorspace_core::Manager>,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.shared.registry.lock().set_space_manager(space, manager, cap)
+    }
+
+    /// Cancels persistent broadcasts on a space.
+    pub fn cancel_persistent(&self, space: SpaceId, cap: Option<&Capability>) -> Result<usize> {
+        self.shared.registry.lock().cancel_persistent(space, cap)
+    }
+
+    /// Installs (or clears) a custom matching rule on a space (§5
+    /// matching-rule customization). Requires `Rights::MANAGE`.
+    pub fn set_match_filter(
+        &self,
+        space: SpaceId,
+        filter: Option<actorspace_core::MatchFilter>,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        self.shared.registry.lock().set_match_filter(space, filter, cap)
+    }
+
+    /// Reports an actor's load for least-loaded arbitration in `space`.
+    pub fn report_load(&self, space: SpaceId, actor: ActorId, load: u64) -> Result<()> {
+        self.shared.registry.lock().report_load(space, actor, load)
+    }
+
+    /// Observability snapshot of one space.
+    pub fn space_info(&self, space: SpaceId) -> Result<actorspace_core::SpaceInfo> {
+        self.shared.registry.lock().space_info(space)
+    }
+
+    /// Ids of all live spaces (including the root).
+    pub fn space_ids(&self) -> Vec<SpaceId> {
+        let mut v: Vec<SpaceId> = self.shared.registry.lock().space_ids().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Runs a garbage collection pass (§5.5). The runtime cannot see inside
+    /// behaviors, so callers supply the acquaintance map (or none, to
+    /// collect purely by visibility/handle reachability). Stopped actors'
+    /// cells are removed along with their registry records.
+    pub fn collect_garbage(
+        &self,
+        acquaintances: &dyn Fn(ActorId) -> Vec<MemberId>,
+    ) -> GcReport {
+        let report = self.shared.registry.lock().collect_garbage(acquaintances);
+        let mut actors = self.shared.actors.write();
+        for a in &report.collected_actors {
+            actors.remove(a);
+        }
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Blocks until no messages are queued or being processed, or the
+    /// timeout elapses. Returns true on quiescence.
+    pub fn await_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.shared.idle_lock.lock();
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.shared.idle_cv.wait_for(&mut g, deadline - now);
+        }
+        true
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> Stats {
+        let reg = self.shared.registry.lock();
+        Stats {
+            pending: self.shared.pending.load(Ordering::Acquire),
+            dead_letters: self.shared.dead_letters.load(Ordering::Relaxed),
+            actors: reg.actor_count(),
+            spaces: reg.space_count(),
+        }
+    }
+
+    /// Installs the non-local delivery fallback (§7.2 transport selection).
+    pub fn set_uplink(&self, transport: Arc<dyn Transport>) {
+        *self.shared.uplink.write() = Some(transport);
+    }
+
+    /// Installs the coordinator hook rerouting state-changing primitives
+    /// through the cluster bus (§7.3).
+    pub fn set_coordinator_hook(&self, hook: Arc<dyn crate::hook::CoordinatorHook>) {
+        *self.shared.hook.write() = Some(hook);
+    }
+
+    /// Installs a behavior cell without registry record or start signal —
+    /// the cluster layer's creation path (see
+    /// [`hook::CoordinatorHook::create_actor`](crate::hook::CoordinatorHook::create_actor)).
+    pub fn install_cell(&self, id: ActorId, behavior: impl Behavior) {
+        self.shared.install_cell(id, Box::new(behavior));
+    }
+
+    /// [`ActorSystem::install_cell`] for an already-boxed behavior.
+    pub fn install_cell_boxed(&self, id: ActorId, behavior: crate::actor::BoxBehavior) {
+        self.shared.install_cell(id, behavior);
+    }
+
+    /// Schedules the start signal for a previously installed cell.
+    pub fn send_start(&self, id: ActorId) {
+        self.shared.send_start(id);
+    }
+
+    /// Delivers a message arriving from another node to a local actor.
+    pub fn deliver_remote(&self, to: ActorId, msg: Message) -> bool {
+        self.shared.deliver(Envelope::user(to, msg))
+    }
+
+    /// Direct registry access for the cluster layer (replica application).
+    /// The closure receives the registry and a delivery sink.
+    pub fn with_registry<R>(
+        &self,
+        f: impl FnOnce(&mut Registry<Message>, &mut dyn FnMut(ActorId, Message)) -> R,
+    ) -> R {
+        self.shared.with_registry(f)
+    }
+
+    /// Spawns an actor without handing out a rooted handle — the cluster
+    /// layer uses this for actors whose creation event came over the bus.
+    pub fn spawn_unrooted(
+        &self,
+        space: SpaceId,
+        behavior: impl Behavior,
+        cap: Option<&Capability>,
+    ) -> Result<ActorId> {
+        self.shared.spawn_cell(space, cap, Box::new(behavior), false)
+    }
+
+    /// Stops all workers. Queued messages may be dropped. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sleep_lock.lock();
+            self.shared.sleep_cv.notify_all();
+        }
+        let mut workers = self.workers.lock();
+        for h in workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ActorSystem {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// An external handle to a spawned actor. The actor is a GC root while the
+/// handle lives; dropping the handle lets [`ActorSystem::collect_garbage`]
+/// reclaim the actor once nothing else reaches it.
+pub struct ActorHandle {
+    id: ActorId,
+    shared: Arc<Shared>,
+}
+
+impl ActorHandle {
+    /// The actor's mail address.
+    pub fn id(&self) -> ActorId {
+        self.id
+    }
+
+    /// Point-to-point send to this actor.
+    pub fn send(&self, body: Value) -> bool {
+        self.shared.deliver(Envelope::user(self.id, Message::new(body)))
+    }
+
+    /// Keeps the actor rooted forever and discards the handle.
+    pub fn leak(self) -> ActorId {
+        let id = self.id;
+        std::mem::forget(self);
+        id
+    }
+}
+
+impl std::fmt::Debug for ActorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActorHandle({})", self.id)
+    }
+}
+
+impl Drop for ActorHandle {
+    fn drop(&mut self) {
+        self.shared.registry.lock().remove_root(self.id);
+    }
+}

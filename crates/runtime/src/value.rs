@@ -1,0 +1,269 @@
+//! The dynamic message payload type.
+//!
+//! ActorSpace is "not a programming language … the computations themselves
+//! may be expressed in different programming notations" (§5). `Value` is
+//! the neutral interchange payload those notations share: scalars, atoms,
+//! mail addresses (actor and space), capabilities, and lists. The
+//! interpreter crate evaluates directly over it, Rust behaviors
+//! pattern-match on it, and the simulated network copies it between nodes.
+
+use std::fmt;
+use std::sync::Arc;
+
+use actorspace_atoms::{Atom, Path};
+use actorspace_capability::Capability;
+use actorspace_core::{ActorId, SpaceId};
+
+/// A message payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// The unit/nil value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// An immutable string (cheap to clone).
+    Str(Arc<str>),
+    /// An interned atom.
+    Atom(Atom),
+    /// An actor mail address — addresses are first-class and may be
+    /// communicated in messages (the Actor locality rule, §3).
+    Addr(ActorId),
+    /// An actorSpace mail address.
+    Space(SpaceId),
+    /// A capability — "can be … communicated in messages" (§5.4).
+    Cap(Capability),
+    /// A list of values (cheap to clone).
+    List(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// A string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// An integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// An atom value.
+    pub fn atom(name: &str) -> Value {
+        Value::Atom(Atom::intern(name))
+    }
+
+    /// A list value.
+    pub fn list(items: impl Into<Vec<Value>>) -> Value {
+        Value::List(Arc::new(items.into()))
+    }
+
+    /// The integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float, accepting `Int` with conversion.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The actor address, if this is an `Addr`.
+    pub fn as_addr(&self) -> Option<ActorId> {
+        match self {
+            Value::Addr(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// The space address, if this is a `Space`.
+    pub fn as_space(&self) -> Option<SpaceId> {
+        match self {
+            Value::Space(s) => Some(*s),
+            _ => None,
+        }
+    }
+
+    /// The list contents, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The capability, if this is a `Cap`.
+    pub fn as_cap(&self) -> Option<Capability> {
+        match self {
+            Value::Cap(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// An attribute path from an atom or string value (`srv/fib`).
+    pub fn as_path(&self) -> Option<Path> {
+        match self {
+            Value::Atom(a) => Some(Path::from(*a)),
+            Value::Str(s) => Path::parse(s).ok(),
+            _ => None,
+        }
+    }
+
+    /// Truthiness: everything except `Unit`, `Bool(false)`, and `Int(0)` is
+    /// true (used by the interpreter).
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Unit | Value::Bool(false) | Value::Int(0))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Atom(a) => write!(f, "{a}"),
+            Value::Addr(a) => write!(f, "{a}"),
+            Value::Space(s) => write!(f, "{s}"),
+            Value::Cap(_) => write!(f, "#capability"),
+            Value::List(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<ActorId> for Value {
+    fn from(a: ActorId) -> Self {
+        Value::Addr(a)
+    }
+}
+
+impl From<SpaceId> for Value {
+    fn from(s: SpaceId) -> Self {
+        Value::Space(s)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::list(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::int(5).as_int(), Some(5));
+        assert_eq!(Value::int(5).as_float(), Some(5.0));
+        assert_eq!(Value::Float(2.5).as_float(), Some(2.5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::str("x").as_int(), None);
+        let a = ActorId(3);
+        assert_eq!(Value::Addr(a).as_addr(), Some(a));
+        let s = SpaceId(4);
+        assert_eq!(Value::Space(s).as_space(), Some(s));
+    }
+
+    #[test]
+    fn list_round_trip() {
+        let l = Value::list([Value::int(1), Value::str("two")]);
+        let items = l.as_list().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], Value::int(1));
+    }
+
+    #[test]
+    fn paths_from_atoms_and_strings() {
+        use actorspace_atoms::path;
+        assert_eq!(Value::atom("fib").as_path(), Some(path("fib")));
+        assert_eq!(Value::str("srv/fib").as_path(), Some(path("srv/fib")));
+        assert_eq!(Value::int(1).as_path(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Unit.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::int(0).truthy());
+        assert!(Value::int(1).truthy());
+        assert!(Value::str("").truthy());
+        assert!(Value::list([]).truthy());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::int(-3).to_string(), "-3");
+        assert_eq!(Value::atom("hi").to_string(), "hi");
+        assert_eq!(Value::str("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Value::list([Value::int(1), Value::int(2)]).to_string(),
+            "(1 2)"
+        );
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let big = Value::list((0..1000).map(Value::int).collect::<Vec<_>>());
+        let copy = big.clone();
+        assert_eq!(big, copy);
+    }
+}

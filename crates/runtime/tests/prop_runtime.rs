@@ -1,0 +1,156 @@
+//! Property/stress tests for the runtime: per-sender FIFO, losslessness
+//! under churn, and quiescence correctness.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use actorspace_atoms::path;
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, ActorSystem, Config, Value};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Messages from ONE sender to ONE receiver are delivered in send order
+/// (per-port FIFO), whatever the worker count and batch size.
+#[test]
+fn per_sender_fifo_is_preserved() {
+    for workers in [1usize, 2, 4] {
+        for batch in [1usize, 4, 64] {
+            let sys = ActorSystem::new(Config { workers, batch, ..Config::default() });
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let l = log.clone();
+            let receiver = sys.spawn(from_fn(move |_ctx, msg| {
+                l.lock().push(msg.body.as_int().unwrap());
+            }));
+            let rid = receiver.id();
+            // The sender is itself an actor: its sends happen in program
+            // order from a single behavior activation sequence.
+            let sender = sys.spawn(from_fn(move |ctx, msg| {
+                let n = msg.body.as_int().unwrap();
+                for i in 0..n {
+                    ctx.send_addr(rid, Value::int(i));
+                }
+            }));
+            sender.send(Value::int(500));
+            assert!(sys.await_idle(TIMEOUT));
+            assert_eq!(*log.lock(), (0..500).collect::<Vec<i64>>(),
+                "workers={workers} batch={batch}");
+            sys.shutdown();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Under random interleavings of sends and visibility churn, no
+    /// message is ever lost: each is delivered or still suspended.
+    #[test]
+    fn sends_are_never_lost_under_churn(
+        script in proptest::collection::vec((0u8..3, 0usize..4), 1..60)
+    ) {
+        let sys = ActorSystem::new(Config { workers: 2, ..Config::default() });
+        let space = sys.create_space(None).unwrap();
+        let received = Arc::new(AtomicUsize::new(0));
+        let mut visible: Vec<Option<actorspace_core::ActorId>> = vec![None; 4];
+        let mut sent = 0usize;
+        for (op, slot) in script {
+            match op {
+                // Send into the space (suspends if nothing visible).
+                0 => {
+                    sys.send_pattern(&pattern("w/*"), space, Value::Unit, None).unwrap();
+                    sent += 1;
+                }
+                // Ensure a worker is visible in this slot.
+                1 => {
+                    if visible[slot].is_none() {
+                        let r = received.clone();
+                        let a = sys.spawn(from_fn(move |_ctx, _msg| {
+                            r.fetch_add(1, Ordering::Relaxed);
+                        }));
+                        sys.make_visible(
+                            a.id(),
+                            &path(&format!("w/{slot}")),
+                            space,
+                            None,
+                        ).unwrap();
+                        visible[slot] = Some(a.leak());
+                    }
+                }
+                // Withdraw the slot's worker.
+                _ => {
+                    if let Some(id) = visible[slot].take() {
+                        sys.make_invisible(id, space, None).unwrap();
+                    }
+                }
+            }
+        }
+        // Make one worker visible so any still-suspended messages drain.
+        let r = received.clone();
+        let a = sys.spawn(from_fn(move |_ctx, _msg| {
+            r.fetch_add(1, Ordering::Relaxed);
+        }));
+        sys.make_visible(a.id(), &path("w/final"), space, None).unwrap();
+        prop_assert!(sys.await_idle(TIMEOUT));
+        prop_assert_eq!(received.load(Ordering::Relaxed), sent,
+            "sent {} but received {}", sent, received.load(Ordering::Relaxed));
+        sys.shutdown();
+    }
+
+    /// Quiescence means quiescence: after await_idle returns true, no
+    /// further deliveries happen without new input.
+    #[test]
+    fn await_idle_is_stable(n in 1usize..200) {
+        let sys = ActorSystem::new(Config { workers: 2, ..Config::default() });
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        let a = sys.spawn(from_fn(move |_ctx, _msg| {
+            c.fetch_add(1, Ordering::Relaxed);
+        }));
+        for _ in 0..n {
+            a.send(Value::Unit);
+        }
+        prop_assert!(sys.await_idle(TIMEOUT));
+        let at_idle = count.load(Ordering::Relaxed);
+        prop_assert_eq!(at_idle, n);
+        std::thread::sleep(Duration::from_millis(5));
+        prop_assert_eq!(count.load(Ordering::Relaxed), at_idle);
+        sys.shutdown();
+    }
+}
+
+/// Hammering one pattern from many OS threads while replicas churn
+/// visibility: total delivered + suspended must equal total sent.
+#[test]
+fn concurrent_pattern_sends_account_for_every_message() {
+    let sys = Arc::new(ActorSystem::new(Config { workers: 4, ..Config::default() }));
+    let space = sys.create_space(None).unwrap();
+    let received = Arc::new(AtomicUsize::new(0));
+    // One stable worker so sends always match.
+    let r = received.clone();
+    let w = sys.spawn(from_fn(move |_ctx, _msg| {
+        r.fetch_add(1, Ordering::Relaxed);
+    }));
+    sys.make_visible(w.id(), &path("sink"), space, None).unwrap();
+
+    let senders = 4;
+    let per = 2_000;
+    let mut handles = Vec::new();
+    for _ in 0..senders {
+        let sys = sys.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..per {
+                sys.send_pattern(&pattern("sink"), space, Value::Unit, None).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(sys.await_idle(TIMEOUT));
+    assert_eq!(received.load(Ordering::Relaxed), senders * per);
+    sys.shutdown();
+}

@@ -1,0 +1,129 @@
+//! The §2 open-system story: clients, servers, and managers.
+//!
+//! Run with: `cargo run --example open_system`
+//!
+//! "We want to develop systems which offer resources to applications and
+//! reclaim resources after some application has finished using them. …
+//! in an open system clients cannot be trusted …, so security must be
+//! enforced in order to prevent clients from contaminating a shared
+//! resource. Managers have authorization to perform powerful operations
+//! such as manipulating actorSpaces."
+//!
+//! The scenario: a manager offers a shared compute service through a
+//! capability-guarded actorSpace. Applications arrive, use the service by
+//! pattern, and leave "in a coherent state"; a buggy client cannot damage
+//! the shared resource; and the manager reclaims what dead applications
+//! leave behind.
+
+use std::time::Duration;
+
+use actorspace::core::managers::NamespaceManager;
+use actorspace::prelude::*;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+fn main() {
+    let system = ActorSystem::new(Config::default());
+
+    // ---- The manager boots the shared facility -------------------------
+    // A guarded space: only the manager's capability can administer it.
+    let admin = system.new_capability();
+    let facility = system.create_space(Some(&admin)).unwrap();
+    // Anchor it in the globally visible root so applications can find it,
+    // and constrain every registration to the `public` namespace (§8
+    // coordination constraints).
+    system
+        .make_visible(facility, &path("facility/compute"), actorspace_core::ROOT_SPACE, Some(&admin))
+        .unwrap();
+    system
+        .set_space_manager(facility, Box::new(NamespaceManager::new(path("public"))), Some(&admin))
+        .unwrap();
+    println!("manager: facility online, admission restricted to `public/**` attributes");
+
+    // The shared resource: a compute server, guarded by the manager's
+    // capability so clients cannot hide or re-register it.
+    let server_cap = system.new_capability();
+    let (audit, audit_rx) = system.inbox();
+    let server = system.spawn_in(
+        facility,
+        from_fn(move |ctx, msg| {
+            let parts = msg.body.as_list().unwrap();
+            let n = parts[0].as_int().unwrap();
+            let reply_to = parts[1].as_addr().unwrap();
+            ctx.send_addr(reply_to, Value::int(n * n));
+            ctx.send_addr(audit, Value::int(n));
+        }),
+        Some(&server_cap),
+    )
+    .unwrap();
+    system
+        .make_visible(server.id(), &path("public/square"), facility, Some(&server_cap))
+        .unwrap();
+
+    // ---- An application arrives ----------------------------------------
+    // It discovers the facility by pattern from the root — no prior
+    // acquaintance (the open-system property §3 demands).
+    let found = system
+        .resolve_spaces(&pattern("facility/*"), actorspace_core::ROOT_SPACE)
+        .unwrap();
+    assert_eq!(found, vec![facility]);
+    println!("client:  discovered the facility by pattern, no prior reference");
+
+    let (inbox, rx) = system.inbox();
+    for n in [3i64, 4, 5] {
+        system
+            .send_pattern(
+                &pattern("public/*"),
+                facility,
+                Value::list([Value::int(n), Value::Addr(inbox)]),
+                None,
+            )
+            .unwrap();
+        let got = rx.recv_timeout(TIMEOUT).unwrap().body.as_int().unwrap();
+        println!("client:  square({n}) = {got}");
+    }
+
+    // ---- An untrusted client tries to contaminate the resource ---------
+    let mallory_cap = system.new_capability();
+    // 1. It cannot register junk outside the namespace the manager set.
+    let junk = system.spawn(from_fn(|_, _| {}));
+    let refused =
+        system.make_visible(junk.id(), &path("evil/fake-square"), facility, None);
+    println!("mallory: register `evil/fake-square` -> {}", verdict(refused.is_err()));
+    // 2. It cannot hide the real server (wrong capability).
+    let refused = system.make_invisible(server.id(), facility, Some(&mallory_cap));
+    println!("mallory: hide the real server        -> {}", verdict(refused.is_err()));
+    // 3. It cannot re-policy or destroy the facility.
+    let refused = system.destroy_space(facility, Some(&mallory_cap));
+    println!("mallory: destroy the facility        -> {}", verdict(refused.is_err()));
+
+    // ---- An application dies; the manager reclaims ---------------------
+    // A short-lived app spawns a helper, then exits without cleanup.
+    let helper = system.spawn(from_fn(|_, _| {}));
+    let leaked_id = helper.id();
+    drop(helper); // the application is gone; its helper is garbage
+    system.await_idle(TIMEOUT);
+    let report = system.collect_garbage(&|_| Vec::new());
+    println!(
+        "manager: reclaimed {} leaked actor(s) after the application exited",
+        report.collected_actors.len()
+    );
+    assert!(report.collected_actors.contains(&leaked_id));
+
+    // The facility is unharmed throughout.
+    let audits: usize = audit_rx.try_iter().count();
+    println!("audit:   server handled {audits} requests and is still registered");
+    assert_eq!(
+        system.resolve(&pattern("public/*"), facility).unwrap(),
+        vec![server.id()]
+    );
+    system.shutdown();
+}
+
+fn verdict(refused: bool) -> &'static str {
+    if refused {
+        "REFUSED (capability check)"
+    } else {
+        "allowed?!"
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's Figure 1 / §6 example: a dynamic process pool.
+//!
+//! Run with: `cargo run --example process_pool --release`
+//!
+//! "Consider a parallel system with a number of processors in a pool that
+//! can be allocated to solve problems … All these actors reside in an
+//! actorSpace, and new actors may come along while the system is running to
+//! help to solve the problem."
+//!
+//! A client sends a divide-and-conquer job into the `ProcPool` actorSpace
+//! with `send(*@ProcPool, job, self)`. Whichever worker receives it splits
+//! the job if it is too big and re-sends the halves into the pool — no
+//! master process, no knowledge of how many workers exist. Halfway through,
+//! more workers join the pool ("the lighter circles denote newly arrived
+//! processes") and immediately start absorbing work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use actorspace::prelude::*;
+use actorspace_core::SpaceId;
+
+/// A worker in the pool: splits big jobs back into the pool, computes
+/// small ones, and reports to the collector.
+struct Worker {
+    pool: SpaceId,
+    /// Work items this worker computed (for the load report).
+    computed: Arc<AtomicUsize>,
+}
+
+impl Behavior for Worker {
+    fn receive(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
+        // job = (lo hi collector)
+        let parts = msg.body.as_list().expect("job is a list");
+        let lo = parts[0].as_int().unwrap();
+        let hi = parts[1].as_int().unwrap();
+        let collector = parts[2].as_addr().unwrap();
+
+        const GRAIN: i64 = 1024;
+        if hi - lo > GRAIN {
+            // Too big: divide and send the halves to *some* workers in the
+            // pool — "send(*@MyNghbrProcs, subjobs[i], self)".
+            let mid = (lo + hi) / 2;
+            ctx.send_pattern(
+                &Pattern::any(),
+                self.pool,
+                Value::list([Value::int(lo), Value::int(mid), Value::Addr(collector)]),
+            )
+            .unwrap();
+            ctx.send_pattern(
+                &Pattern::any(),
+                self.pool,
+                Value::list([Value::int(mid), Value::int(hi), Value::Addr(collector)]),
+            )
+            .unwrap();
+        } else {
+            // Small enough: process. (An iterated hash over the range —
+            // heavy enough that the pool stays busy while workers arrive.)
+            let sum: i64 = (lo..hi).map(leaf_work).sum();
+            self.computed.fetch_add(1, Ordering::Relaxed);
+            ctx.send_addr(collector, Value::list([Value::int(sum), Value::int(hi - lo)]));
+        }
+    }
+}
+
+/// Per-element work: a short iterated mix, so a leaf job costs real time.
+fn leaf_work(x: i64) -> i64 {
+    let mut h = x as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    for _ in 0..64 {
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+    }
+    (h % 1000) as i64
+}
+
+fn main() {
+    let system = ActorSystem::new(Config::default());
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<i64>();
+
+    // The processor pool actorSpace.
+    let pool = system.create_space(None).unwrap();
+
+    // Initial workers.
+    let mut load_counters = Vec::new();
+    let initial = 4;
+    for i in 0..initial {
+        let computed = Arc::new(AtomicUsize::new(0));
+        load_counters.push(computed.clone());
+        let w = system.spawn(Worker { pool, computed });
+        system
+            .make_visible(w.id(), &path(&format!("proc/{i}")), pool, None)
+            .unwrap();
+        w.leak();
+    }
+    println!("pool started with {initial} workers");
+
+    // The collector: joins partial results until the whole range is
+    // accounted for.
+    let total_range = 1 << 20;
+    let collector = {
+        let done = done_tx.clone();
+        let mut acc = 0i64;
+        let mut covered = 0i64;
+        system.spawn(from_fn(move |_ctx, msg| {
+            let parts = msg.body.as_list().unwrap();
+            acc += parts[0].as_int().unwrap();
+            covered += parts[1].as_int().unwrap();
+            if covered == total_range {
+                let _ = done.send(acc);
+            }
+        }))
+    };
+
+    // The client: one send into the pool starts everything —
+    // `send(*@ProcPool, job, self)`.
+    system
+        .send_pattern(
+            &Pattern::any(),
+            pool,
+            Value::list([Value::int(0), Value::int(total_range), Value::Addr(collector.id())]),
+            None,
+        )
+        .unwrap();
+
+    // While the computation runs, new workers arrive — "the number of
+    // processors allocated to the task can be adjusted during execution —
+    // without having to stop the system."
+    std::thread::sleep(Duration::from_millis(5));
+    let late = 4;
+    for i in 0..late {
+        let computed = Arc::new(AtomicUsize::new(0));
+        load_counters.push(computed.clone());
+        let w = system.spawn(Worker { pool, computed });
+        system
+            .make_visible(w.id(), &path(&format!("proc/late-{i}")), pool, None)
+            .unwrap();
+        w.leak();
+    }
+    println!("{late} more workers joined mid-run");
+
+    let result = done_rx.recv_timeout(Duration::from_secs(60)).expect("job must finish");
+    // Verify against the sequential computation.
+    let expected: i64 = (0..total_range).map(leaf_work).sum();
+    assert_eq!(result, expected);
+    println!("result = {result} (verified against sequential computation)");
+
+    println!("\nwork distribution (leaf jobs per worker):");
+    for (i, c) in load_counters.iter().enumerate() {
+        let name = if i < initial { format!("proc/{i}") } else { format!("proc/late-{}", i - initial) };
+        let n = c.load(Ordering::Relaxed);
+        println!("  {name:<12} {n:>5}  {}", "#".repeat(n / 8));
+    }
+    let late_total: usize =
+        load_counters[initial..].iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    println!(
+        "\nlate-arriving workers absorbed {late_total} leaf jobs — the pool rebalanced \
+         without stopping"
+    );
+
+    system.shutdown();
+}

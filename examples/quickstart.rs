@@ -1,0 +1,79 @@
+//! Quickstart: the ActorSpace primitives in two minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Demonstrates the §5 model end to end: create an actorSpace, spawn
+//! actors, make them visible under attributes, reach them by *pattern*
+//! rather than by address, broadcast to a group, and see the §5.6
+//! suspension semantics release a message when a matching actor appears.
+
+use std::time::Duration;
+
+use actorspace::prelude::*;
+
+fn main() {
+    let system = ActorSystem::new(Config::default());
+
+    // An actorSpace: a passive container that scopes pattern matching.
+    let services = system.create_space(None).unwrap();
+
+    // A channel-backed inbox so main() can receive replies.
+    let (inbox, rx) = system.inbox();
+
+    // Two servers with different attributes.
+    let fib = system.spawn(from_fn(move |ctx, msg| {
+        let n = msg.body.as_int().unwrap_or(0);
+        fn fib(n: i64) -> i64 {
+            if n < 2 { n } else { fib(n - 1) + fib(n - 2) }
+        }
+        ctx.send_addr(inbox, Value::list([Value::str("fib"), Value::int(fib(n))]));
+    }));
+    let square = system.spawn(from_fn(move |ctx, msg| {
+        let n = msg.body.as_int().unwrap_or(0);
+        ctx.send_addr(inbox, Value::list([Value::str("square"), Value::int(n * n)]));
+    }));
+
+    // Visibility is explicit (§5.4): until made visible, no pattern can
+    // reach an actor.
+    system.make_visible(fib.id(), &path("srv/math/fib"), services, None).unwrap();
+    system.make_visible(square.id(), &path("srv/math/square"), services, None).unwrap();
+
+    // Pattern-directed send: one matching actor receives it.
+    system
+        .send_pattern(&pattern("srv/math/fib"), services, Value::int(20), None)
+        .unwrap();
+    let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    println!("fib(20)      -> {}", m.body);
+
+    // Wildcards select groups; `send` picks ONE non-deterministically —
+    // this is how replicated services are load-balanced (§5.3).
+    system
+        .send_pattern(&pattern("srv/math/*"), services, Value::int(7), None)
+        .unwrap();
+    let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    println!("srv/math/*   -> {} (one of the two servers)", m.body);
+
+    // `broadcast` reaches EVERY matching actor.
+    system
+        .broadcast(&pattern("srv/**"), services, Value::int(3), None)
+        .unwrap();
+    for _ in 0..2 {
+        let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        println!("broadcast    -> {}", m.body);
+    }
+
+    // Unmatched messages suspend until a matching actor appears (§5.6).
+    system
+        .send_pattern(&pattern("srv/text/upper"), services, Value::str("hello"), None)
+        .unwrap();
+    println!("suspended    -> message for srv/text/upper waits...");
+    let upper = system.spawn(from_fn(move |ctx, msg| {
+        let s = msg.body.as_str().unwrap_or("").to_uppercase();
+        ctx.send_addr(inbox, Value::str(s));
+    }));
+    system.make_visible(upper.id(), &path("srv/text/upper"), services, None).unwrap();
+    let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    println!("released     -> {}", m.body);
+
+    system.shutdown();
+}

@@ -1,0 +1,91 @@
+//! Replicated services behind one pattern — §5.3:
+//!
+//! "This is useful when several actors are replicating a service offered
+//! to clients … the load may be balanced automatically by an
+//! implementation, and none of the clients need to know the exact number
+//! of potential receivers."
+//!
+//! Run with: `cargo run --example replicated_service`
+//!
+//! A client hammers `srv/kv` with requests while the number of replicas
+//! changes from 1 → 4 → 2 *without the client noticing*. Also demos the
+//! manager customization of §8: switching the space's selection policy
+//! from Random to RoundRobin at run time.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use actorspace::prelude::*;
+use actorspace_core::ManagerPolicy;
+
+fn main() {
+    let system = ActorSystem::new(Config::default());
+    let space = system.create_space(None).unwrap();
+    let (inbox, rx) = system.inbox();
+
+    // Spawn one replica; each reply carries the replica's name so we can
+    // see who served the request.
+    let spawn_replica = |name: &'static str| {
+        let r = system.spawn(from_fn(move |ctx, msg| {
+            let parts = msg.body.as_list().unwrap();
+            let reply_to = parts[1].as_addr().unwrap();
+            ctx.send_addr(
+                reply_to,
+                Value::list([Value::str(name), parts[0].clone()]),
+            );
+        }));
+        system.make_visible(r.id(), &path("srv/kv"), space, None).unwrap();
+        r
+    };
+
+    let ask = |i: i64| {
+        system
+            .send_pattern(
+                &pattern("srv/kv"),
+                space,
+                Value::list([Value::int(i), Value::Addr(inbox)]),
+                None,
+            )
+            .unwrap();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap()
+    };
+
+    let tally = |n: i64, label: &str, ask: &dyn Fn(i64) -> Message| {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for i in 0..n {
+            let m = ask(i);
+            let who = m.body.as_list().unwrap()[0].as_str().unwrap().to_owned();
+            *counts.entry(who).or_insert(0) += 1;
+        }
+        println!("{label}:");
+        let mut keys: Vec<_> = counts.keys().cloned().collect();
+        keys.sort();
+        for k in keys {
+            let c = counts[&k];
+            println!("  {k:<10} {c:>4}  {}", "#".repeat((c / 4) as usize));
+        }
+    };
+
+    // Phase 1: a single replica serves everything.
+    let _a = spawn_replica("alpha").leak();
+    tally(40, "1 replica (alpha)", &ask);
+
+    // Phase 2: three more replicas appear — the client code is unchanged.
+    let b = spawn_replica("beta");
+    let c = spawn_replica("gamma");
+    let _d = spawn_replica("delta").leak();
+    tally(200, "\n4 replicas, Random selection (the default non-deterministic choice)", &ask);
+
+    // Phase 3: §8 manager customization — switch arbitration to RoundRobin.
+    let policy = ManagerPolicy { selection: actorspace_core::SelectionPolicy::RoundRobin, ..Default::default() };
+    system.set_space_policy(space, policy, None).unwrap();
+    tally(200, "\n4 replicas, RoundRobin selection (customized manager)", &ask);
+
+    // Phase 4: two replicas retire — again invisible to the client.
+    system.make_invisible(b.id(), space, None).unwrap();
+    system.make_invisible(c.id(), space, None).unwrap();
+    tally(40, "\n2 replicas after beta and gamma retire", &ask);
+
+    println!("\nthe client sent the same pattern `srv/kv` throughout — it never knew the replica count");
+    system.shutdown();
+}

@@ -1,0 +1,121 @@
+//! Pattern-directed access to a software repository — §1:
+//!
+//! "Consider each class as a 'factory' actor which may return its
+//! instances. The interface specifications of classes may be represented
+//! as attributes which are then used to dynamically access classes from
+//! the library."
+//!
+//! Run with: `cargo run --example repository`
+//!
+//! Factory actors advertise `<package>/<interface>/<version>` attributes in
+//! a library actorSpace. Clients discover and instantiate classes purely by
+//! pattern: exact coordinates, "any version of this interface", or "the
+//! whole package" — queries a name server cannot express.
+
+use std::time::Duration;
+
+use actorspace::prelude::*;
+
+fn main() {
+    let system = ActorSystem::new(Config::default());
+    let library = system.create_space(None).unwrap();
+    let (inbox, rx) = system.inbox();
+
+    // A factory actor: answers `instantiate` requests by creating a fresh
+    // instance actor and returning its address (the class-as-factory idea).
+    let install = |pkg: &'static str, iface: &'static str, ver: &'static str| {
+        let f = system.spawn(from_fn(move |ctx, msg| {
+            let reply_to = msg.body.as_list().unwrap()[0].as_addr().unwrap();
+            // The "instance": an actor that reports its own class.
+            let instance = ctx.create(from_fn(move |ictx, imsg| {
+                let reply = imsg.body.as_addr().unwrap();
+                ictx.send_addr(
+                    reply,
+                    Value::str(format!("instance of {pkg}/{iface}/{ver}")),
+                );
+            }));
+            ctx.send_addr(
+                reply_to,
+                Value::list([
+                    Value::str(format!("{pkg}/{iface}/{ver}")),
+                    Value::Addr(instance),
+                ]),
+            );
+        }));
+        system
+            .make_visible(f.id(), &path(&format!("{pkg}/{iface}/{ver}")), library, None)
+            .unwrap();
+        f.leak();
+    };
+
+    // Populate the library.
+    for (pkg, iface, vers) in [
+        ("collections", "list", &["v1", "v2"][..]),
+        ("collections", "map", &["v1"][..]),
+        ("numerics", "matrix", &["v1", "v2", "v3"][..]),
+        ("numerics", "fft", &["v1"][..]),
+    ] {
+        for v in vers {
+            install(pkg, iface, v);
+        }
+    }
+    println!("library populated: 7 factory classes across 2 packages\n");
+
+    // 1. Exact retrieval: instantiate collections/map v1.
+    system
+        .send_pattern(
+            &pattern("collections/map/v1"),
+            library,
+            Value::list([Value::Addr(inbox)]),
+            None,
+        )
+        .unwrap();
+    let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    let parts = m.body.as_list().unwrap().to_vec();
+    println!("exact query `collections/map/v1`   -> factory {}", parts[0]);
+
+    // The returned instance is a live actor.
+    let instance = parts[1].as_addr().unwrap();
+    system.send_to(instance, Value::Addr(inbox));
+    let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    println!("instantiated object answered       -> {}", m.body);
+
+    // 2. "Any version" retrieval: the system picks one matching factory.
+    system
+        .send_pattern(
+            &pattern("numerics/matrix/*"),
+            library,
+            Value::list([Value::Addr(inbox)]),
+            None,
+        )
+        .unwrap();
+    let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    println!(
+        "wildcard `numerics/matrix/*`       -> {} (one of 3 versions)",
+        m.body.as_list().unwrap()[0]
+    );
+
+    // 3. Discovery without delivery: resolve enumerates matches.
+    let all = system.resolve(&pattern("collections/**"), library).unwrap();
+    println!("resolve `collections/**`           -> {} factories found", all.len());
+
+    // 4. A query for a class not yet installed suspends (§5.6)…
+    system
+        .send_pattern(
+            &pattern("graphics/canvas/*"),
+            library,
+            Value::list([Value::Addr(inbox)]),
+            None,
+        )
+        .unwrap();
+    println!("query `graphics/canvas/*`          -> suspended (class not yet installed)");
+    // …until someone hot-installs the package.
+    install("graphics", "canvas", "v1");
+    let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    println!(
+        "after hot-install                  -> {} answered the waiting query",
+        m.body.as_list().unwrap()[0]
+    );
+
+    system.shutdown();
+}

@@ -1,0 +1,69 @@
+//! # ActorSpace
+//!
+//! A Rust reproduction of *ActorSpace: An Open Distributed Programming
+//! Paradigm* (Gul Agha and Christian J. Callsen, PPoPP 1993).
+//!
+//! This façade crate re-exports the whole workspace. See the individual
+//! crates for depth:
+//!
+//! * [`atoms`] — interned atoms and attribute paths (`srv/fib/fast`).
+//! * [`pattern`] — regular expressions over atoms: destination patterns.
+//! * [`capability`] — unforgeable keys guarding visibility operations.
+//! * [`core`] — actorSpaces, the visibility DAG, pattern-directed
+//!   `send`/`broadcast`, manager policies, garbage collection.
+//! * [`runtime`] — a multi-threaded single-node runtime: mailboxes,
+//!   scheduler, the Coordinator, and the three actor ports of the paper's
+//!   prototype.
+//! * [`interp`] — the prototype's small behavior interpreter.
+//! * [`net`] — the inter-node design: a simulated cluster connected by a
+//!   coordinator bus with globally ordered broadcasts.
+//! * [`baselines`] — the systems the paper compares against: a Linda tuple
+//!   space, a global name server, and explicit process groups.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use actorspace::prelude::*;
+//!
+//! let system = ActorSystem::new(Config::default());
+//! let space = system.create_space(None).unwrap();
+//!
+//! // An actor that answers "ping" messages.
+//! let (inbox_id, inbox) = system.inbox();
+//! let ponger = system.spawn(from_fn(move |ctx, msg| {
+//!     ctx.send_addr(inbox_id, Value::list([Value::str("pong"), msg.body]));
+//! }));
+//!
+//! // Make it visible in the space under an attribute, then reach it by
+//! // pattern rather than by address.
+//! system.make_visible(ponger.id(), &path("srv/ping"), space, None).unwrap();
+//! system
+//!     .send_pattern(&pattern("srv/*"), space, Value::str("hello"), None)
+//!     .unwrap();
+//!
+//! let reply = inbox.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+//! assert_eq!(reply.body.as_list().unwrap()[0], Value::str("pong"));
+//! system.shutdown();
+//! ```
+
+pub use actorspace_atoms as atoms;
+pub use actorspace_baselines as baselines;
+pub use actorspace_capability as capability;
+pub use actorspace_core as core;
+pub use actorspace_interp as interp;
+pub use actorspace_net as net;
+pub use actorspace_pattern as pattern;
+pub use actorspace_runtime as runtime;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use actorspace_atoms::{atom, path, Atom, Path};
+    pub use actorspace_capability::{Capability, Rights};
+    pub use actorspace_core::{
+        ActorId, MemberId, SelectionPolicy, SpaceId, UnmatchedPolicy,
+    };
+    pub use actorspace_pattern::{pattern, Pattern};
+    pub use actorspace_runtime::{
+        from_fn, ActorHandle, ActorSystem, Behavior, Config, Ctx, Message, Value,
+    };
+}

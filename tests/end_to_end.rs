@@ -1,0 +1,210 @@
+//! Cross-crate integration: the full paper scenarios through the façade.
+
+use std::time::Duration;
+
+use actorspace::prelude::*;
+
+const TIMEOUT: Duration = Duration::from_secs(15);
+
+/// The paper's §2 roles: a client requests service, servers provide it, a
+/// manager administers the space (capability-guarded policy changes).
+#[test]
+fn client_server_manager_roles() {
+    let system = ActorSystem::new(Config::default());
+
+    // The manager creates a guarded space: only the capability holder may
+    // manage it or change guarded members.
+    let manage_cap = system.new_capability();
+    let space = system.create_space(Some(&manage_cap)).unwrap();
+
+    // Servers register themselves.
+    let (inbox, rx) = system.inbox();
+    for name in ["s1", "s2"] {
+        let srv = system.spawn(from_fn(move |ctx, msg| {
+            let reply_to = msg.body.as_list().unwrap()[0].as_addr().unwrap();
+            ctx.send_addr(reply_to, Value::str(name));
+        }));
+        system.make_visible(srv.id(), &path("service/echo"), space, None).unwrap();
+        srv.leak();
+    }
+
+    // A client requests service knowing only the pattern.
+    system
+        .send_pattern(&pattern("service/*"), space, Value::list([Value::Addr(inbox)]), None)
+        .unwrap();
+    let reply = rx.recv_timeout(TIMEOUT).unwrap();
+    assert!(matches!(reply.body.as_str(), Some("s1") | Some("s2")));
+
+    // An untrusted client cannot manage the space…
+    let mallory_cap = system.new_capability();
+    assert!(system
+        .set_space_policy(space, actorspace_core::ManagerPolicy::default(), Some(&mallory_cap))
+        .is_err());
+    assert!(system.destroy_space(space, None).is_err());
+
+    // …but the manager can.
+    system
+        .set_space_policy(space, actorspace_core::ManagerPolicy::default(), Some(&manage_cap))
+        .unwrap();
+    system.destroy_space(space, Some(&manage_cap)).unwrap();
+    system.shutdown();
+}
+
+/// §1's "successively localized" computation: broadcast to WAN
+/// representatives, then distribute within a LAN.
+#[test]
+fn wan_lan_localization() {
+    let system = ActorSystem::new(Config::default());
+    let wan = system.create_space(None).unwrap();
+    let (inbox, rx) = system.inbox();
+
+    // Two LANs, each a nested space with local workers.
+    for lan_name in ["lan-a", "lan-b"] {
+        let lan = system.create_space(None).unwrap();
+        system.make_visible(lan, &path(lan_name), wan, None).unwrap();
+        // A representative: receives WAN broadcasts and re-distributes
+        // locally within its own LAN space.
+        let rep = system.spawn(from_fn(move |ctx, msg| {
+            ctx.send_pattern(&pattern("worker/*"), lan, msg.body).unwrap();
+        }));
+        system.make_visible(rep.id(), &path("rep"), lan, None).unwrap();
+        rep.leak();
+        for w in 0..2 {
+            let lan_label = lan_name;
+            let worker = system.spawn(from_fn(move |ctx, msg| {
+                ctx.send_addr(
+                    msg.body.as_addr().unwrap(),
+                    Value::str(format!("{lan_label}-w{w}")),
+                );
+            }));
+            system
+                .make_visible(worker.id(), &path(&format!("worker/{w}")), lan, None)
+                .unwrap();
+            worker.leak();
+        }
+    }
+
+    // Broadcast to every LAN's representative via the structured attribute
+    // `<lan>/rep`; each rep localizes the work inside its LAN.
+    system
+        .broadcast(&pattern("*/rep"), wan, Value::Addr(inbox), None)
+        .unwrap();
+    let mut lans_heard = std::collections::HashSet::new();
+    for _ in 0..2 {
+        let m = rx.recv_timeout(TIMEOUT).unwrap();
+        let s = m.body.as_str().unwrap().to_owned();
+        lans_heard.insert(s.split("-w").next().unwrap().to_owned());
+    }
+    assert_eq!(lans_heard.len(), 2, "one worker in each LAN should answer");
+    system.shutdown();
+}
+
+/// The Actor locality property (§3) survives the extension: an actor that
+/// is never made visible is reachable only by its explicit address.
+#[test]
+fn locality_is_the_default() {
+    let system = ActorSystem::new(Config::default());
+    let space = system.create_space(None).unwrap();
+    let (inbox, rx) = system.inbox();
+    let private = system.spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    // Not visible: no pattern reaches it.
+    assert_eq!(system.resolve(&Pattern::any(), space).unwrap(), vec![]);
+    // The explicit address still works — Actors are a special case of
+    // ActorSpace.
+    assert!(private.send(Value::int(1)));
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(1));
+    system.shutdown();
+}
+
+/// §5.4: different attributes in different spaces — the mailing-list
+/// metaphor ("each list may contain a set of attributes … as viewed by
+/// that list").
+#[test]
+fn per_space_attribute_views() {
+    let system = ActorSystem::new(Config::default());
+    let red_book = system.create_space(None).unwrap();
+    let blue_book = system.create_space(None).unwrap();
+    let (inbox, rx) = system.inbox();
+    let person = system.spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    system.make_visible(person.id(), &path("plumber"), red_book, None).unwrap();
+    system.make_visible(person.id(), &path("violinist"), blue_book, None).unwrap();
+
+    // Reachable as a plumber only through the red book.
+    system.send_pattern(&pattern("plumber"), red_book, Value::int(1), None).unwrap();
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(1));
+    assert_eq!(system.resolve(&pattern("plumber"), blue_book).unwrap(), vec![]);
+    assert_eq!(system.resolve(&pattern("violinist"), blue_book).unwrap(), vec![person.id()]);
+    system.shutdown();
+}
+
+/// Interpreted and native actors cooperating across a simulated cluster.
+#[test]
+fn interp_actor_on_a_cluster_node() {
+    use actorspace::interp::{BehaviorLib, InterpBehavior};
+    use actorspace::net::{Cluster, ClusterConfig};
+    use std::sync::Arc;
+
+    let lib = Arc::new(
+        BehaviorLib::load("(behavior tripler (out) (on m (send-addr out (* 3 m))))").unwrap(),
+    );
+    let cluster = Cluster::new(ClusterConfig { nodes: 2, ..ClusterConfig::default() });
+    let (inbox, rx) = cluster.node(0).system().inbox();
+    let space = cluster.node(0).create_space(None);
+
+    // The interpreted actor runs on node 1.
+    let t = cluster
+        .node(1)
+        .spawn(InterpBehavior::new(lib, "tripler", vec![Value::Addr(inbox)]).unwrap());
+    cluster.node(1).make_visible(t, &path("math/triple"), space, None).unwrap();
+    assert!(cluster.await_coherence(TIMEOUT));
+
+    // Node 0 reaches it by pattern; the message crosses the data plane.
+    cluster.node(0).send_pattern(&pattern("math/*"), space, Value::int(14)).unwrap();
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(42));
+    cluster.shutdown();
+}
+
+/// GC at the system level: a dropped service is collected; pattern sends
+/// then suspend until a replacement arrives (open-system resource
+/// reclamation, §2).
+#[test]
+fn resource_reclamation_cycle() {
+    let system = ActorSystem::new(Config::default());
+    let space = system.create_space(None).unwrap();
+    // Anchor the space in the globally visible root (§7.1) so GC keeps it;
+    // only the withdrawn server should be collected.
+    system
+        .make_visible(space, &path("public/services"), actorspace_core::ROOT_SPACE, None)
+        .unwrap();
+    let (inbox, rx) = system.inbox();
+
+    let v1 = system.spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, Value::list([Value::str("v1"), msg.body]));
+    }));
+    system.make_visible(v1.id(), &path("svc"), space, None).unwrap();
+    system.send_pattern(&pattern("svc"), space, Value::int(1), None).unwrap();
+    rx.recv_timeout(TIMEOUT).unwrap();
+
+    // The server is withdrawn and collected.
+    system.make_invisible(v1.id(), space, None).unwrap();
+    let v1_id = v1.id();
+    drop(v1);
+    system.await_idle(TIMEOUT);
+    let report = system.collect_garbage(&|_| Vec::new());
+    assert!(report.collected_actors.contains(&v1_id));
+
+    // New requests suspend, then a v2 replacement releases them.
+    system.send_pattern(&pattern("svc"), space, Value::int(2), None).unwrap();
+    assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
+    let v2 = system.spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, Value::list([Value::str("v2"), msg.body]));
+    }));
+    system.make_visible(v2.id(), &path("svc"), space, None).unwrap();
+    let m = rx.recv_timeout(TIMEOUT).unwrap();
+    assert_eq!(m.body.as_list().unwrap()[0], Value::str("v2"));
+    system.shutdown();
+}
