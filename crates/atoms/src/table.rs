@@ -129,7 +129,9 @@ mod tests {
         for _ in 0..8 {
             let t = t.clone();
             handles.push(std::thread::spawn(move || {
-                (0..200).map(|i| t.intern(&format!("k{}", i % 50))).collect::<Vec<_>>()
+                (0..200)
+                    .map(|i| t.intern(&format!("k{}", i % 50)))
+                    .collect::<Vec<_>>()
             }));
         }
         let results: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

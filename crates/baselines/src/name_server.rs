@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn blocking_lookup_times_out() {
         let ns = NameServer::new();
-        assert_eq!(ns.lookup_blocking(atom("ns/never"), Duration::from_millis(40)), None);
+        assert_eq!(
+            ns.lookup_blocking(atom("ns/never"), Duration::from_millis(40)),
+            None
+        );
     }
 
     #[test]

@@ -57,7 +57,12 @@ impl ProcessGroups {
             Some(s) => SmallRng::seed_from_u64(s),
             None => SmallRng::from_entropy(),
         };
-        ProcessGroups { inner: Mutex::new(Inner { groups: HashMap::new(), rng }) }
+        ProcessGroups {
+            inner: Mutex::new(Inner {
+                groups: HashMap::new(),
+                rng,
+            }),
+        }
     }
 
     /// Adds `member` to `group` (creating the group on first join).
@@ -84,7 +89,12 @@ impl ProcessGroups {
 
     /// The group's current membership (copy).
     pub fn members(&self, group: Atom) -> Vec<u64> {
-        self.inner.lock().groups.get(&group).cloned().unwrap_or_default()
+        self.inner
+            .lock()
+            .groups
+            .get(&group)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Selects one member (the "send to group, one receives" style used for
@@ -92,7 +102,10 @@ impl ProcessGroups {
     pub fn pick_one(&self, group: Atom) -> Result<u64, GroupError> {
         let mut inner = self.inner.lock();
         let Inner { groups, rng } = &mut *inner;
-        let members = groups.get(&group).filter(|m| !m.is_empty()).ok_or(GroupError::EmptyGroup)?;
+        let members = groups
+            .get(&group)
+            .filter(|m| !m.is_empty())
+            .ok_or(GroupError::EmptyGroup)?;
         Ok(members[rng.gen_range(0..members.len())])
     }
 
@@ -115,7 +128,12 @@ impl ProcessGroups {
 
     /// Number of groups with at least one member.
     pub fn group_count(&self) -> usize {
-        self.inner.lock().groups.values().filter(|m| !m.is_empty()).count()
+        self.inner
+            .lock()
+            .groups
+            .values()
+            .filter(|m| !m.is_empty())
+            .count()
     }
 }
 

@@ -214,7 +214,10 @@ mod tests {
         let ts = Arc::new(TupleSpace::new());
         let ts2 = ts.clone();
         let h = std::thread::spawn(move || {
-            ts2.in_(&TuplePattern::new([exact("k"), wild()]), Duration::from_secs(10))
+            ts2.in_(
+                &TuplePattern::new([exact("k"), wild()]),
+                Duration::from_secs(10),
+            )
         });
         std::thread::sleep(Duration::from_millis(50));
         ts.out(vec![Field::str("k"), Field::Int(7)]);
@@ -225,7 +228,10 @@ mod tests {
     #[test]
     fn blocking_in_times_out() {
         let ts = TupleSpace::new();
-        let got = ts.in_(&TuplePattern::new([exact("never")]), Duration::from_millis(50));
+        let got = ts.in_(
+            &TuplePattern::new([exact("never")]),
+            Duration::from_millis(50),
+        );
         assert!(got.is_none());
     }
 
@@ -254,7 +260,10 @@ mod tests {
                 got
             }));
         }
-        let mut all: Vec<i64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         let want: Vec<i64> = (0..n_tuples).collect();
         assert_eq!(all, want, "every tuple consumed exactly once");

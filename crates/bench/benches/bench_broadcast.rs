@@ -18,12 +18,16 @@ use actorspace_runtime::{from_fn, ActorSystem, Config, Value};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn group_system(g: usize) -> (ActorSystem, actorspace_core::SpaceId, Vec<ActorId>) {
-    let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+    let sys = ActorSystem::new(Config {
+        workers: 4,
+        ..Config::default()
+    });
     let space = sys.create_space(None).unwrap();
     let mut ids = Vec::with_capacity(g);
     for _ in 0..g {
         let a = sys.spawn(from_fn(|_, _| {}));
-        sys.make_visible(a.id(), &path("node"), space, None).unwrap();
+        sys.make_visible(a.id(), &path("node"), space, None)
+            .unwrap();
         ids.push(a.leak());
     }
     (sys, space, ids)

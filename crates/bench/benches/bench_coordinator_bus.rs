@@ -20,7 +20,8 @@ fn visibility_storm(cluster: &Cluster, per_node: usize) {
     for (i, node) in cluster.nodes().iter().enumerate() {
         for k in 0..per_node {
             let w = node.spawn(from_fn(|_, _| {}));
-            node.make_visible(w, &path(&format!("w/n{i}/k{k}")), space, None).unwrap();
+            node.make_visible(w, &path(&format!("w/n{i}/k{k}")), space, None)
+                .unwrap();
         }
     }
     assert!(cluster.await_coherence(Duration::from_secs(60)));
@@ -38,26 +39,22 @@ fn bench_ordered_visibility(c: &mut Criterion) {
             ("sequencer", OrderingProtocol::Sequencer),
             ("token_bus", OrderingProtocol::TokenBus),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(name, nodes),
-                &nodes,
-                |b, &n| {
-                    b.iter_with_setup(
-                        || {
-                            Cluster::new(ClusterConfig {
-                                nodes: n,
-                                protocol,
-                                token_hop: Duration::from_micros(100),
-                                ..ClusterConfig::default()
-                            })
-                        },
-                        |cluster| {
-                            visibility_storm(&cluster, per_node);
-                            cluster.shutdown();
-                        },
-                    );
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(name, nodes), &nodes, |b, &n| {
+                b.iter_with_setup(
+                    || {
+                        Cluster::new(ClusterConfig {
+                            nodes: n,
+                            protocol,
+                            token_hop: Duration::from_micros(100),
+                            ..ClusterConfig::default()
+                        })
+                    },
+                    |cluster| {
+                        visibility_storm(&cluster, per_node);
+                        cluster.shutdown();
+                    },
+                );
+            });
         }
     }
     g.finish();
@@ -66,18 +63,27 @@ fn bench_ordered_visibility(c: &mut Criterion) {
 fn bench_remote_round_trip(c: &mut Criterion) {
     let mut g = c.benchmark_group("E3_remote_round_trip");
     g.sample_size(10).measurement_time(Duration::from_secs(8));
-    let cluster = Cluster::new(ClusterConfig { nodes: 2, ..ClusterConfig::default() });
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        ..ClusterConfig::default()
+    });
     let (inbox, rx) = cluster.node(0).system().inbox();
     let space = cluster.node(0).create_space(None);
     let echo = cluster.node(1).spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    cluster.node(1).make_visible(echo, &path("echo"), space, None).unwrap();
+    cluster
+        .node(1)
+        .make_visible(echo, &path("echo"), space, None)
+        .unwrap();
     assert!(cluster.await_coherence(Duration::from_secs(30)));
     let pat = pattern("echo");
     g.bench_function("pattern_send_cross_node", |b| {
         b.iter(|| {
-            cluster.node(0).send_pattern(&pat, space, Value::int(1)).unwrap();
+            cluster
+                .node(0)
+                .send_pattern(&pat, space, Value::int(1))
+                .unwrap();
             rx.recv_timeout(Duration::from_secs(30)).unwrap();
         });
     });

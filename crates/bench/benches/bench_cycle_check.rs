@@ -9,7 +9,7 @@
 //! check) as the visibility graph deepens — the marginal price of safety.
 
 use actorspace_atoms::path;
-use actorspace_core::{policy::ManagerPolicy, ActorId, Registry, SpaceId};
+use actorspace_core::{policy::ManagerPolicy, ActorId, Registry, Route, SpaceId};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Builds a linear chain of `depth` spaces: s0 visible in s1 … visible in
@@ -17,9 +17,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn chain(depth: usize) -> (Registry<u64>, Vec<SpaceId>) {
     let mut r: Registry<u64> = Registry::new(ManagerPolicy::default());
     let spaces: Vec<SpaceId> = (0..depth).map(|_| r.create_space(None)).collect();
-    let mut sink = |_: ActorId, _: u64| {};
+    let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {};
     for w in spaces.windows(2) {
-        r.make_visible(w[0].into(), vec![path("sub")], w[1], None, &mut sink).unwrap();
+        r.make_visible(w[0].into(), vec![path("sub")], w[1], None, &mut sink)
+            .unwrap();
     }
     (r, spaces)
 }
@@ -35,7 +36,7 @@ fn bench_dag_check_vs_depth(c: &mut Criterion) {
                     (r, spaces, extra)
                 },
                 |(mut r, spaces, extra)| {
-                    let mut sink = |_: ActorId, _: u64| {};
+                    let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {};
                     // Making the chain head visible in a fresh space walks
                     // the reachable subgraph (the whole chain below it).
                     r.make_visible(
@@ -58,9 +59,10 @@ fn bench_dag_check_vs_depth(c: &mut Criterion) {
                     (r, top, a)
                 },
                 |(mut r, top, a)| {
-                    let mut sink = |_: ActorId, _: u64| {};
+                    let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {};
                     // Actors cannot form cycles: no graph walk.
-                    r.make_visible(a.into(), vec![path("x")], top, None, &mut sink).unwrap();
+                    r.make_visible(a.into(), vec![path("x")], top, None, &mut sink)
+                        .unwrap();
                 },
             );
         });
@@ -75,7 +77,7 @@ fn bench_rejected_cycle_cost(c: &mut Criterion) {
             b.iter_with_setup(
                 || chain(d),
                 |(mut r, spaces)| {
-                    let mut sink = |_: ActorId, _: u64| {};
+                    let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {};
                     // Closing the chain into a loop must be detected (and
                     // costs a full-chain walk — the worst case).
                     let err = r

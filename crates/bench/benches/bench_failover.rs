@@ -1,0 +1,133 @@
+//! E7: node-failure recovery — time to reroute after `kill_node`.
+//!
+//! The paper's open-systems pitch (§2) is that components "may be added,
+//! replaced or removed at runtime"; this bench measures the replacement
+//! path when removal is a *crash*. A pool of workers lives on a doomed
+//! node; the node is killed with messages resolved-but-undelivered to it;
+//! the measured interval runs from the kill to the last of those messages
+//! completing against a survivor. That covers the whole recovery pipeline:
+//! heartbeat silence → suspicion → `NodeDown` purge → journal drain →
+//! re-resolution — so the floor is the failure-detector threshold, and the
+//! slope over pool sizes is the re-resolution cost per in-flight message.
+//!
+//! Besides the Criterion group, `report_failover_json` prints the
+//! `{"title","headers","rows"}` JSON shape from [`actorspace_bench::report`]
+//! for machine-readable capture.
+
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+use actorspace_atoms::path;
+use actorspace_bench::report::{fmt_dur, time_it, Table};
+use actorspace_core::SpaceId;
+use actorspace_net::{Cluster, ClusterConfig, FailureConfig};
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, Message, Value};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+const POOL_SIZES: [usize; 3] = [1, 8, 32];
+
+struct Fixture {
+    cluster: Cluster,
+    space: SpaceId,
+    survivor: actorspace_core::ActorId,
+    rx: Receiver<Message>,
+}
+
+/// Boots a 3-node cluster with a `pool`-worker pool on doomed node 2 and a
+/// not-yet-visible survivor echo worker on node 1.
+fn boot(pool: usize) -> Fixture {
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        failure: FailureConfig::fast(),
+        ..ClusterConfig::default()
+    });
+    let (inbox, rx) = cluster.node(0).system().inbox();
+    let space = cluster.node(0).create_space(None);
+    for _ in 0..pool {
+        let w = cluster.node(2).spawn(from_fn(|_, _| {}));
+        cluster
+            .node(2)
+            .make_visible(w, &path("pool/w"), space, None)
+            .unwrap();
+    }
+    let survivor = cluster.node(1).spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    assert!(
+        cluster.await_coherence(TIMEOUT),
+        "boot must reach coherence"
+    );
+    Fixture {
+        cluster,
+        space,
+        survivor,
+        rx,
+    }
+}
+
+/// The measured interval: kill the pool's node, issue one send per pool
+/// worker (each resolves against the stale replica, so each takes the full
+/// failover path), advertise the survivor, and wait for every message to
+/// come back through it.
+fn reroute(f: &Fixture, pool: usize) {
+    f.cluster.kill_node(2);
+    for i in 0..pool {
+        f.cluster
+            .node(0)
+            .send_pattern(&pattern("pool/w"), f.space, Value::int(i as i64))
+            .unwrap();
+    }
+    f.cluster
+        .node(1)
+        .make_visible(f.survivor, &path("pool/w"), f.space, None)
+        .unwrap();
+    for _ in 0..pool {
+        f.rx.recv_timeout(TIMEOUT)
+            .expect("rerouted message must arrive");
+    }
+}
+
+fn bench_failover_reroute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E7_failover_reroute");
+    // Every sample pays the detector threshold (~tens of ms) plus a full
+    // cluster boot in setup; keep the sample count proportionate.
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for pool in POOL_SIZES {
+        g.bench_with_input(
+            BenchmarkId::new("kill_to_redelivery", pool),
+            &pool,
+            |b, &pool| {
+                b.iter_with_setup(
+                    || boot(pool),
+                    |f| {
+                        reroute(&f, pool);
+                        f.cluster.shutdown();
+                    },
+                );
+            },
+        );
+    }
+    g.finish();
+}
+
+/// One untimed-by-Criterion pass per pool size, reported in the repo's
+/// table shape (text + JSON) for capture alongside EXPERIMENTS.md.
+fn report_failover_json(_c: &mut Criterion) {
+    let mut table = Table::new(
+        "E7 failover: kill_node to full redelivery",
+        &["pool", "kill_to_redelivery"],
+    );
+    for pool in POOL_SIZES {
+        let f = boot(pool);
+        let (_, elapsed) = time_it(|| reroute(&f, pool));
+        f.cluster.shutdown();
+        table.row(&[pool.to_string(), fmt_dur(elapsed)]);
+    }
+    table.print();
+    println!("{}", table.to_json());
+}
+
+criterion_group!(benches, bench_failover_reroute, report_failover_json);
+criterion_main!(benches);

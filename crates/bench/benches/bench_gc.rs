@@ -6,7 +6,7 @@
 //! reachability problem only.
 
 use actorspace_atoms::path;
-use actorspace_core::{policy::ManagerPolicy, ActorId, Registry, ROOT_SPACE};
+use actorspace_core::{policy::ManagerPolicy, ActorId, Registry, Route, ROOT_SPACE};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 /// Builds `spaces` spaces × `actors_per_space` actors. `live_fraction` of
@@ -14,17 +14,29 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 /// are garbage.
 fn population(spaces: usize, actors_per_space: usize, live_fraction: f64) -> Registry<u64> {
     let mut r: Registry<u64> = Registry::new(ManagerPolicy::default());
-    let mut sink = |_: ActorId, _: u64| {};
+    let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {};
     for s in 0..spaces {
         let space = r.create_space(None);
         if (s as f64) < spaces as f64 * live_fraction {
-            r.make_visible(space.into(), vec![path(&format!("s{s}"))], ROOT_SPACE, None, &mut sink)
-                .unwrap();
+            r.make_visible(
+                space.into(),
+                vec![path(&format!("s{s}"))],
+                ROOT_SPACE,
+                None,
+                &mut sink,
+            )
+            .unwrap();
         }
         for a in 0..actors_per_space {
             let actor = r.create_actor(space, None).unwrap();
-            r.make_visible(actor.into(), vec![path(&format!("a{a}"))], space, None, &mut sink)
-                .unwrap();
+            r.make_visible(
+                actor.into(),
+                vec![path(&format!("a{a}"))],
+                space,
+                None,
+                &mut sink,
+            )
+            .unwrap();
         }
     }
     r
@@ -42,8 +54,7 @@ fn bench_collection(c: &mut Criterion) {
                 || population(spaces, per, live),
                 |mut r| {
                     let report = r.collect_garbage(&|_| Vec::new());
-                    let expected_dead =
-                        ((spaces as f64 * (1.0 - live)).round() as usize) * per;
+                    let expected_dead = ((spaces as f64 * (1.0 - live)).round() as usize) * per;
                     assert_eq!(report.collected_actors.len(), expected_dead);
                     report
                 },

@@ -21,13 +21,20 @@ fn system_with_replicas(
     k: usize,
     selection: SelectionPolicy,
 ) -> (ActorSystem, actorspace_core::SpaceId) {
-    let sys = ActorSystem::new(Config { workers: 2, ..Config::default() });
+    let sys = ActorSystem::new(Config {
+        workers: 2,
+        ..Config::default()
+    });
     let space = sys.create_space(None).unwrap();
-    let policy = ManagerPolicy { selection, ..Default::default() };
+    let policy = ManagerPolicy {
+        selection,
+        ..Default::default()
+    };
     sys.set_space_policy(space, policy, None).unwrap();
     for _ in 0..k {
         let r = sys.spawn(from_fn(|_, _| {}));
-        sys.make_visible(r.id(), &path("srv/kv"), space, None).unwrap();
+        sys.make_visible(r.id(), &path("srv/kv"), space, None)
+            .unwrap();
         r.leak();
     }
     (sys, space)

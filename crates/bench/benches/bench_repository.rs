@@ -35,12 +35,20 @@ fn bench_lookups(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("pattern_versions", size), &size, |b, _| {
             b.iter(|| lookup_versions(&repo, pkg, iface));
         });
-        g.bench_with_input(BenchmarkId::new("ns_versions_emulated", size), &size, |b, _| {
-            b.iter(|| ns_lookup_versions_emulated(&ns, pkg, iface));
-        });
-        g.bench_with_input(BenchmarkId::new("pattern_package_scan", size), &size, |b, _| {
-            b.iter(|| lookup_package(&repo, pkg));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ns_versions_emulated", size),
+            &size,
+            |b, _| {
+                b.iter(|| ns_lookup_versions_emulated(&ns, pkg, iface));
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pattern_package_scan", size),
+            &size,
+            |b, _| {
+                b.iter(|| lookup_package(&repo, pkg));
+            },
+        );
     }
     g.finish();
 }

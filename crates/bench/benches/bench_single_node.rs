@@ -7,7 +7,7 @@
 use std::time::Duration;
 
 use actorspace_atoms::path;
-use actorspace_core::{policy::ManagerPolicy, ActorId, Registry};
+use actorspace_core::{policy::ManagerPolicy, ActorId, Registry, Route};
 use actorspace_pattern::{pattern, Pattern};
 use actorspace_runtime::{from_fn, ActorSystem, Config, Value};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -17,7 +17,10 @@ fn bench_point_to_point(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     let batch: u64 = 10_000;
     g.throughput(Throughput::Elements(batch));
-    let sys = ActorSystem::new(Config { workers: 2, ..Config::default() });
+    let sys = ActorSystem::new(Config {
+        workers: 2,
+        ..Config::default()
+    });
     let sink = sys.spawn(from_fn(|_, _| {}));
     g.bench_function("send_10k_msgs", |b| {
         b.iter(|| {
@@ -36,10 +39,14 @@ fn bench_pattern_send_path(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(5));
     let batch: u64 = 10_000;
     g.throughput(Throughput::Elements(batch));
-    let sys = ActorSystem::new(Config { workers: 2, ..Config::default() });
+    let sys = ActorSystem::new(Config {
+        workers: 2,
+        ..Config::default()
+    });
     let space = sys.create_space(None).unwrap();
     let a = sys.spawn(from_fn(|_, _| {}));
-    sys.make_visible(a.id(), &path("srv/one"), space, None).unwrap();
+    sys.make_visible(a.id(), &path("srv/one"), space, None)
+        .unwrap();
     let pat = pattern("srv/*");
     g.bench_function("pattern_send_10k", |b| {
         b.iter(|| {
@@ -57,7 +64,7 @@ fn bench_pattern_send_path(c: &mut Criterion) {
 fn resolve_registry(n_actors: usize) -> (Registry<u64>, actorspace_core::SpaceId) {
     let mut reg: Registry<u64> = Registry::new(ManagerPolicy::default());
     let space = reg.create_space(None);
-    let mut sink = |_: ActorId, _: u64| {};
+    let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {};
     for i in 0..n_actors {
         let a = reg.create_actor(space, None).unwrap();
         reg.make_visible(

@@ -26,13 +26,17 @@ fn bench_tsp_sharing(c: &mut Criterion) {
                 })
             },
         );
-        g.bench_with_input(BenchmarkId::new("no_sharing", workers), &workers, |b, &w| {
-            b.iter(|| {
-                let out = solve_actorspace_with(&inst, w, false, 2.0);
-                assert_eq!(out.best, exact);
-                out
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("no_sharing", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let out = solve_actorspace_with(&inst, w, false, 2.0);
+                    assert_eq!(out.best, exact);
+                    out
+                })
+            },
+        );
     }
     g.finish();
 }

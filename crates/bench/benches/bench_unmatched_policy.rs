@@ -9,13 +9,18 @@
 use actorspace_atoms::path;
 use actorspace_core::{
     policy::{ManagerPolicy, UnmatchedPolicy},
-    ActorId, Registry,
+    ActorId, Registry, Route,
 };
 use actorspace_pattern::pattern;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn registry(unmatched: UnmatchedPolicy) -> Registry<u64> {
-    let p = ManagerPolicy { unmatched_send: unmatched, unmatched_broadcast: unmatched, selection_seed: Some(1), ..Default::default() };
+    let p = ManagerPolicy {
+        unmatched_send: unmatched,
+        unmatched_broadcast: unmatched,
+        selection_seed: Some(1),
+        ..Default::default()
+    };
     Registry::new(p)
 }
 
@@ -34,7 +39,7 @@ fn bench_unmatched_send(c: &mut Criterion) {
                     (r, s)
                 },
                 |(mut r, s)| {
-                    let mut sink = |_: ActorId, _: u64| {};
+                    let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {};
                     let pat = pattern("ghost");
                     for _ in 0..100 {
                         let _ = r.send(&pat, s, 1, &mut sink);
@@ -58,14 +63,15 @@ fn bench_suspend_wake_cycle(c: &mut Criterion) {
             },
             |(mut r, s, a)| {
                 let mut delivered = 0u32;
-                let mut sink = |_: ActorId, _: u64| {
+                let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {
                     delivered += 1;
                 };
                 let pat = pattern("late");
                 for _ in 0..50 {
                     r.send(&pat, s, 1, &mut sink).unwrap();
                 }
-                r.make_visible(a.into(), vec![path("late")], s, None, &mut sink).unwrap();
+                r.make_visible(a.into(), vec![path("late")], s, None, &mut sink)
+                    .unwrap();
                 assert_eq!(delivered, 50);
             },
         );
@@ -81,12 +87,13 @@ fn bench_suspend_wake_cycle(c: &mut Criterion) {
             },
             |(mut r, s, actors)| {
                 let mut delivered = 0u32;
-                let mut sink = |_: ActorId, _: u64| {
+                let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {
                     delivered += 1;
                 };
                 r.broadcast(&pattern("node"), s, 1, &mut sink).unwrap();
                 for a in actors {
-                    r.make_visible(a.into(), vec![path("node")], s, None, &mut sink).unwrap();
+                    r.make_visible(a.into(), vec![path("node")], s, None, &mut sink)
+                        .unwrap();
                 }
                 assert_eq!(delivered, 10);
             },
@@ -109,7 +116,7 @@ fn bench_wake_overhead_when_nothing_pending(c: &mut Criterion) {
                 (r, s, actors)
             },
             |(mut r, s, actors)| {
-                let mut sink = |_: ActorId, _: u64| {};
+                let mut sink = |_: ActorId, _: u64, _: Option<&Route>| {};
                 for (i, a) in actors.into_iter().enumerate() {
                     r.make_visible(a.into(), vec![path(&format!("w/{i}"))], s, None, &mut sink)
                         .unwrap();

@@ -21,7 +21,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 const REQUESTS: u64 = 2_000;
 
 fn actorspace_round(workers: usize) {
-    let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+    let sys = ActorSystem::new(Config {
+        workers: 4,
+        ..Config::default()
+    });
     let space = sys.create_space(None).unwrap();
     let (inbox, rx) = sys.inbox();
     for _ in 0..workers {
@@ -34,7 +37,8 @@ fn actorspace_round(workers: usize) {
     }
     let pat = pattern("svc");
     for i in 0..REQUESTS {
-        sys.send_pattern(&pat, space, Value::int(i as i64), None).unwrap();
+        sys.send_pattern(&pat, space, Value::int(i as i64), None)
+            .unwrap();
     }
     for _ in 0..REQUESTS {
         rx.recv_timeout(Duration::from_secs(60)).expect("reply");
@@ -50,7 +54,9 @@ fn linda_round(workers: usize) {
         handles.push(std::thread::spawn(move || {
             let req = TuplePattern::new([exact("req"), wild()]);
             loop {
-                let Some(t) = ts.in_(&req, Duration::from_secs(60)) else { return };
+                let Some(t) = ts.in_(&req, Duration::from_secs(60)) else {
+                    return;
+                };
                 let Field::Int(n) = t[1] else { continue };
                 if n < 0 {
                     return; // poison pill
@@ -84,9 +90,11 @@ fn bench_request_reply(c: &mut Criterion) {
             &workers,
             |b, &w| b.iter(|| actorspace_round(w)),
         );
-        g.bench_with_input(BenchmarkId::new("linda_polling", workers), &workers, |b, &w| {
-            b.iter(|| linda_round(w))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("linda_polling", workers),
+            &workers,
+            |b, &w| b.iter(|| linda_round(w)),
+        );
     }
     g.finish();
 }

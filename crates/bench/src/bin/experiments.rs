@@ -81,12 +81,17 @@ fn e1_process_pool() {
     };
     let mut t1 = None;
     for workers in [1usize, 2, 4, 8] {
-        let out = pool::run_pool(&pool::PoolParams { initial_workers: workers, ..base.clone() });
+        let out = pool::run_pool(&pool::PoolParams {
+            initial_workers: workers,
+            ..base.clone()
+        });
         let wall = out.wall;
         if workers == 1 {
             t1 = Some(wall);
         }
-        let speedup = t1.map(|b| b.as_secs_f64() / wall.as_secs_f64()).unwrap_or(1.0);
+        let speedup = t1
+            .map(|b| b.as_secs_f64() / wall.as_secs_f64())
+            .unwrap_or(1.0);
         let total: usize = out.distribution.iter().sum();
         let min = out.distribution.iter().min().copied().unwrap_or(0);
         let max = out.distribution.iter().max().copied().unwrap_or(0);
@@ -94,7 +99,11 @@ fn e1_process_pool() {
             workers.to_string(),
             fmt_dur(wall),
             format!("{speedup:.2}x"),
-            format!("{:.0}%/{:.0}%", 100.0 * min as f64 / total as f64, 100.0 * max as f64 / total as f64),
+            format!(
+                "{:.0}%/{:.0}%",
+                100.0 * min as f64 / total as f64,
+                100.0 * max as f64 / total as f64
+            ),
         ]);
     }
     // Dynamic arrival row.
@@ -110,10 +119,15 @@ fn e1_process_pool() {
         "2+2 late".into(),
         fmt_dur(dynamic.wall),
         "-".into(),
-        format!("late workers took {:.0}%", 100.0 * late_share as f64 / total as f64),
+        format!(
+            "late workers took {:.0}%",
+            100.0 * late_share as f64 / total as f64
+        ),
     ]);
     t.print();
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "(host has {cores} core(s); wall-clock speedup needs >1 core — the reproducible \
          shapes here are the even leaf shares (no master bottleneck) and the live \
@@ -130,7 +144,10 @@ fn e2_single_node() {
         &["operation", "n", "total", "per op"],
     );
     {
-        let sys = ActorSystem::new(Config { workers: 2, ..Config::default() });
+        let sys = ActorSystem::new(Config {
+            workers: 2,
+            ..Config::default()
+        });
         let sink = sys.spawn(from_fn(|_, _| {}));
         let n = 100_000u64;
         let (_, d) = time_it(|| {
@@ -147,7 +164,8 @@ fn e2_single_node() {
         ]);
         let space = sys.create_space(None).unwrap();
         let a = sys.spawn(from_fn(|_, _| {}));
-        sys.make_visible(a.id(), &path("srv/x"), space, None).unwrap();
+        sys.make_visible(a.id(), &path("srv/x"), space, None)
+            .unwrap();
         let pat = pattern("srv/*");
         let n = 50_000u64;
         let (_, d) = time_it(|| {
@@ -168,7 +186,7 @@ fn e2_single_node() {
     for n_actors in [100usize, 1_000, 10_000] {
         let mut reg: Registry<u64> = Registry::new(ManagerPolicy::default());
         let space = reg.create_space(None);
-        let mut sink = |_: ActorId, _: u64| {};
+        let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
         for i in 0..n_actors {
             let a = reg.create_actor(space, None).unwrap();
             reg.make_visible(
@@ -182,7 +200,10 @@ fn e2_single_node() {
         }
         let reps = 200u32;
         for (name, pat) in [
-            ("resolve exact", Pattern::parse("srv/class-1/inst-1").unwrap()),
+            (
+                "resolve exact",
+                Pattern::parse("srv/class-1/inst-1").unwrap(),
+            ),
             ("resolve wildcard", pattern("srv/class-1/*")),
             ("resolve full scan", pattern("**")),
         ] {
@@ -226,7 +247,8 @@ fn e3_coordinator_bus() {
             for (i, node) in cluster.nodes().iter().enumerate() {
                 for k in 0..40 {
                     let w = node.spawn(from_fn(|_, _| {}));
-                    node.make_visible(w, &path(&format!("w/n{i}/k{k}")), space, None).unwrap();
+                    node.make_visible(w, &path(&format!("w/n{i}/k{k}")), space, None)
+                        .unwrap();
                 }
             }
             assert!(cluster.await_coherence(Duration::from_secs(60)));
@@ -242,7 +264,11 @@ fn e3_coordinator_bus() {
                 nodes.to_string(),
                 name.into(),
                 fmt_dur(d),
-                if agree { "yes".into() } else { format!("DIVERGED {views:?}") },
+                if agree {
+                    "yes".into()
+                } else {
+                    format!("DIVERGED {views:?}")
+                },
             ]);
             cluster.shutdown();
         }
@@ -262,21 +288,26 @@ fn e4_load_balance() {
             ("random", SelectionPolicy::Random),
             ("round-robin", SelectionPolicy::RoundRobin),
         ] {
-            let policy = ManagerPolicy { selection: sel, selection_seed: Some(42), ..Default::default() };
+            let policy = ManagerPolicy {
+                selection: sel,
+                selection_seed: Some(42),
+                ..Default::default()
+            };
             let mut reg: Registry<u64> = Registry::new(policy);
             let space = reg.create_space(None);
             let mut replicas = Vec::new();
-            let mut sink0 = |_: ActorId, _: u64| {};
+            let mut sink0 = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
             for _ in 0..k {
                 let a = reg.create_actor(space, None).unwrap();
-                reg.make_visible(a.into(), vec![path("srv")], space, None, &mut sink0).unwrap();
+                reg.make_visible(a.into(), vec![path("srv")], space, None, &mut sink0)
+                    .unwrap();
                 replicas.push(a);
             }
             let n = 4_000u32;
             let mut counts: std::collections::HashMap<ActorId, u32> = Default::default();
             let pat = pattern("srv");
             for _ in 0..n {
-                let mut sink = |to: ActorId, _: u64| {
+                let mut sink = |to: ActorId, _: u64, _: Option<&actorspace_core::Route>| {
                     *counts.entry(to).or_insert(0) += 1;
                 };
                 reg.send(&pat, space, 1, &mut sink).unwrap();
@@ -289,8 +320,16 @@ fn e4_load_balance() {
                     (c - expected).powi(2) / expected
                 })
                 .sum();
-            let min = replicas.iter().map(|r| counts.get(r).copied().unwrap_or(0)).min().unwrap();
-            let max = replicas.iter().map(|r| counts.get(r).copied().unwrap_or(0)).max().unwrap();
+            let min = replicas
+                .iter()
+                .map(|r| counts.get(r).copied().unwrap_or(0))
+                .min()
+                .unwrap();
+            let max = replicas
+                .iter()
+                .map(|r| counts.get(r).copied().unwrap_or(0))
+                .max()
+                .unwrap();
             t.row(&[
                 k.to_string(),
                 name.into(),
@@ -309,15 +348,24 @@ fn e4_load_balance() {
 fn e5_broadcast() {
     let mut t = Table::new(
         "E5 (§5.3): broadcast vs g explicit sends (sender-side call cost)",
-        &["group g", "broadcast call", "explicit loop", "sender advantage"],
+        &[
+            "group g",
+            "broadcast call",
+            "explicit loop",
+            "sender advantage",
+        ],
     );
     for g in [16usize, 256, 4096] {
-        let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+        let sys = ActorSystem::new(Config {
+            workers: 4,
+            ..Config::default()
+        });
         let space = sys.create_space(None).unwrap();
         let mut ids = Vec::new();
         for _ in 0..g {
             let a = sys.spawn(from_fn(|_, _| {}));
-            sys.make_visible(a.id(), &path("node"), space, None).unwrap();
+            sys.make_visible(a.id(), &path("node"), space, None)
+                .unwrap();
             ids.push(a.leak());
         }
         sys.await_idle(Duration::from_secs(30));
@@ -361,14 +409,17 @@ fn e6_unmatched() {
         ("suspend", UnmatchedPolicy::Suspend, "queued for wake"),
         ("error", UnmatchedPolicy::Error, "error to sender"),
     ] {
-        let p = ManagerPolicy { unmatched_send: policy, ..Default::default() };
+        let p = ManagerPolicy {
+            unmatched_send: policy,
+            ..Default::default()
+        };
         let mut reg: Registry<u64> = Registry::new(p);
         let space = reg.create_space(None);
         let pat = pattern("ghost");
         let n = 10_000u32;
         let (_, d) = time_it(|| {
             for _ in 0..n {
-                let mut sink = |_: ActorId, _: u64| {};
+                let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
                 let _ = reg.send(&pat, space, 1, &mut sink);
             }
         });
@@ -376,7 +427,10 @@ fn e6_unmatched() {
     }
     // Suspend + wake cycle.
     {
-        let p = ManagerPolicy { unmatched_send: UnmatchedPolicy::Suspend, ..Default::default() };
+        let p = ManagerPolicy {
+            unmatched_send: UnmatchedPolicy::Suspend,
+            ..Default::default()
+        };
         let mut reg: Registry<u64> = Registry::new(p);
         let space = reg.create_space(None);
         let a = reg.create_actor(space, None).unwrap();
@@ -385,13 +439,14 @@ fn e6_unmatched() {
         let mut delivered = 0u32;
         let (_, d) = time_it(|| {
             for _ in 0..n {
-                let mut sink = |_: ActorId, _: u64| {};
+                let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
                 reg.send(&pat, space, 1, &mut sink).unwrap();
             }
-            let mut sink = |_: ActorId, _: u64| {
+            let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {
                 delivered += 1;
             };
-            reg.make_visible(a.into(), vec![path("late")], space, None, &mut sink).unwrap();
+            reg.make_visible(a.into(), vec![path("late")], space, None, &mut sink)
+                .unwrap();
         });
         assert_eq!(delivered, n);
         t.row(&[
@@ -403,24 +458,29 @@ fn e6_unmatched() {
     }
     // Persistent exactly-once.
     {
-        let p = ManagerPolicy { unmatched_broadcast: UnmatchedPolicy::Persistent, ..Default::default() };
+        let p = ManagerPolicy {
+            unmatched_broadcast: UnmatchedPolicy::Persistent,
+            ..Default::default()
+        };
         let mut reg: Registry<u64> = Registry::new(p);
         let space = reg.create_space(None);
         let n = 1_000u32;
         let mut delivered = 0u32;
         let (_, d) = time_it(|| {
             {
-                let mut sink = |_: ActorId, _: u64| {
+                let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {
                     delivered += 1;
                 };
-                reg.broadcast(&pattern("node"), space, 1, &mut sink).unwrap();
+                reg.broadcast(&pattern("node"), space, 1, &mut sink)
+                    .unwrap();
             }
             for _ in 0..n {
                 let a = reg.create_actor(space, None).unwrap();
-                let mut sink = |_: ActorId, _: u64| {
+                let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {
                     delivered += 1;
                 };
-                reg.make_visible(a.into(), vec![path("node")], space, None, &mut sink).unwrap();
+                reg.make_visible(a.into(), vec![path("node")], space, None, &mut sink)
+                    .unwrap();
             }
         });
         assert_eq!(delivered, n);
@@ -439,15 +499,21 @@ fn e6_unmatched() {
 fn e7_cycles() {
     let mut t = Table::new(
         "E7 (§5.7): cycle prevention — make_visible cost vs visibility-graph depth",
-        &["chain depth", "actor member (no check)", "space member (DAG check)", "cycle rejection"],
+        &[
+            "chain depth",
+            "actor member (no check)",
+            "space member (DAG check)",
+            "cycle rejection",
+        ],
     );
     for depth in [4usize, 16, 64, 256] {
         let build = || {
             let mut r: Registry<u64> = Registry::new(ManagerPolicy::default());
             let spaces: Vec<SpaceId> = (0..depth).map(|_| r.create_space(None)).collect();
-            let mut sink = |_: ActorId, _: u64| {};
+            let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
             for w in spaces.windows(2) {
-                r.make_visible(w[0].into(), vec![path("sub")], w[1], None, &mut sink).unwrap();
+                r.make_visible(w[0].into(), vec![path("sub")], w[1], None, &mut sink)
+                    .unwrap();
             }
             (r, spaces)
         };
@@ -455,12 +521,14 @@ fn e7_cycles() {
         // Actor member: no DAG check.
         let (mut r, spaces) = build();
         let top = *spaces.last().unwrap();
-        let actors: Vec<ActorId> =
-            (0..reps).map(|_| r.create_actor(top, None).unwrap()).collect();
+        let actors: Vec<ActorId> = (0..reps)
+            .map(|_| r.create_actor(top, None).unwrap())
+            .collect();
         let (_, d_actor) = time_it(|| {
-            let mut sink = |_: ActorId, _: u64| {};
+            let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
             for a in &actors {
-                r.make_visible((*a).into(), vec![path("x")], top, None, &mut sink).unwrap();
+                r.make_visible((*a).into(), vec![path("x")], top, None, &mut sink)
+                    .unwrap();
             }
         });
         // Space member: full reachability walk.
@@ -468,15 +536,16 @@ fn e7_cycles() {
         let head = *spaces.last().unwrap();
         let extras: Vec<SpaceId> = (0..reps).map(|_| r.create_space(None)).collect();
         let (_, d_space) = time_it(|| {
-            let mut sink = |_: ActorId, _: u64| {};
+            let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
             for e in &extras {
-                r.make_visible(head.into(), vec![path("x")], *e, None, &mut sink).unwrap();
+                r.make_visible(head.into(), vec![path("x")], *e, None, &mut sink)
+                    .unwrap();
             }
         });
         // Cycle rejection (worst case walk).
         let (mut r, spaces) = build();
         let (_, d_reject) = time_it(|| {
-            let mut sink = |_: ActorId, _: u64| {};
+            let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
             for _ in 0..reps {
                 let err = r
                     .make_visible(
@@ -511,7 +580,10 @@ fn e8_linda() {
     for workers in [1usize, 4, 16] {
         // ActorSpace.
         let (_, d_as) = time_it(|| {
-            let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+            let sys = ActorSystem::new(Config {
+                workers: 4,
+                ..Config::default()
+            });
             let space = sys.create_space(None).unwrap();
             let (inbox, rx) = sys.inbox();
             for _ in 0..workers {
@@ -524,7 +596,8 @@ fn e8_linda() {
             }
             let pat = pattern("svc");
             for i in 0..requests {
-                sys.send_pattern(&pat, space, Value::int(i as i64), None).unwrap();
+                sys.send_pattern(&pat, space, Value::int(i as i64), None)
+                    .unwrap();
             }
             for _ in 0..requests {
                 rx.recv_timeout(Duration::from_secs(60)).unwrap();
@@ -540,7 +613,9 @@ fn e8_linda() {
                 handles.push(std::thread::spawn(move || {
                     let req = TuplePattern::new([exact("req"), wild()]);
                     loop {
-                        let Some(tup) = ts.in_(&req, Duration::from_secs(60)) else { return };
+                        let Some(tup) = ts.in_(&req, Duration::from_secs(60)) else {
+                            return;
+                        };
                         let Field::Int(n) = tup[1] else { continue };
                         if n < 0 {
                             return;
@@ -564,10 +639,17 @@ fn e8_linda() {
             }
         });
         let winner = if d_as < d_li { "actorspace" } else { "linda" };
-        t.row(&[workers.to_string(), fmt_dur(d_as), fmt_dur(d_li), winner.into()]);
+        t.row(&[
+            workers.to_string(),
+            fmt_dur(d_as),
+            fmt_dur(d_li),
+            winner.into(),
+        ]);
     }
     t.print();
-    println!("(plus the §3 security property: Linda readers can steal any tuple — see baselines tests)");
+    println!(
+        "(plus the §3 security property: Linda readers can steal any tuple — see baselines tests)"
+    );
 }
 
 // ---------------------------------------------------------------- E9
@@ -575,10 +657,18 @@ fn e8_linda() {
 fn e9_tsp() {
     let mut t = Table::new(
         "E9 (§5.3): TSP branch & bound, 12 cities x 3 instances, loose initial bound (2x greedy)",
-        &["workers", "config", "nodes explored (sum)", "wall (sum)", "pruning"],
+        &[
+            "workers",
+            "config",
+            "nodes explored (sum)",
+            "wall (sum)",
+            "pruning",
+        ],
     );
-    let instances: Vec<tsp::Instance> =
-        [5u64, 7, 11].iter().map(|&s| tsp::Instance::random(12, s)).collect();
+    let instances: Vec<tsp::Instance> = [5u64, 7, 11]
+        .iter()
+        .map(|&s| tsp::Instance::random(12, s))
+        .collect();
     let exact_costs: Vec<i64> = instances.iter().map(|i| i.held_karp()).collect();
     for workers in [2usize, 4] {
         let mut shared_nodes = 0u64;
@@ -624,7 +714,7 @@ fn e10_gc() {
     );
     for live in [0.0f64, 0.5, 1.0] {
         let mut r: Registry<u64> = Registry::new(ManagerPolicy::default());
-        let mut sink = |_: ActorId, _: u64| {};
+        let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
         for s in 0..100usize {
             let space = r.create_space(None);
             if (s as f64) < 100.0 * live {
@@ -639,15 +729,28 @@ fn e10_gc() {
             }
             for a in 0..50usize {
                 let actor = r.create_actor(space, None).unwrap();
-                r.make_visible(actor.into(), vec![path(&format!("a{a}"))], space, None, &mut sink)
-                    .unwrap();
+                r.make_visible(
+                    actor.into(),
+                    vec![path(&format!("a{a}"))],
+                    space,
+                    None,
+                    &mut sink,
+                )
+                .unwrap();
             }
         }
         let (report, d) = time_it(|| r.collect_garbage(&|_| Vec::new()));
         t.row(&[
             format!("{:.0}%", live * 100.0),
-            format!("{} actors, {} spaces", report.collected_actors.len(), report.collected_spaces.len()),
-            format!("{} actors, {} spaces", report.live_actors, report.live_spaces),
+            format!(
+                "{} actors, {} spaces",
+                report.collected_actors.len(),
+                report.collected_spaces.len()
+            ),
+            format!(
+                "{} actors, {} spaces",
+                report.live_actors, report.live_spaces
+            ),
             fmt_dur(d),
         ]);
     }
@@ -659,7 +762,13 @@ fn e10_gc() {
 fn e11_repository() {
     let mut t = Table::new(
         "E11 (§1): repository lookup latency vs library size (per query)",
-        &["library", "pattern exact", "name-server exact", "pattern versions", "package scan"],
+        &[
+            "library",
+            "pattern exact",
+            "name-server exact",
+            "pattern versions",
+            "package scan",
+        ],
     );
     for size in [100usize, 1_000, 10_000, 100_000] {
         let repository = repo::build_repository(size);
@@ -707,14 +816,23 @@ fn e11_repository() {
 fn e12_attr_index() {
     let mut t = Table::new(
         "E12 (ablation): literal-pattern resolution — inverted index vs NFA walk (per query)",
-        &["visible actors", "exact indexed", "exact unindexed", "miss indexed", "wildcard"],
+        &[
+            "visible actors",
+            "exact indexed",
+            "exact unindexed",
+            "miss indexed",
+            "wildcard",
+        ],
     );
     for n in [1_000usize, 10_000, 100_000] {
         let build = |use_index: bool| {
-            let policy = ManagerPolicy { use_literal_index: use_index, ..Default::default() };
+            let policy = ManagerPolicy {
+                use_literal_index: use_index,
+                ..Default::default()
+            };
             let mut reg: Registry<u64> = Registry::new(policy);
             let space = reg.create_space(None);
-            let mut sink = |_: ActorId, _: u64| {};
+            let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
             for i in 0..n {
                 let a = reg.create_actor(space, None).unwrap();
                 reg.make_visible(

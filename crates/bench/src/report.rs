@@ -48,7 +48,14 @@ impl Table {
             .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
             .collect();
         println!("{}", header.join("  "));
-        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        println!(
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
         for row in &self.rows {
             let line: Vec<String> = row
                 .iter()
@@ -59,6 +66,44 @@ impl Table {
         }
     }
 
+    /// Renders the table as a JSON object — `{"title", "headers", "rows"}`
+    /// with rows as arrays of strings — for machine-readable report
+    /// capture (e.g. trend tracking across CI runs).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let headers: Vec<String> = self
+            .headers
+            .iter()
+            .map(|h| format!("\"{}\"", esc(h)))
+            .collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| format!("\"{}\"", esc(c))).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"title\":\"{}\",\"headers\":[{}],\"rows\":[{}]}}",
+            esc(&self.title),
+            headers.join(","),
+            rows.join(",")
+        )
+    }
+
     /// Renders the table to a string (for EXPERIMENTS.md capture).
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
@@ -66,7 +111,11 @@ impl Table {
         out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
         out.push_str(&format!(
             "|{}|\n",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         ));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
@@ -98,6 +147,18 @@ mod tests {
         let md = t.to_markdown();
         assert!(md.contains("### demo"));
         assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn table_renders_json() {
+        let mut t = Table::new("fail\"over", &["pool", "time"]);
+        t.row(&["1".into(), "42.00ms".into()]);
+        t.row(&["8".into(), "43.10ms".into()]);
+        assert_eq!(
+            t.to_json(),
+            "{\"title\":\"fail\\\"over\",\"headers\":[\"pool\",\"time\"],\
+             \"rows\":[[\"1\",\"42.00ms\"],[\"8\",\"43.10ms\"]]}"
+        );
     }
 
     #[test]

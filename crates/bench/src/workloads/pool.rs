@@ -88,7 +88,10 @@ impl Behavior for PoolWorker {
         } else {
             let sum: i64 = (lo..hi).map(|x| leaf_item(x, self.iters)).sum();
             self.computed.fetch_add(1, Ordering::Relaxed);
-            ctx.send_addr(collector, Value::list([Value::int(sum), Value::int(hi - lo)]));
+            ctx.send_addr(
+                collector,
+                Value::list([Value::int(sum), Value::int(hi - lo)]),
+            );
         }
     }
 }
@@ -140,7 +143,11 @@ pub fn run_pool(params: &PoolParams) -> PoolOutcome {
         .send_pattern(
             &Pattern::any(),
             pool,
-            Value::list([Value::int(0), Value::int(params.range), Value::Addr(collector.id())]),
+            Value::list([
+                Value::int(0),
+                Value::int(params.range),
+                Value::Addr(collector.id()),
+            ]),
             None,
         )
         .expect("kick off job");
@@ -152,17 +159,25 @@ pub fn run_pool(params: &PoolParams) -> PoolOutcome {
         }
     }
 
-    let result = done_rx.recv_timeout(Duration::from_secs(300)).expect("pool completes");
+    let result = done_rx
+        .recv_timeout(Duration::from_secs(300))
+        .expect("pool completes");
     let wall = t0.elapsed();
     let distribution = counters.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     system.shutdown();
-    PoolOutcome { wall, result, distribution }
+    PoolOutcome {
+        wall,
+        result,
+        distribution,
+    }
 }
 
 /// The sequential reference computation, for verification and speedup
 /// baselines.
 pub fn sequential(params: &PoolParams) -> i64 {
-    (0..params.range).map(|x| leaf_item(x, params.work_per_item)).sum()
+    (0..params.range)
+        .map(|x| leaf_item(x, params.work_per_item))
+        .sum()
 }
 
 #[cfg(test)]
@@ -171,7 +186,10 @@ mod tests {
 
     #[test]
     fn pool_computes_the_right_answer() {
-        let params = PoolParams { range: 1 << 14, ..PoolParams::default() };
+        let params = PoolParams {
+            range: 1 << 14,
+            ..PoolParams::default()
+        };
         let out = run_pool(&params);
         assert_eq!(out.result, sequential(&params));
         assert_eq!(out.distribution.len(), params.initial_workers);
@@ -212,6 +230,10 @@ mod tests {
         let out = run_pool(&params);
         assert_eq!(out.result, sequential(&params));
         let late: usize = out.distribution[2..].iter().sum();
-        assert!(late > 0, "late workers must absorb some work: {:?}", out.distribution);
+        assert!(
+            late > 0,
+            "late workers must absorb some work: {:?}",
+            out.distribution
+        );
     }
 }

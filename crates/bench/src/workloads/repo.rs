@@ -45,12 +45,14 @@ pub fn build_repository(size: usize) -> Repository {
     let space = registry.create_space(None);
     let mut factories = HashMap::new();
     let mut attrs = Vec::new();
-    let mut sink = |_: ActorId, _: u64| {};
+    let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
     for k in 0..size {
         let pkg = k / (IFACES_PER_PKG * VERSIONS);
         let iface = (k / VERSIONS) % IFACES_PER_PKG;
         let ver = k % VERSIONS;
-        let id = registry.create_actor(space, None).expect("library space exists");
+        let id = registry
+            .create_actor(space, None)
+            .expect("library space exists");
         let attr = path(&format!("pkg-{pkg}/iface-{iface}/v{ver}"));
         registry
             .make_visible(id.into(), vec![attr.clone()], space, None, &mut sink)
@@ -58,7 +60,12 @@ pub fn build_repository(size: usize) -> Repository {
         factories.insert((pkg, iface, ver), id);
         attrs.push((id, attr));
     }
-    Repository { registry, space, factories, attrs }
+    Repository {
+        registry,
+        space,
+        factories,
+        attrs,
+    }
 }
 
 /// Builds the equivalent name-server library: one exact name per factory.
@@ -89,12 +96,7 @@ pub fn lookup_package(repo: &Repository, pkg: usize) -> Vec<ActorId> {
 }
 
 /// The name-server equivalent of an exact lookup.
-pub fn ns_lookup_exact(
-    ns: &NameServer,
-    pkg: usize,
-    iface: usize,
-    ver: usize,
-) -> Option<u64> {
+pub fn ns_lookup_exact(ns: &NameServer, pkg: usize, iface: usize, ver: usize) -> Option<u64> {
     ns.lookup(atom(&format!("pkg-{pkg}/iface-{iface}/v{ver}")))
 }
 
@@ -116,9 +118,15 @@ pub fn late_factory_is_found(repo: &mut Repository) -> bool {
         return false;
     }
     let id = repo.registry.create_actor(repo.space, None).expect("space");
-    let mut sink = |_: ActorId, _: u64| {};
+    let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
     repo.registry
-        .make_visible(id.into(), vec![path("pkg-new/iface-0/v0")], repo.space, None, &mut sink)
+        .make_visible(
+            id.into(),
+            vec![path("pkg-new/iface-0/v0")],
+            repo.space,
+            None,
+            &mut sink,
+        )
         .expect("register");
     let after = repo.registry.resolve(&pat, repo.space).expect("resolve");
     after == vec![id]

@@ -37,8 +37,9 @@ impl Instance {
     /// Random Euclidean instance: `n` points on a 1000×1000 grid.
     pub fn random(n: usize, seed: u64) -> Instance {
         let mut rng = SmallRng::seed_from_u64(seed);
-        let pts: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0)).collect();
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>() * 1000.0, rng.gen::<f64>() * 1000.0))
+            .collect();
         let mut dist = vec![vec![0i64; n]; n];
         for i in 0..n {
             for j in 0..n {
@@ -54,7 +55,10 @@ impl Instance {
     #[allow(clippy::needless_range_loop)] // index-form DP reads clearer here
     pub fn held_karp(&self) -> i64 {
         let n = self.n;
-        assert!((2..=20).contains(&n), "Held–Karp is exponential; keep n ≤ 20");
+        assert!(
+            (2..=20).contains(&n),
+            "Held–Karp is exponential; keep n ≤ 20"
+        );
         let full = 1usize << n;
         const INF: i64 = i64::MAX / 4;
         // dp[mask][last]: shortest path starting at 0, visiting `mask`,
@@ -82,7 +86,10 @@ impl Instance {
                 }
             }
         }
-        (1..n).map(|last| dp[full - 1][last] + self.dist[last][0]).min().expect("n >= 2")
+        (1..n)
+            .map(|last| dp[full - 1][last] + self.dist[last][0])
+            .min()
+            .expect("n >= 2")
     }
 
     /// A greedy nearest-neighbour tour cost — the initial incumbent.
@@ -278,7 +285,10 @@ pub fn solve_actorspace_with(
     slack: f64,
 ) -> SearchOutcome {
     let inst = Arc::new(inst.clone());
-    let system = ActorSystem::new(Config { workers: workers.clamp(1, 8), ..Config::default() });
+    let system = ActorSystem::new(Config {
+        workers: workers.clamp(1, 8),
+        ..Config::default()
+    });
     let pool = system.create_space(None).expect("create pool space");
     let (done_tx, done_rx) = mpsc::channel::<(i64, i64, i64)>();
 
@@ -344,7 +354,12 @@ pub fn solve_actorspace_with(
     }
     let wall = t0.elapsed();
     system.shutdown();
-    SearchOutcome { best, nodes_explored: nodes, wall, broadcasts }
+    SearchOutcome {
+        best,
+        nodes_explored: nodes,
+        wall,
+        broadcasts,
+    }
 }
 
 #[cfg(test)]

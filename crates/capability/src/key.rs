@@ -77,7 +77,10 @@ impl Capability {
     /// delegation. E.g. hand a client a visibility-only capability while
     /// the manager retains `Rights::ALL`.
     pub fn restrict(&self, keep: Rights) -> Capability {
-        Capability { key: self.key, rights: self.rights.intersect(keep) }
+        Capability {
+            key: self.key,
+            rights: self.rights.intersect(keep),
+        }
     }
 }
 

@@ -48,7 +48,10 @@ impl std::fmt::Display for GuardError {
             GuardError::Missing => write!(f, "target is capability-protected; none presented"),
             GuardError::WrongKey => write!(f, "presented capability does not match the guard"),
             GuardError::InsufficientRights { needed, held } => {
-                write!(f, "capability lacks rights: needs {needed:?}, holds {held:?}")
+                write!(
+                    f,
+                    "capability lacks rights: needs {needed:?}, holds {held:?}"
+                )
             }
         }
     }
@@ -120,7 +123,10 @@ mod tests {
         let cap = mint.new_capability();
         let other = mint.new_capability();
         let g = Guard::from_creation(Some(&cap));
-        assert_eq!(g.check(Some(&other), Rights::VISIBILITY), Err(GuardError::WrongKey));
+        assert_eq!(
+            g.check(Some(&other), Rights::VISIBILITY),
+            Err(GuardError::WrongKey)
+        );
     }
 
     #[test]
@@ -153,7 +159,10 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = GuardError::InsufficientRights { needed: Rights::MANAGE, held: Rights::NONE };
+        let e = GuardError::InsufficientRights {
+            needed: Rights::MANAGE,
+            held: Rights::NONE,
+        };
         assert!(e.to_string().contains("MANAGE"));
         assert!(!GuardError::Missing.to_string().is_empty());
         assert!(!GuardError::WrongKey.to_string().is_empty());

@@ -49,6 +49,25 @@ impl Disposition {
     }
 }
 
+/// The pattern resolution that produced a delivery.
+///
+/// Every sink invocation that came from a `send`/`broadcast` (rather than a
+/// point-to-point delivery) carries the originating pattern and space. A
+/// distribution layer can use it to *re-resolve* the message when the chosen
+/// recipient turns out to be unreachable — the failover path for node
+/// crashes: pattern-addressed messages are retargetable by construction,
+/// exactly because §5.3 never promised a particular recipient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// The destination pattern of the originating communication.
+    pub pattern: Pattern,
+    /// The space the pattern was resolved against.
+    pub space: SpaceId,
+    /// Send (re-resolvable to one new recipient) or broadcast (not
+    /// re-resolvable: the surviving matches already have their copies).
+    pub kind: DeliveryKind,
+}
+
 impl<M: Clone> Registry<M> {
     /// `send(pattern@space, message)` — deliver to one non-deterministically
     /// chosen matching actor (§5.3).
@@ -62,12 +81,19 @@ impl<M: Clone> Registry<M> {
         let candidates = self.resolve(pattern, space)?;
         if !candidates.is_empty() {
             let pick = self.pick(space, &candidates)?;
-            sink(pick, msg);
+            let route = Route {
+                pattern: pattern.clone(),
+                space,
+                kind: DeliveryKind::Send,
+            };
+            sink(pick, msg, Some(&route));
             return Ok(Disposition::Delivered(1));
         }
         let sp = self.space_mut(space)?;
-        let policy =
-            sp.manager_mut().unmatched_send().unwrap_or(sp.policy().unmatched_send);
+        let policy = sp
+            .manager_mut()
+            .unmatched_send()
+            .unwrap_or(sp.policy().unmatched_send);
         match policy {
             // Persistent degenerates to Suspend for point-to-point sends:
             // the message still goes to exactly one recipient, just later.
@@ -104,9 +130,14 @@ impl<M: Clone> Registry<M> {
                 .unmatched_broadcast()
                 .unwrap_or(sp.policy().unmatched_broadcast)
         };
+        let route = Route {
+            pattern: pattern.clone(),
+            space,
+            kind: DeliveryKind::Broadcast,
+        };
         if policy == UnmatchedPolicy::Persistent {
             for &c in &candidates {
-                sink(c, msg.clone());
+                sink(c, msg.clone(), Some(&route));
             }
             let n = candidates.len();
             self.space_mut(space)?.push_persistent(PersistentBroadcast {
@@ -119,7 +150,7 @@ impl<M: Clone> Registry<M> {
         if !candidates.is_empty() {
             let n = candidates.len();
             for c in candidates {
-                sink(c, msg.clone());
+                sink(c, msg.clone(), Some(&route));
             }
             return Ok(Disposition::Delivered(n));
         }
@@ -149,7 +180,8 @@ impl<M: Clone> Registry<M> {
         cap: Option<&actorspace_capability::Capability>,
     ) -> Result<usize> {
         let sp = self.space_mut(space)?;
-        sp.guard().check(cap, actorspace_capability::Rights::MANAGE)?;
+        sp.guard()
+            .check(cap, actorspace_capability::Rights::MANAGE)?;
         Ok(sp.clear_persistent())
     }
 
@@ -187,15 +219,20 @@ impl<M: Clone> Registry<M> {
                 still_waiting.push(p);
                 continue;
             }
+            let route = Route {
+                pattern: p.pattern.clone(),
+                space,
+                kind: p.kind,
+            };
             match p.kind {
                 DeliveryKind::Send => {
                     if let Ok(pick) = self.pick(space, &candidates) {
-                        sink(pick, p.msg);
+                        sink(pick, p.msg, Some(&route));
                     }
                 }
                 DeliveryKind::Broadcast => {
                     for c in candidates {
-                        sink(c, p.msg.clone());
+                        sink(c, p.msg.clone(), Some(&route));
                     }
                 }
             }
@@ -215,9 +252,14 @@ impl<M: Clone> Registry<M> {
         };
         for pb in &mut persistent {
             let candidates = self.resolve(&pb.pattern, space).unwrap_or_default();
+            let route = Route {
+                pattern: pb.pattern.clone(),
+                space,
+                kind: DeliveryKind::Broadcast,
+            };
             for c in candidates {
                 if pb.delivered.insert(c) {
-                    sink(c, pb.msg.clone());
+                    sink(c, pb.msg.clone(), Some(&route));
                 }
             }
         }
@@ -242,21 +284,29 @@ mod tests {
     type Reg = Registry<&'static str>;
 
     fn reg() -> Reg {
-        let p = ManagerPolicy { selection_seed: Some(7), ..Default::default() };
+        let p = ManagerPolicy {
+            selection_seed: Some(7),
+            ..Default::default()
+        };
         Registry::new(p)
     }
 
     fn reg_with(unmatched: UnmatchedPolicy) -> Reg {
-        let p = ManagerPolicy { unmatched_send: unmatched, unmatched_broadcast: unmatched, selection_seed: Some(7), ..Default::default() };
+        let p = ManagerPolicy {
+            unmatched_send: unmatched,
+            unmatched_broadcast: unmatched,
+            selection_seed: Some(7),
+            ..Default::default()
+        };
         Registry::new(p)
     }
 
     /// Collects deliveries into a vec for assertions.
     struct Collect(std::rc::Rc<std::cell::RefCell<Vec<(ActorId, &'static str)>>>);
-    fn collector() -> (Collect, impl FnMut(ActorId, &'static str)) {
+    fn collector() -> (Collect, impl FnMut(ActorId, &'static str, Option<&Route>)) {
         let v = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
         let v2 = v.clone();
-        (Collect(v), move |a, m| v2.borrow_mut().push((a, m)))
+        (Collect(v), move |a, m, _| v2.borrow_mut().push((a, m)))
     }
 
     impl Collect {
@@ -271,10 +321,11 @@ mod tests {
     fn setup_workers(r: &mut Reg, n: usize) -> (SpaceId, Vec<ActorId>) {
         let s = r.create_space(None);
         let mut workers = Vec::new();
-        let mut k = |_: ActorId, _: &'static str| {};
+        let mut k = |_: ActorId, _: &'static str, _: Option<&Route>| {};
         for _ in 0..n {
             let a = r.create_actor(s, None).unwrap();
-            r.make_visible(a.into(), vec![path("worker")], s, None, &mut k).unwrap();
+            r.make_visible(a.into(), vec![path("worker")], s, None, &mut k)
+                .unwrap();
             workers.push(a);
         }
         (s, workers)
@@ -308,7 +359,11 @@ mod tests {
                 *counts.entry(a).or_insert(0) += 1;
             }
         }
-        assert_eq!(counts.len(), workers.len(), "every replica should be exercised");
+        assert_eq!(
+            counts.len(),
+            workers.len(),
+            "every replica should be exercised"
+        );
         for (_, c) in counts {
             assert!((40..200).contains(&c), "grossly unbalanced: {c}");
         }
@@ -319,7 +374,9 @@ mod tests {
         let mut r = reg();
         let (s, workers) = setup_workers(&mut r, 8);
         let (got, mut sink) = collector();
-        let d = r.broadcast(&pattern("worker"), s, "bound=17", &mut sink).unwrap();
+        let d = r
+            .broadcast(&pattern("worker"), s, "bound=17", &mut sink)
+            .unwrap();
         assert_eq!(d, Disposition::Delivered(8));
         let mut who: Vec<ActorId> = got.take().into_iter().map(|(a, _)| a).collect();
         who.sort_unstable();
@@ -332,11 +389,13 @@ mod tests {
     fn broadcast_respects_pattern() {
         let mut r = reg();
         let s = r.create_space(None);
-        let mut k = |_: ActorId, _: &'static str| {};
+        let mut k = |_: ActorId, _: &'static str, _: Option<&Route>| {};
         let a = r.create_actor(s, None).unwrap();
         let b = r.create_actor(s, None).unwrap();
-        r.make_visible(a.into(), vec![path("srv/fib")], s, None, &mut k).unwrap();
-        r.make_visible(b.into(), vec![path("cli/fib")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("srv/fib")], s, None, &mut k)
+            .unwrap();
+        r.make_visible(b.into(), vec![path("cli/fib")], s, None, &mut k)
+            .unwrap();
         let (got, mut sink) = collector();
         r.broadcast(&pattern("srv/**"), s, "x", &mut sink).unwrap();
         assert_eq!(got.take(), vec![(a, "x")]);
@@ -349,14 +408,17 @@ mod tests {
         let mut r = reg(); // default = Suspend
         let s = r.create_space(None);
         let (got, mut sink) = collector();
-        let d = r.send(&pattern("late/worker"), s, "early-job", &mut sink).unwrap();
+        let d = r
+            .send(&pattern("late/worker"), s, "early-job", &mut sink)
+            .unwrap();
         assert_eq!(d, Disposition::Suspended);
         assert_eq!(got.len(), 0);
         assert_eq!(r.space(s).unwrap().pending().len(), 1);
 
         // The matching actor arrives; the suspended message is released.
         let a = r.create_actor(s, None).unwrap();
-        r.make_visible(a.into(), vec![path("late/worker")], s, None, &mut sink).unwrap();
+        r.make_visible(a.into(), vec![path("late/worker")], s, None, &mut sink)
+            .unwrap();
         assert_eq!(got.take(), vec![(a, "early-job")]);
         assert!(r.space(s).unwrap().pending().is_empty());
     }
@@ -371,11 +433,13 @@ mod tests {
         // Two actors arrive before the wake trigger... the first
         // make_visible wakes the broadcast with only one present.
         let a = r.create_actor(s, None).unwrap();
-        r.make_visible(a.into(), vec![path("w/1")], s, None, &mut sink).unwrap();
+        r.make_visible(a.into(), vec![path("w/1")], s, None, &mut sink)
+            .unwrap();
         assert_eq!(got.take(), vec![(a, "b")]);
         // Later arrivals do NOT receive the already-released broadcast.
         let b = r.create_actor(s, None).unwrap();
-        r.make_visible(b.into(), vec![path("w/2")], s, None, &mut sink).unwrap();
+        r.make_visible(b.into(), vec![path("w/2")], s, None, &mut sink)
+            .unwrap();
         assert_eq!(got.len(), 0);
     }
 
@@ -384,12 +448,14 @@ mod tests {
         let mut r = reg();
         let s = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
-        let mut k = |_: ActorId, _: &'static str| {};
-        r.make_visible(a.into(), vec![path("idle")], s, None, &mut k).unwrap();
+        let mut k = |_: ActorId, _: &'static str, _: Option<&Route>| {};
+        r.make_visible(a.into(), vec![path("idle")], s, None, &mut k)
+            .unwrap();
         let (got, mut sink) = collector();
         r.send(&pattern("ready"), s, "m", &mut sink).unwrap();
         assert_eq!(got.len(), 0);
-        r.change_attributes(a.into(), vec![path("ready")], s, None, &mut sink).unwrap();
+        r.change_attributes(a.into(), vec![path("ready")], s, None, &mut sink)
+            .unwrap();
         assert_eq!(got.take(), vec![(a, "m")]);
     }
 
@@ -432,28 +498,35 @@ mod tests {
         // pattern will receive the broadcast message exactly once."
         let mut r = reg_with(UnmatchedPolicy::Persistent);
         let s = r.create_space(None);
-        let mut k = |_: ActorId, _: &'static str| {};
+        let mut k = |_: ActorId, _: &'static str, _: Option<&Route>| {};
         let a = r.create_actor(s, None).unwrap();
-        r.make_visible(a.into(), vec![path("node")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("node")], s, None, &mut k)
+            .unwrap();
 
         let (got, mut sink) = collector();
-        let d = r.broadcast(&pattern("node"), s, "protocol-v2", &mut sink).unwrap();
+        let d = r
+            .broadcast(&pattern("node"), s, "protocol-v2", &mut sink)
+            .unwrap();
         assert_eq!(d, Disposition::Persistent(1));
         assert_eq!(got.take(), vec![(a, "protocol-v2")]);
 
         // A future arrival gets it exactly once.
         let b = r.create_actor(s, None).unwrap();
-        r.make_visible(b.into(), vec![path("node")], s, None, &mut sink).unwrap();
+        r.make_visible(b.into(), vec![path("node")], s, None, &mut sink)
+            .unwrap();
         assert_eq!(got.take(), vec![(b, "protocol-v2")]);
 
         // Repeated attribute churn does not re-deliver.
-        r.change_attributes(b.into(), vec![path("node")], s, None, &mut sink).unwrap();
-        r.change_attributes(a.into(), vec![path("node")], s, None, &mut sink).unwrap();
+        r.change_attributes(b.into(), vec![path("node")], s, None, &mut sink)
+            .unwrap();
+        r.change_attributes(a.into(), vec![path("node")], s, None, &mut sink)
+            .unwrap();
         assert_eq!(got.len(), 0);
 
         // An actor leaving and re-arriving still does not get a duplicate.
         r.make_invisible(a.into(), s, None).unwrap();
-        r.make_visible(a.into(), vec![path("node")], s, None, &mut sink).unwrap();
+        r.make_visible(a.into(), vec![path("node")], s, None, &mut sink)
+            .unwrap();
         assert_eq!(got.len(), 0);
     }
 
@@ -462,10 +535,12 @@ mod tests {
         let mut r = reg_with(UnmatchedPolicy::Persistent);
         let s = r.create_space(None);
         let (got, mut sink) = collector();
-        r.broadcast(&pattern("node"), s, "hello", &mut sink).unwrap();
+        r.broadcast(&pattern("node"), s, "hello", &mut sink)
+            .unwrap();
         assert_eq!(r.cancel_persistent(s, None).unwrap(), 1);
         let a = r.create_actor(s, None).unwrap();
-        r.make_visible(a.into(), vec![path("node")], s, None, &mut sink).unwrap();
+        r.make_visible(a.into(), vec![path("node")], s, None, &mut sink)
+            .unwrap();
         assert_eq!(got.len(), 0);
     }
 
@@ -476,29 +551,36 @@ mod tests {
         let mut r = reg();
         let outer = r.create_space(None);
         let inner = r.create_space(None);
-        let mut k = |_: ActorId, _: &'static str| {};
-        r.make_visible(inner.into(), vec![path("pool")], outer, None, &mut k).unwrap();
+        let mut k = |_: ActorId, _: &'static str, _: Option<&Route>| {};
+        r.make_visible(inner.into(), vec![path("pool")], outer, None, &mut k)
+            .unwrap();
 
         let (got, mut sink) = collector();
-        r.send(&pattern("pool/worker"), outer, "job", &mut sink).unwrap();
+        r.send(&pattern("pool/worker"), outer, "job", &mut sink)
+            .unwrap();
         assert_eq!(got.len(), 0);
 
         let a = r.create_actor(inner, None).unwrap();
-        r.make_visible(a.into(), vec![path("worker")], inner, None, &mut sink).unwrap();
+        r.make_visible(a.into(), vec![path("worker")], inner, None, &mut sink)
+            .unwrap();
         assert_eq!(got.take(), vec![(a, "job")]);
     }
 
     #[test]
     fn round_robin_selection_policy() {
-        let p = ManagerPolicy { selection: SelectionPolicy::RoundRobin, ..Default::default() };
+        let p = ManagerPolicy {
+            selection: SelectionPolicy::RoundRobin,
+            ..Default::default()
+        };
         let mut r: Registry<&'static str> = Registry::new(p);
         let (s, mut workers) = {
             let s = r.create_space(None);
             let mut v = Vec::new();
-            let mut k = |_: ActorId, _: &'static str| {};
+            let mut k = |_: ActorId, _: &'static str, _: Option<&Route>| {};
             for _ in 0..3 {
                 let a = r.create_actor(s, None).unwrap();
-                r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
+                r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+                    .unwrap();
                 v.push(a);
             }
             (s, v)

@@ -75,10 +75,14 @@ impl<M: Clone> Registry<M> {
             }
         }
 
-        let mut collected_actors: Vec<ActorId> =
-            self.actor_ids().filter(|a| !live_actors.contains(a)).collect();
-        let mut collected_spaces: Vec<SpaceId> =
-            self.space_ids().filter(|s| !live_spaces.contains(s)).collect();
+        let mut collected_actors: Vec<ActorId> = self
+            .actor_ids()
+            .filter(|a| !live_actors.contains(a))
+            .collect();
+        let mut collected_spaces: Vec<SpaceId> = self
+            .space_ids()
+            .filter(|s| !live_spaces.contains(s))
+            .collect();
         collected_actors.sort_unstable();
         collected_spaces.sort_unstable();
 
@@ -116,8 +120,8 @@ mod tests {
         Vec::new()
     }
 
-    fn sink() -> impl FnMut(ActorId, u32) {
-        |_, _| {}
+    fn sink() -> impl FnMut(ActorId, u32, Option<&crate::delivery::Route>) {
+        |_, _, _| {}
     }
 
     #[test]
@@ -154,7 +158,8 @@ mod tests {
         r.add_root(holder);
         let a = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
         // `holder` knows the space; the space keeps `a` alive.
         let acq = move |x: ActorId| {
             if x == holder {
@@ -175,7 +180,8 @@ mod tests {
         let s = r.create_space(None); // nobody references s
         let a = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
         let report = r.collect_garbage(&no_acq);
         assert_eq!(report.collected_spaces, vec![s]);
         assert_eq!(report.collected_actors, vec![a]);
@@ -186,7 +192,8 @@ mod tests {
         let mut r = reg();
         let a = r.create_actor(ROOT_SPACE, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("w")], ROOT_SPACE, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], ROOT_SPACE, None, &mut k)
+            .unwrap();
         let report = r.collect_garbage(&no_acq);
         assert!(report.collected_actors.is_empty());
         assert!(r.space_exists(ROOT_SPACE));
@@ -231,8 +238,10 @@ mod tests {
         let outer = r.create_space(None);
         let inner = r.create_space(None);
         let mut k = sink();
-        r.make_visible(inner.into(), vec![path("i")], outer, None, &mut k).unwrap();
-        r.make_visible(outer.into(), vec![path("o")], ROOT_SPACE, None, &mut k).unwrap();
+        r.make_visible(inner.into(), vec![path("i")], outer, None, &mut k)
+            .unwrap();
+        r.make_visible(outer.into(), vec![path("o")], ROOT_SPACE, None, &mut k)
+            .unwrap();
         let report = r.collect_garbage(&no_acq);
         assert!(report.collected_spaces.is_empty());
         assert!(r.space_exists(outer) && r.space_exists(inner));
@@ -246,7 +255,8 @@ mod tests {
         let s = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
         r.add_root(a);
         let report = r.collect_garbage(&no_acq);
         assert_eq!(report.collected_spaces, vec![s]);

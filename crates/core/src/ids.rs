@@ -106,12 +106,20 @@ impl IdGen {
     /// A generator starting at `base`. Node `n` in a cluster uses
     /// `IdGen::new((n as u64) << 48)`.
     pub fn new(base: u64) -> IdGen {
-        IdGen { next: AtomicU64::new(base) }
+        IdGen {
+            next: AtomicU64::new(base),
+        }
     }
 
     /// The next unique raw id.
     pub fn next(&self) -> u64 {
         self.next.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Raises the generator so future ids are allocated strictly past
+    /// `taken`. No-op when the generator is already beyond it.
+    pub fn ensure_floor(&self, taken: u64) {
+        self.next.fetch_max(taken + 1, Ordering::Relaxed);
     }
 
     /// The next actor id.
@@ -192,7 +200,10 @@ mod tests {
                 (0..1000).map(|_| g.next()).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();

@@ -37,7 +37,9 @@
 //! let worker = reg.create_actor(pool, None).unwrap();
 //!
 //! let mut deliveries = Vec::new();
-//! let mut sink = |to, msg| deliveries.push((to, msg));
+//! let mut sink = |to, msg, _route: Option<&actorspace_core::Route>| {
+//!     deliveries.push((to, msg));
+//! };
 //!
 //! reg.make_visible(worker.into(), vec![path("worker/fast")], pool, None, &mut sink)
 //!     .unwrap();
@@ -60,7 +62,7 @@ pub mod visibility;
 
 pub use actorspace_atoms::{Atom, Path};
 pub use actorspace_pattern::Pattern;
-pub use delivery::Disposition;
+pub use delivery::{Disposition, Route};
 pub use error::{Error, Result};
 pub use gc::GcReport;
 pub use ids::{ActorId, IdGen, MemberId, SpaceId, ROOT_SPACE};

@@ -86,14 +86,19 @@ mod tests {
     #[test]
     fn custom_manager_overrides_choice() {
         let mut m = PickFirst;
-        assert_eq!(m.choose(&[ActorId(9), ActorId(3), ActorId(5)]), Some(ActorId(3)));
+        assert_eq!(
+            m.choose(&[ActorId(9), ActorId(3), ActorId(5)]),
+            Some(ActorId(3))
+        );
     }
 
     struct NoSecrets;
     impl Manager for NoSecrets {
         fn authorize_visibility(&mut self, _member: MemberId, attrs: &[Path]) -> bool {
             use actorspace_atoms::atom;
-            !attrs.iter().any(|p| p.atoms().first() == Some(&atom("secret")))
+            !attrs
+                .iter()
+                .any(|p| p.atoms().first() == Some(&atom("secret")))
         }
     }
 

@@ -29,7 +29,10 @@ pub struct QuotaManager {
 impl QuotaManager {
     /// A manager admitting at most `limit` visibility grants.
     pub fn new(limit: u64) -> QuotaManager {
-        QuotaManager { limit, admitted: AtomicU64::new(0) }
+        QuotaManager {
+            limit,
+            admitted: AtomicU64::new(0),
+        }
     }
 }
 
@@ -111,7 +114,12 @@ impl AuditDaemon {
     /// Creates the daemon and the counter it reports through.
     pub fn new() -> (AuditDaemon, Arc<AtomicU64>) {
         let counter = Arc::new(AtomicU64::new(0));
-        (AuditDaemon { changes: counter.clone() }, counter)
+        (
+            AuditDaemon {
+                changes: counter.clone(),
+            },
+            counter,
+        )
     }
 }
 
@@ -132,24 +140,30 @@ mod tests {
     type Reg = Registry<u32>;
 
     fn reg() -> Reg {
-        let p = ManagerPolicy { selection_seed: Some(3), ..Default::default() };
+        let p = ManagerPolicy {
+            selection_seed: Some(3),
+            ..Default::default()
+        };
         Registry::new(p)
     }
 
-    fn sink() -> impl FnMut(ActorId, u32) {
-        |_, _| {}
+    fn sink() -> impl FnMut(ActorId, u32, Option<&crate::delivery::Route>) {
+        |_, _, _| {}
     }
 
     #[test]
     fn quota_manager_caps_admissions() {
         let mut r = reg();
         let s = r.create_space(None);
-        r.set_space_manager(s, Box::new(QuotaManager::new(2)), None).unwrap();
+        r.set_space_manager(s, Box::new(QuotaManager::new(2)), None)
+            .unwrap();
         let mut k = sink();
         let mut admitted = 0;
         for i in 0..5 {
             let a = r.create_actor(s, None).unwrap();
-            if r.make_visible(a.into(), vec![path(&format!("w{i}"))], s, None, &mut k).is_ok() {
+            if r.make_visible(a.into(), vec![path(&format!("w{i}"))], s, None, &mut k)
+                .is_ok()
+            {
                 admitted += 1;
             }
         }
@@ -161,23 +175,30 @@ mod tests {
     fn quota_refusal_returns_the_slot() {
         let mut r = reg();
         let s = r.create_space(None);
-        r.set_space_manager(s, Box::new(QuotaManager::new(1)), None).unwrap();
+        r.set_space_manager(s, Box::new(QuotaManager::new(1)), None)
+            .unwrap();
         let mut k = sink();
         let a = r.create_actor(s, None).unwrap();
         let b = r.create_actor(s, None).unwrap();
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
-        assert!(r.make_visible(b.into(), vec![path("w")], s, None, &mut k).is_err());
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
+        assert!(r
+            .make_visible(b.into(), vec![path("w")], s, None, &mut k)
+            .is_err());
         // a leaves; the quota slot is... NOT returned (admissions counter
         // is cumulative by design — the quota is an admission budget).
         r.make_invisible(a.into(), s, None).unwrap();
-        assert!(r.make_visible(b.into(), vec![path("w")], s, None, &mut k).is_err());
+        assert!(r
+            .make_visible(b.into(), vec![path("w")], s, None, &mut k)
+            .is_err());
     }
 
     #[test]
     fn namespace_manager_constrains_attribute_shapes() {
         let mut r = reg();
         let s = r.create_space(None);
-        r.set_space_manager(s, Box::new(NamespaceManager::new(path("public"))), None).unwrap();
+        r.set_space_manager(s, Box::new(NamespaceManager::new(path("public"))), None)
+            .unwrap();
         let mut k = sink();
         let a = r.create_actor(s, None).unwrap();
         assert!(r
@@ -190,7 +211,13 @@ mod tests {
         // Mixed lists are refused whole.
         let c = r.create_actor(s, None).unwrap();
         assert!(r
-            .make_visible(c.into(), vec![path("public/x"), path("oops")], s, None, &mut k)
+            .make_visible(
+                c.into(),
+                vec![path("public/x"), path("oops")],
+                s,
+                None,
+                &mut k
+            )
             .is_err());
     }
 
@@ -198,17 +225,19 @@ mod tests {
     fn sticky_manager_pins_a_recipient() {
         let mut r = reg();
         let s = r.create_space(None);
-        r.set_space_manager(s, Box::new(StickyManager::new()), None).unwrap();
+        r.set_space_manager(s, Box::new(StickyManager::new()), None)
+            .unwrap();
         let mut k = sink();
         let mut workers = Vec::new();
         for _ in 0..3 {
             let a = r.create_actor(s, None).unwrap();
-            r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
+            r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+                .unwrap();
             workers.push(a);
         }
         let mut picks = Vec::new();
         for _ in 0..5 {
-            let mut sink = |to: ActorId, _: u32| picks.push(to);
+            let mut sink = |to: ActorId, _: u32, _: Option<&crate::delivery::Route>| picks.push(to);
             r.send(&pattern("w"), s, 1, &mut sink).unwrap();
         }
         assert!(picks.windows(2).all(|w| w[0] == w[1]), "sticky: {picks:?}");
@@ -217,7 +246,7 @@ mod tests {
         r.make_invisible(pinned.into(), s, None).unwrap();
         let mut later = Vec::new();
         for _ in 0..3 {
-            let mut sink = |to: ActorId, _: u32| later.push(to);
+            let mut sink = |to: ActorId, _: u32, _: Option<&crate::delivery::Route>| later.push(to);
             r.send(&pattern("w"), s, 1, &mut sink).unwrap();
         }
         assert!(later.iter().all(|&t| t != pinned));
@@ -232,8 +261,10 @@ mod tests {
         r.set_space_manager(s, Box::new(daemon), None).unwrap();
         let mut k = sink();
         let a = r.create_actor(s, None).unwrap();
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
-        r.change_attributes(a.into(), vec![path("w2")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
+        r.change_attributes(a.into(), vec![path("w2")], s, None, &mut k)
+            .unwrap();
         r.make_invisible(a.into(), s, None).unwrap();
         assert_eq!(counter.load(Ordering::Relaxed), 3);
     }

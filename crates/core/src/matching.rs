@@ -48,9 +48,17 @@ impl<M: Clone> Registry<M> {
             }
         }
         let mut visited = HashSet::new();
-        self.walk(pattern, space, pattern.start(), 0, max_depth, &mut visited, &mut |a| {
-            out.insert(a);
-        })?;
+        self.walk(
+            pattern,
+            space,
+            pattern.start(),
+            0,
+            max_depth,
+            &mut visited,
+            &mut |a| {
+                out.insert(a);
+            },
+        )?;
         let mut v: Vec<ActorId> = out.into_iter().collect();
         v.sort_unstable();
         Ok(v)
@@ -97,7 +105,9 @@ impl<M: Clone> Registry<M> {
             if !self.space_exists(sub) {
                 continue;
             }
-            let Some(attrs) = sp.members().get(&MemberId::Space(sub)) else { continue };
+            let Some(attrs) = sp.members().get(&MemberId::Space(sub)) else {
+                continue;
+            };
             for attr in attrs {
                 if let Some(rest) = target.strip_prefix(attr) {
                     self.walk_literal(original, &rest, sub, depth + 1, max_depth, visited, found)?;
@@ -115,9 +125,17 @@ impl<M: Clone> Registry<M> {
         let max_depth = root.policy().max_match_depth;
         let mut out: HashSet<SpaceId> = HashSet::new();
         let mut visited = HashSet::new();
-        self.walk_spaces(pattern, space, pattern.start(), 0, max_depth, &mut visited, &mut |s| {
-            out.insert(s);
-        })?;
+        self.walk_spaces(
+            pattern,
+            space,
+            pattern.start(),
+            0,
+            max_depth,
+            &mut visited,
+            &mut |s| {
+                out.insert(s);
+            },
+        )?;
         let mut v: Vec<SpaceId> = out.into_iter().collect();
         v.sort_unstable();
         Ok(v)
@@ -173,9 +191,7 @@ impl<M: Clone> Registry<M> {
                             // Missing sub-spaces (e.g. remote stubs) are
                             // skipped rather than failing the whole resolve.
                             if self.space_exists(sub) {
-                                self.walk(
-                                    pattern, sub, st, depth + 1, max_depth, visited, found,
-                                )?;
+                                self.walk(pattern, sub, st, depth + 1, max_depth, visited, found)?;
                             }
                         }
                     }
@@ -201,7 +217,9 @@ impl<M: Clone> Registry<M> {
         }
         let sp = self.space(space)?;
         for (member, attrs) in sp.members() {
-            let MemberId::Space(sub) = *member else { continue };
+            let MemberId::Space(sub) = *member else {
+                continue;
+            };
             for attr in attrs {
                 let mut st = states.clone();
                 let mut dead = false;
@@ -250,8 +268,8 @@ mod tests {
         Registry::new(ManagerPolicy::default())
     }
 
-    fn sink() -> impl FnMut(ActorId, u32) {
-        |_, _| {}
+    fn sink() -> impl FnMut(ActorId, u32, Option<&crate::delivery::Route>) {
+        |_, _, _| {}
     }
 
     #[test]
@@ -261,8 +279,10 @@ mod tests {
         let a = r.create_actor(s, None).unwrap();
         let b = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("fib")], s, None, &mut k).unwrap();
-        r.make_visible(b.into(), vec![path("fact")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("fib")], s, None, &mut k)
+            .unwrap();
+        r.make_visible(b.into(), vec![path("fact")], s, None, &mut k)
+            .unwrap();
         assert_eq!(r.resolve(&pattern("fib"), s).unwrap(), vec![a]);
         assert_eq!(r.resolve(&pattern("fact"), s).unwrap(), vec![b]);
         assert_eq!(r.resolve(&pattern("sqrt"), s).unwrap(), vec![]);
@@ -277,8 +297,14 @@ mod tests {
         let mut all = Vec::new();
         for i in 0..5 {
             let w = r.create_actor(pool, None).unwrap();
-            r.make_visible(w.into(), vec![path(&format!("worker-{i}"))], pool, None, &mut k)
-                .unwrap();
+            r.make_visible(
+                w.into(),
+                vec![path(&format!("worker-{i}"))],
+                pool,
+                None,
+                &mut k,
+            )
+            .unwrap();
             all.push(w);
         }
         all.sort_unstable();
@@ -295,7 +321,8 @@ mod tests {
         let s2 = r.create_space(None);
         let a = r.create_actor(s1, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("w")], s1, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], s1, None, &mut k)
+            .unwrap();
         assert_eq!(r.resolve(&pattern("w"), s1).unwrap(), vec![a]);
         assert_eq!(r.resolve(&pattern("w"), s2).unwrap(), vec![]);
         assert_eq!(r.resolve(&pattern("w"), ROOT_SPACE).unwrap(), vec![]);
@@ -309,8 +336,10 @@ mod tests {
         let t = r.create_space(None);
         let a = r.create_actor(t, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("fib")], t, None, &mut k).unwrap();
-        r.make_visible(t.into(), vec![path("srv")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("fib")], t, None, &mut k)
+            .unwrap();
+        r.make_visible(t.into(), vec![path("srv")], s, None, &mut k)
+            .unwrap();
         assert_eq!(r.resolve(&pattern("srv/fib"), s).unwrap(), vec![a]);
         assert_eq!(r.resolve(&pattern("srv/*"), s).unwrap(), vec![a]);
         assert_eq!(r.resolve(&pattern("**"), s).unwrap(), vec![a]);
@@ -329,10 +358,16 @@ mod tests {
         let host = r.create_space(None);
         let a = r.create_actor(host, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("cpu")], host, None, &mut k).unwrap();
-        r.make_visible(host.into(), vec![path("host1")], lan, None, &mut k).unwrap();
-        r.make_visible(lan.into(), vec![path("lan-a")], wan, None, &mut k).unwrap();
-        assert_eq!(r.resolve(&pattern("lan-a/host1/cpu"), wan).unwrap(), vec![a]);
+        r.make_visible(a.into(), vec![path("cpu")], host, None, &mut k)
+            .unwrap();
+        r.make_visible(host.into(), vec![path("host1")], lan, None, &mut k)
+            .unwrap();
+        r.make_visible(lan.into(), vec![path("lan-a")], wan, None, &mut k)
+            .unwrap();
+        assert_eq!(
+            r.resolve(&pattern("lan-a/host1/cpu"), wan).unwrap(),
+            vec![a]
+        );
         assert_eq!(r.resolve(&pattern("**/cpu"), wan).unwrap(), vec![a]);
         assert_eq!(r.resolve(&pattern("lan-a/**"), wan).unwrap(), vec![a]);
     }
@@ -346,9 +381,16 @@ mod tests {
         let inner = r.create_space(None);
         let a = r.create_actor(inner, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("w")], inner, None, &mut k).unwrap();
-        r.make_visible(inner.into(), vec![actorspace_atoms::Path::empty()], outer, None, &mut k)
+        r.make_visible(a.into(), vec![path("w")], inner, None, &mut k)
             .unwrap();
+        r.make_visible(
+            inner.into(),
+            vec![actorspace_atoms::Path::empty()],
+            outer,
+            None,
+            &mut k,
+        )
+        .unwrap();
         assert_eq!(r.resolve(&pattern("w"), outer).unwrap(), vec![a]);
     }
 
@@ -358,7 +400,8 @@ mod tests {
         let s = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("x/y"), path("x/z")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("x/y"), path("x/z")], s, None, &mut k)
+            .unwrap();
         assert_eq!(r.resolve(&pattern("x/*"), s).unwrap(), vec![a]);
     }
 
@@ -372,26 +415,37 @@ mod tests {
         let inner = r.create_space(None);
         let a = r.create_actor(inner, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("w")], inner, None, &mut k).unwrap();
-        r.make_visible(inner.into(), vec![path("i")], m1, None, &mut k).unwrap();
-        r.make_visible(inner.into(), vec![path("i")], m2, None, &mut k).unwrap();
-        r.make_visible(m1.into(), vec![path("m")], top, None, &mut k).unwrap();
-        r.make_visible(m2.into(), vec![path("m")], top, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], inner, None, &mut k)
+            .unwrap();
+        r.make_visible(inner.into(), vec![path("i")], m1, None, &mut k)
+            .unwrap();
+        r.make_visible(inner.into(), vec![path("i")], m2, None, &mut k)
+            .unwrap();
+        r.make_visible(m1.into(), vec![path("m")], top, None, &mut k)
+            .unwrap();
+        r.make_visible(m2.into(), vec![path("m")], top, None, &mut k)
+            .unwrap();
         assert_eq!(r.resolve(&pattern("m/i/w"), top).unwrap(), vec![a]);
     }
 
     #[test]
     fn depth_limit_bounds_descent() {
-        let policy = ManagerPolicy { max_match_depth: 1, ..Default::default() };
+        let policy = ManagerPolicy {
+            max_match_depth: 1,
+            ..Default::default()
+        };
         let mut r: Registry<u32> = Registry::new(policy);
         let top = r.create_space(None);
         let mid = r.create_space(None);
         let bot = r.create_space(None);
         let a = r.create_actor(bot, None).unwrap();
-        let mut k = |_: ActorId, _: u32| {};
-        r.make_visible(a.into(), vec![path("w")], bot, None, &mut k).unwrap();
-        r.make_visible(bot.into(), vec![path("b")], mid, None, &mut k).unwrap();
-        r.make_visible(mid.into(), vec![path("m")], top, None, &mut k).unwrap();
+        let mut k = |_: ActorId, _: u32, _: Option<&crate::delivery::Route>| {};
+        r.make_visible(a.into(), vec![path("w")], bot, None, &mut k)
+            .unwrap();
+        r.make_visible(bot.into(), vec![path("b")], mid, None, &mut k)
+            .unwrap();
+        r.make_visible(mid.into(), vec![path("m")], top, None, &mut k)
+            .unwrap();
         // Depth 1 allows top → mid but not mid → bot.
         assert_eq!(r.resolve(&pattern("m/b/w"), top).unwrap(), vec![]);
         // From mid, bot is at depth 1 — reachable.
@@ -405,12 +459,17 @@ mod tests {
         let t1 = r.create_space(None);
         let t2 = r.create_space(None);
         let mut k = sink();
-        r.make_visible(t1.into(), vec![path("pool/alpha")], s, None, &mut k).unwrap();
-        r.make_visible(t2.into(), vec![path("pool/beta")], s, None, &mut k).unwrap();
+        r.make_visible(t1.into(), vec![path("pool/alpha")], s, None, &mut k)
+            .unwrap();
+        r.make_visible(t2.into(), vec![path("pool/beta")], s, None, &mut k)
+            .unwrap();
         let mut want = vec![t1, t2];
         want.sort_unstable();
         assert_eq!(r.resolve_spaces(&pattern("pool/*"), s).unwrap(), want);
-        assert_eq!(r.resolve_spaces(&pattern("pool/beta"), s).unwrap(), vec![t2]);
+        assert_eq!(
+            r.resolve_spaces(&pattern("pool/beta"), s).unwrap(),
+            vec![t2]
+        );
         assert_eq!(
             r.resolve_space_pattern(&pattern("pool/beta"), s).unwrap(),
             t2
@@ -434,17 +493,26 @@ mod tests {
         let inner = r.create_space(None);
         let a = r.create_actor(inner, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("fib")], inner, None, &mut k).unwrap();
-        r.make_visible(inner.into(), vec![path("srv")], outer, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("fib")], inner, None, &mut k)
+            .unwrap();
+        r.make_visible(inner.into(), vec![path("srv")], outer, None, &mut k)
+            .unwrap();
         // `srv/fib` is literal → index path; must match the nested actor.
         assert!(pattern("srv/fib").as_literal().is_some());
         assert_eq!(r.resolve(&pattern("srv/fib"), outer).unwrap(), vec![a]);
         // An empty-attribute (transparent) nesting also works literally.
         let ghost = r.create_space(None);
         let b = r.create_actor(ghost, None).unwrap();
-        r.make_visible(b.into(), vec![path("srv/fib")], ghost, None, &mut k).unwrap();
-        r.make_visible(ghost.into(), vec![actorspace_atoms::Path::empty()], outer, None, &mut k)
+        r.make_visible(b.into(), vec![path("srv/fib")], ghost, None, &mut k)
             .unwrap();
+        r.make_visible(
+            ghost.into(),
+            vec![actorspace_atoms::Path::empty()],
+            outer,
+            None,
+            &mut k,
+        )
+        .unwrap();
         let mut want = vec![a, b];
         want.sort_unstable();
         assert_eq!(r.resolve(&pattern("srv/fib"), outer).unwrap(), want);
@@ -456,9 +524,11 @@ mod tests {
         let s = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("old")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("old")], s, None, &mut k)
+            .unwrap();
         assert_eq!(r.resolve(&pattern("old"), s).unwrap(), vec![a]);
-        r.change_attributes(a.into(), vec![path("new")], s, None, &mut k).unwrap();
+        r.change_attributes(a.into(), vec![path("new")], s, None, &mut k)
+            .unwrap();
         assert_eq!(r.resolve(&pattern("old"), s).unwrap(), vec![]);
         assert_eq!(r.resolve(&pattern("new"), s).unwrap(), vec![a]);
         r.make_invisible(a.into(), s, None).unwrap();
@@ -467,12 +537,16 @@ mod tests {
 
     #[test]
     fn disabling_the_index_gives_identical_results() {
-        let policy = ManagerPolicy { use_literal_index: false, ..Default::default() };
+        let policy = ManagerPolicy {
+            use_literal_index: false,
+            ..Default::default()
+        };
         let mut r: Registry<u32> = Registry::new(policy);
         let s = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
-        let mut k = |_: ActorId, _: u32| {};
-        r.make_visible(a.into(), vec![path("x/y")], s, None, &mut k).unwrap();
+        let mut k = |_: ActorId, _: u32, _: Option<&crate::delivery::Route>| {};
+        r.make_visible(a.into(), vec![path("x/y")], s, None, &mut k)
+            .unwrap();
         assert_eq!(r.resolve(&pattern("x/y"), s).unwrap(), vec![a]);
         assert_eq!(r.resolve(&pattern("x/z"), s).unwrap(), vec![]);
     }
@@ -482,18 +556,25 @@ mod tests {
         // §5.7's alternative strategy: allow the cycle, dedup during
         // resolution. Even a self-visible space yields each actor once.
         use crate::policy::CyclePolicy;
-        let policy = ManagerPolicy { cycles: CyclePolicy::TolerateWithDedup, ..Default::default() };
+        let policy = ManagerPolicy {
+            cycles: CyclePolicy::TolerateWithDedup,
+            ..Default::default()
+        };
         let mut r: Registry<u32> = Registry::new(policy);
         let s = r.create_space(None);
         let t = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
-        let mut k = |_: ActorId, _: u32| {};
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
+        let mut k = |_: ActorId, _: u32, _: Option<&crate::delivery::Route>| {};
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
         // Mutual visibility — would be rejected under Forbid.
-        r.make_visible(s.into(), vec![path("peer")], t, None, &mut k).unwrap();
-        r.make_visible(t.into(), vec![path("peer")], s, None, &mut k).unwrap();
+        r.make_visible(s.into(), vec![path("peer")], t, None, &mut k)
+            .unwrap();
+        r.make_visible(t.into(), vec![path("peer")], s, None, &mut k)
+            .unwrap();
         // Self-visibility too.
-        r.make_visible(s.into(), vec![path("me")], s, None, &mut k).unwrap();
+        r.make_visible(s.into(), vec![path("me")], s, None, &mut k)
+            .unwrap();
 
         // The paper's catastrophe scenario: a broadcast matching through
         // the cycle. Resolution terminates and returns `a` exactly once.
@@ -505,7 +586,7 @@ mod tests {
 
         // Delivery counts once per recipient.
         let mut delivered = 0u32;
-        let mut sink = |_: ActorId, _: u32| delivered += 1;
+        let mut sink = |_: ActorId, _: u32, _: Option<&crate::delivery::Route>| delivered += 1;
         r.broadcast(&pattern("**/w"), s, 1, &mut sink).unwrap();
         assert_eq!(delivered, 1);
     }
@@ -518,16 +599,19 @@ mod tests {
         let a = r.create_actor(s, None).unwrap();
         let b = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("svc/stable")], s, None, &mut k).unwrap();
-        r.make_visible(b.into(), vec![path("svc/deprecated")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("svc/stable")], s, None, &mut k)
+            .unwrap();
+        r.make_visible(b.into(), vec![path("svc/deprecated")], s, None, &mut k)
+            .unwrap();
         // Without a filter, both match the wildcard.
         assert_eq!(r.resolve(&pattern("svc/*"), s).unwrap().len(), 2);
         // A rule hiding `deprecated` attributes from wildcard queries while
         // still answering exact requests — a matching-rule customization no
         // plain pattern can express.
         let filter: crate::space::MatchFilter = Arc::new(|pat, _member, attr| {
-            let is_deprecated =
-                attr.iter().any(|at| at == actorspace_atoms::atom("deprecated"));
+            let is_deprecated = attr
+                .iter()
+                .any(|at| at == actorspace_atoms::atom("deprecated"));
             !is_deprecated || pat.as_literal().is_some()
         });
         r.set_match_filter(s, Some(filter), None).unwrap();
@@ -545,7 +629,8 @@ mod tests {
         let s = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("hidden/one")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("hidden/one")], s, None, &mut k)
+            .unwrap();
         let filter: crate::space::MatchFilter = Arc::new(|_pat, _member, attr| {
             attr.iter().next() != Some(actorspace_atoms::atom("hidden"))
         });
@@ -558,24 +643,29 @@ mod tests {
     #[test]
     fn report_load_steers_least_loaded_selection() {
         use crate::policy::SelectionPolicy;
-        let policy = ManagerPolicy { selection: SelectionPolicy::LeastLoaded, ..Default::default() };
+        let policy = ManagerPolicy {
+            selection: SelectionPolicy::LeastLoaded,
+            ..Default::default()
+        };
         let mut r: Registry<u32> = Registry::new(policy);
         let s = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
         let b = r.create_actor(s, None).unwrap();
-        let mut k = |_: ActorId, _: u32| {};
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
-        r.make_visible(b.into(), vec![path("w")], s, None, &mut k).unwrap();
+        let mut k = |_: ActorId, _: u32, _: Option<&crate::delivery::Route>| {};
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
+        r.make_visible(b.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
         r.report_load(s, a, 100).unwrap();
         r.report_load(s, b, 1).unwrap();
         let mut picks = Vec::new();
         for _ in 0..3 {
-            let mut sink = |to: ActorId, _: u32| picks.push(to);
+            let mut sink = |to: ActorId, _: u32, _: Option<&crate::delivery::Route>| picks.push(to);
             r.send(&pattern("w"), s, 1, &mut sink).unwrap();
         }
         assert!(picks.iter().all(|&p| p == b), "{picks:?}");
         r.report_load(s, b, 1000).unwrap();
-        let mut sink2 = |to: ActorId, _: u32| picks.push(to);
+        let mut sink2 = |to: ActorId, _: u32, _: Option<&crate::delivery::Route>| picks.push(to);
         r.send(&pattern("w"), s, 1, &mut sink2).unwrap();
         assert_eq!(*picks.last().unwrap(), a);
     }
@@ -597,7 +687,8 @@ mod tests {
         let s = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
         let mut k = sink();
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
         r.make_invisible(a.into(), s, None).unwrap();
         assert_eq!(r.resolve(&pattern("**"), s).unwrap(), vec![]);
     }

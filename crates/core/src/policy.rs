@@ -59,8 +59,7 @@ pub enum UnmatchedPolicy {
 /// group. The paper specifies a "non-deterministic" choice and proposes
 /// experimenting with "arbitration mechanisms … instead of the current
 /// indeterminate choice" (§8).
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub enum SelectionPolicy {
     /// Uniformly random — the default; gives the automatic load balancing
     /// of §5.3 ("the load may be balanced automatically by an
@@ -73,7 +72,6 @@ pub enum SelectionPolicy {
     /// address. Loads are reported via [`Selector::set_load`].
     LeastLoaded,
 }
-
 
 /// The runtime state behind a [`SelectionPolicy`] (RNG, round-robin cursor,
 /// load table). One per actorSpace.
@@ -93,7 +91,12 @@ impl Selector {
             Some(s) => SmallRng::seed_from_u64(s),
             None => SmallRng::from_entropy(),
         };
-        Selector { policy, rng, cursor: 0, loads: Default::default() }
+        Selector {
+            policy,
+            rng,
+            cursor: 0,
+            loads: Default::default(),
+        }
     }
 
     /// The active policy.
@@ -116,7 +119,10 @@ impl Selector {
     /// `Random`, and is normalized internally for the deterministic
     /// policies.
     pub fn select(&mut self, candidates: &[ActorId]) -> ActorId {
-        assert!(!candidates.is_empty(), "select() requires at least one candidate");
+        assert!(
+            !candidates.is_empty(),
+            "select() requires at least one candidate"
+        );
         match self.policy {
             SelectionPolicy::Random => candidates[self.rng.gen_range(0..candidates.len())],
             SelectionPolicy::RoundRobin => {
@@ -193,7 +199,11 @@ mod tests {
         for _ in 0..200 {
             seen.insert(s.select(&cands));
         }
-        assert_eq!(seen.len(), 4, "random selection should eventually hit every candidate");
+        assert_eq!(
+            seen.len(),
+            4,
+            "random selection should eventually hit every candidate"
+        );
     }
 
     #[test]

@@ -31,10 +31,12 @@ pub struct ActorRecord {
     pub host: SpaceId,
 }
 
-/// A sink receiving `(recipient, message)` pairs as the registry decides
-/// deliveries. The runtime's sink enqueues into mailboxes; tests collect
-/// into vectors.
-pub type Sink<'a, M> = &'a mut dyn FnMut(ActorId, M);
+/// A sink receiving `(recipient, message, route)` triples as the registry
+/// decides deliveries. The runtime's sink enqueues into mailboxes; tests
+/// collect into vectors. The [`Route`](crate::delivery::Route) is present
+/// for pattern-resolved deliveries and lets distribution layers re-resolve
+/// a message whose recipient has since become unreachable.
+pub type Sink<'a, M> = &'a mut dyn FnMut(ActorId, M, Option<&crate::delivery::Route>);
 
 /// Observability snapshot of one actorSpace (see [`Registry::space_info`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,7 +73,10 @@ impl<M: Clone> Registry<M> {
     /// Creates a registry whose root space (§7.1) uses `default_policy`.
     pub fn new(default_policy: ManagerPolicy) -> Registry<M> {
         let mut spaces = HashMap::new();
-        spaces.insert(ROOT_SPACE, Space::new(ROOT_SPACE, Guard::Open, default_policy.clone()));
+        spaces.insert(
+            ROOT_SPACE,
+            Space::new(ROOT_SPACE, Guard::Open, default_policy.clone()),
+        );
         Registry {
             ids: IdGen::default(),
             spaces,
@@ -112,7 +117,13 @@ impl<M: Clone> Registry<M> {
             return Err(Error::NoSuchSpace(host));
         }
         let id = self.ids.next_actor();
-        self.actors.insert(id, ActorRecord { guard: Guard::from_creation(cap), host });
+        self.actors.insert(
+            id,
+            ActorRecord {
+                guard: Guard::from_creation(cap),
+                host,
+            },
+        );
         Ok(id)
     }
 
@@ -146,13 +157,40 @@ impl<M: Clone> Registry<M> {
         if self.spaces.contains_key(&id) {
             return false;
         }
-        self.spaces.insert(id, Space::new(id, guard, self.default_policy.clone()));
+        self.spaces
+            .insert(id, Space::new(id, guard, self.default_policy.clone()));
         true
     }
 
     /// Removes an actor (death / remote destroy event).
     pub fn remove_actor(&mut self, id: ActorId) {
         self.remove_actor_internal(id);
+    }
+
+    /// Removes every actor whose raw id lies in `[lo, hi)` — records,
+    /// visibility memberships, and roots. This is the failover sweep for a
+    /// crashed node: its id range is purged from every replica so pattern
+    /// resolution falls back to surviving matches and suspended messages
+    /// stop waiting on the dead. Returns how many actors were purged.
+    pub fn purge_actor_range(&mut self, lo: u64, hi: u64) -> usize {
+        let doomed: Vec<ActorId> = self
+            .actors
+            .keys()
+            .filter(|a| (lo..hi).contains(&a.0))
+            .copied()
+            .collect();
+        for &a in &doomed {
+            self.remove_actor_internal(a);
+        }
+        doomed.len()
+    }
+
+    /// Raises the id allocator so future ids are minted past `raw`. Applied
+    /// when replaying remotely-ordered creation events into a freshly
+    /// restarted node, whose allocator would otherwise re-mint ids its
+    /// previous incarnation already used.
+    pub fn ensure_id_floor(&mut self, raw: u64) {
+        self.ids.ensure_floor(raw);
     }
 
     /// Destroys a space (§7.1 provides explicit destruction because the
@@ -248,7 +286,10 @@ impl<M: Clone> Registry<M> {
                 .get(&space)
                 .is_some_and(|sp| sp.policy().cycles == crate::policy::CyclePolicy::Forbid);
             if forbid && visibility::would_cycle(&self.spaces, child, space) {
-                return Err(Error::WouldCycle { child, parent: space });
+                return Err(Error::WouldCycle {
+                    child,
+                    parent: space,
+                });
             }
         }
         let sp = self.spaces.get_mut(&space).expect("checked above");
@@ -273,7 +314,10 @@ impl<M: Clone> Registry<M> {
         cap: Option<&Capability>,
     ) -> Result<()> {
         self.member_guard(member)?.check(cap, Rights::VISIBILITY)?;
-        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        let sp = self
+            .spaces
+            .get_mut(&space)
+            .ok_or(Error::NoSuchSpace(space))?;
         if !sp.remove_member(member) {
             return Err(Error::NotVisible { member, space });
         }
@@ -299,7 +343,10 @@ impl<M: Clone> Registry<M> {
         sink: Sink<'_, M>,
     ) -> Result<()> {
         self.member_guard(member)?.check(cap, Rights::ATTRIBUTES)?;
-        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        let sp = self
+            .spaces
+            .get_mut(&space)
+            .ok_or(Error::NoSuchSpace(space))?;
         if !sp.manager_mut().authorize_visibility(member, &attrs) {
             return Err(Error::Denied(actorspace_capability::GuardError::Missing));
         }
@@ -322,7 +369,10 @@ impl<M: Clone> Registry<M> {
         policy: ManagerPolicy,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        let sp = self
+            .spaces
+            .get_mut(&space)
+            .ok_or(Error::NoSuchSpace(space))?;
         sp.guard().check(cap, Rights::MANAGE)?;
         sp.set_policy(policy);
         Ok(())
@@ -335,7 +385,10 @@ impl<M: Clone> Registry<M> {
         manager: Box<dyn Manager>,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        let sp = self
+            .spaces
+            .get_mut(&space)
+            .ok_or(Error::NoSuchSpace(space))?;
         sp.guard().check(cap, Rights::MANAGE)?;
         sp.set_manager(manager);
         Ok(())
@@ -350,7 +403,10 @@ impl<M: Clone> Registry<M> {
         filter: Option<crate::space::MatchFilter>,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        let sp = self
+            .spaces
+            .get_mut(&space)
+            .ok_or(Error::NoSuchSpace(space))?;
         sp.guard().check(cap, Rights::MANAGE)?;
         sp.set_match_filter(filter);
         Ok(())
@@ -360,7 +416,10 @@ impl<M: Clone> Registry<M> {
     /// [`SelectionPolicy::LeastLoaded`](crate::policy::SelectionPolicy::LeastLoaded)
     /// arbitration in `space`. Actors self-report; no capability needed.
     pub fn report_load(&mut self, space: SpaceId, actor: ActorId, load: u64) -> Result<()> {
-        let sp = self.spaces.get_mut(&space).ok_or(Error::NoSuchSpace(space))?;
+        let sp = self
+            .spaces
+            .get_mut(&space)
+            .ok_or(Error::NoSuchSpace(space))?;
         sp.selector_mut().set_load(actor, load);
         Ok(())
     }
@@ -464,12 +523,8 @@ impl<M: Clone> Registry<M> {
 
     pub(crate) fn member_guard(&self, member: MemberId) -> Result<&Guard> {
         match member {
-            MemberId::Actor(a) => {
-                Ok(&self.actors.get(&a).ok_or(Error::NoSuchActor(a))?.guard)
-            }
-            MemberId::Space(s) => {
-                Ok(self.spaces.get(&s).ok_or(Error::NoSuchSpace(s))?.guard())
-            }
+            MemberId::Actor(a) => Ok(&self.actors.get(&a).ok_or(Error::NoSuchActor(a))?.guard),
+            MemberId::Space(s) => Ok(self.spaces.get(&s).ok_or(Error::NoSuchSpace(s))?.guard()),
         }
     }
 }
@@ -485,8 +540,8 @@ mod tests {
     }
 
     /// A sink that drops deliveries (these tests target structure only).
-    fn null_sink() -> impl FnMut(ActorId, u32) {
-        |_, _| {}
+    fn null_sink() -> impl FnMut(ActorId, u32, Option<&crate::delivery::Route>) {
+        |_, _, _| {}
     }
 
     #[test]
@@ -520,7 +575,8 @@ mod tests {
         let a = r.create_actor(s, None).unwrap();
         let m = MemberId::Actor(a);
         let mut sink = null_sink();
-        r.make_visible(m, vec![path("w")], s, None, &mut sink).unwrap();
+        r.make_visible(m, vec![path("w")], s, None, &mut sink)
+            .unwrap();
         assert!(r.space(s).unwrap().contains(m));
         assert_eq!(r.containers_of(m).collect::<Vec<_>>(), vec![s]);
         r.make_invisible(m, s, None).unwrap();
@@ -569,10 +625,14 @@ mod tests {
             Err(Error::Denied(_))
         ));
         // Right capability → ok.
-        r.make_visible(m, vec![path("w")], s, Some(&cap), &mut sink).unwrap();
+        r.make_visible(m, vec![path("w")], s, Some(&cap), &mut sink)
+            .unwrap();
         // Restricted capability lacking VISIBILITY → denied for invisibility.
         let weak = cap.restrict(Rights::ATTRIBUTES);
-        assert!(matches!(r.make_invisible(m, s, Some(&weak)), Err(Error::Denied(_))));
+        assert!(matches!(
+            r.make_invisible(m, s, Some(&weak)),
+            Err(Error::Denied(_))
+        ));
         r.make_invisible(m, s, Some(&cap)).unwrap();
     }
 
@@ -590,8 +650,10 @@ mod tests {
             r.change_attributes(m, vec![path("x")], s, Some(&cap), &mut sink),
             Err(Error::NotVisible { .. })
         ));
-        r.make_visible(m, vec![path("w")], s, Some(&cap), &mut sink).unwrap();
-        r.change_attributes(m, vec![path("x")], s, Some(&cap), &mut sink).unwrap();
+        r.make_visible(m, vec![path("w")], s, Some(&cap), &mut sink)
+            .unwrap();
+        r.change_attributes(m, vec![path("x")], s, Some(&cap), &mut sink)
+            .unwrap();
         assert_eq!(r.space(s).unwrap().members()[&m], vec![path("x")]);
         // VISIBILITY-only capability cannot change attributes.
         let weak = cap.restrict(Rights::VISIBILITY);
@@ -610,7 +672,13 @@ mod tests {
         let err = r
             .make_visible(MemberId::Space(s), vec![path("me")], s, None, &mut sink)
             .unwrap_err();
-        assert_eq!(err, Error::WouldCycle { child: s, parent: s });
+        assert_eq!(
+            err,
+            Error::WouldCycle {
+                child: s,
+                parent: s
+            }
+        );
     }
 
     #[test]
@@ -621,14 +689,23 @@ mod tests {
         let b = r.create_space(None);
         let c = r.create_space(None);
         let mut sink = null_sink();
-        r.make_visible(MemberId::Space(a), vec![path("a")], b, None, &mut sink).unwrap();
-        r.make_visible(MemberId::Space(b), vec![path("b")], c, None, &mut sink).unwrap();
+        r.make_visible(MemberId::Space(a), vec![path("a")], b, None, &mut sink)
+            .unwrap();
+        r.make_visible(MemberId::Space(b), vec![path("b")], c, None, &mut sink)
+            .unwrap();
         let err = r
             .make_visible(MemberId::Space(c), vec![path("c")], a, None, &mut sink)
             .unwrap_err();
-        assert_eq!(err, Error::WouldCycle { child: c, parent: a });
+        assert_eq!(
+            err,
+            Error::WouldCycle {
+                child: c,
+                parent: a
+            }
+        );
         // The non-cyclic direction still works: a may also be visible in c.
-        r.make_visible(MemberId::Space(a), vec![path("a2")], c, None, &mut sink).unwrap();
+        r.make_visible(MemberId::Space(a), vec![path("a2")], c, None, &mut sink)
+            .unwrap();
     }
 
     #[test]
@@ -641,8 +718,10 @@ mod tests {
         let a = r.create_actor(s1, None).unwrap();
         let m = MemberId::Actor(a);
         let mut sink = null_sink();
-        r.make_visible(m, vec![path("red")], s1, None, &mut sink).unwrap();
-        r.make_visible(m, vec![path("blue")], s2, None, &mut sink).unwrap();
+        r.make_visible(m, vec![path("red")], s1, None, &mut sink)
+            .unwrap();
+        r.make_visible(m, vec![path("blue")], s2, None, &mut sink)
+            .unwrap();
         assert_eq!(r.space(s1).unwrap().members()[&m], vec![path("red")]);
         assert_eq!(r.space(s2).unwrap().members()[&m], vec![path("blue")]);
         let mut parents: Vec<SpaceId> = r.containers_of(m).collect();
@@ -661,7 +740,8 @@ mod tests {
         let a = r.create_actor(s, None).unwrap();
         let m = MemberId::Actor(a);
         let mut sink = null_sink();
-        r.make_visible(m, vec![path("w")], s, None, &mut sink).unwrap();
+        r.make_visible(m, vec![path("w")], s, None, &mut sink)
+            .unwrap();
         r.destroy_space(s, None).unwrap();
         assert!(!r.space_exists(s));
         assert!(r.actor_exists(a));
@@ -676,8 +756,14 @@ mod tests {
         let parent = r.create_space(None);
         let child = r.create_space(None);
         let mut sink = null_sink();
-        r.make_visible(MemberId::Space(child), vec![path("c")], parent, None, &mut sink)
-            .unwrap();
+        r.make_visible(
+            MemberId::Space(child),
+            vec![path("c")],
+            parent,
+            None,
+            &mut sink,
+        )
+        .unwrap();
         r.destroy_space(child, None).unwrap();
         assert!(!r.space(parent).unwrap().contains(MemberId::Space(child)));
     }
@@ -685,7 +771,10 @@ mod tests {
     #[test]
     fn destroy_root_fails() {
         let mut r = reg();
-        assert_eq!(r.destroy_space(ROOT_SPACE, None).unwrap_err(), Error::RootImmortal);
+        assert_eq!(
+            r.destroy_space(ROOT_SPACE, None).unwrap_err(),
+            Error::RootImmortal
+        );
     }
 
     #[test]
@@ -696,7 +785,10 @@ mod tests {
         let s = r.create_space(Some(&cap));
         assert!(matches!(r.destroy_space(s, None), Err(Error::Denied(_))));
         let weak = cap.restrict(Rights::VISIBILITY);
-        assert!(matches!(r.destroy_space(s, Some(&weak)), Err(Error::Denied(_))));
+        assert!(matches!(
+            r.destroy_space(s, Some(&weak)),
+            Err(Error::Denied(_))
+        ));
         r.destroy_space(s, Some(&cap)).unwrap();
     }
 
@@ -710,8 +802,10 @@ mod tests {
         let sub = r.create_space(None);
         let a = r.create_actor(s, None).unwrap();
         let mut k = null_sink();
-        r.make_visible(a.into(), vec![path("w")], s, None, &mut k).unwrap();
-        r.make_visible(sub.into(), vec![path("sub")], s, None, &mut k).unwrap();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut k)
+            .unwrap();
+        r.make_visible(sub.into(), vec![path("sub")], s, None, &mut k)
+            .unwrap();
         // One suspended message.
         r.send(&pattern("ghost"), s, 1, &mut k).unwrap();
         let info = r.space_info(s).unwrap();
@@ -741,7 +835,13 @@ mod tests {
         let a = r.create_actor(s, None).unwrap();
         let mut sink = null_sink();
         assert!(r
-            .make_visible(MemberId::Actor(a), vec![path("secret/x")], s, None, &mut sink)
+            .make_visible(
+                MemberId::Actor(a),
+                vec![path("secret/x")],
+                s,
+                None,
+                &mut sink
+            )
             .is_err());
         r.make_visible(MemberId::Actor(a), vec![path("open/x")], s, None, &mut sink)
             .unwrap();

@@ -327,7 +327,11 @@ mod tests {
     fn pending_queue_roundtrip() {
         use actorspace_pattern::pattern;
         let mut s = space();
-        s.push_pending(Pending { pattern: pattern("a"), msg: 7, kind: DeliveryKind::Send });
+        s.push_pending(Pending {
+            pattern: pattern("a"),
+            msg: 7,
+            kind: DeliveryKind::Send,
+        });
         assert_eq!(s.pending().len(), 1);
         let taken = s.take_pending();
         assert_eq!(taken.len(), 1);

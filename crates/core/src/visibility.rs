@@ -35,7 +35,9 @@ pub fn would_cycle<M>(
     let mut seen = HashSet::new();
     seen.insert(child);
     while let Some(s) = stack.pop() {
-        let Some(space) = spaces.get(&s) else { continue };
+        let Some(space) = spaces.get(&s) else {
+            continue;
+        };
         for member in space.members().keys() {
             if let MemberId::Space(sub) = member {
                 if *sub == parent {
@@ -86,12 +88,17 @@ pub fn is_dag<M>(spaces: &HashMap<SpaceId, Space<M>>) -> bool {
             }
         }
     }
-    let mut queue: Vec<SpaceId> =
-        indegree.iter().filter(|(_, &d)| d == 0).map(|(&s, _)| s).collect();
+    let mut queue: Vec<SpaceId> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&s, _)| s)
+        .collect();
     let mut visited = 0usize;
     while let Some(s) = queue.pop() {
         visited += 1;
-        let Some(space) = spaces.get(&s) else { continue };
+        let Some(space) = spaces.get(&s) else {
+            continue;
+        };
         for member in space.members().keys() {
             if let MemberId::Space(sub) = member {
                 if let Some(d) = indegree.get_mut(sub) {
@@ -109,8 +116,8 @@ pub fn is_dag<M>(spaces: &HashMap<SpaceId, Space<M>>) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use actorspace_capability::Guard;
     use crate::policy::ManagerPolicy;
+    use actorspace_capability::Guard;
 
     fn mk(n: u64) -> (HashMap<SpaceId, Space<u32>>, Vec<SpaceId>) {
         let mut spaces = HashMap::new();

@@ -26,26 +26,53 @@ fn policy(unmatched: UnmatchedPolicy) -> ManagerPolicy {
 /// A random visibility op over a small universe of spaces and actors.
 #[derive(Debug, Clone)]
 enum Op {
-    MakeActorVisible { actor: usize, space: usize, attr: usize },
-    MakeActorInvisible { actor: usize, space: usize },
-    MakeSpaceVisible { child: usize, parent: usize, attr: usize },
-    MakeSpaceInvisible { child: usize, parent: usize },
-    ChangeAttr { actor: usize, space: usize, attr: usize },
-    DestroySpace { space: usize },
+    MakeActorVisible {
+        actor: usize,
+        space: usize,
+        attr: usize,
+    },
+    MakeActorInvisible {
+        actor: usize,
+        space: usize,
+    },
+    MakeSpaceVisible {
+        child: usize,
+        parent: usize,
+        attr: usize,
+    },
+    MakeSpaceInvisible {
+        child: usize,
+        parent: usize,
+    },
+    ChangeAttr {
+        actor: usize,
+        space: usize,
+        attr: usize,
+    },
+    DestroySpace {
+        space: usize,
+    },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0usize..6, 0usize..5, 0usize..4)
-            .prop_map(|(actor, space, attr)| Op::MakeActorVisible { actor, space, attr }),
-        (0usize..6, 0usize..5)
-            .prop_map(|(actor, space)| Op::MakeActorInvisible { actor, space }),
-        (0usize..5, 0usize..5, 0usize..4)
-            .prop_map(|(child, parent, attr)| Op::MakeSpaceVisible { child, parent, attr }),
-        (0usize..5, 0usize..5)
-            .prop_map(|(child, parent)| Op::MakeSpaceInvisible { child, parent }),
-        (0usize..6, 0usize..5, 0usize..4)
-            .prop_map(|(actor, space, attr)| Op::ChangeAttr { actor, space, attr }),
+        (0usize..6, 0usize..5, 0usize..4).prop_map(|(actor, space, attr)| Op::MakeActorVisible {
+            actor,
+            space,
+            attr
+        }),
+        (0usize..6, 0usize..5).prop_map(|(actor, space)| Op::MakeActorInvisible { actor, space }),
+        (0usize..5, 0usize..5, 0usize..4).prop_map(|(child, parent, attr)| Op::MakeSpaceVisible {
+            child,
+            parent,
+            attr
+        }),
+        (0usize..5, 0usize..5).prop_map(|(child, parent)| Op::MakeSpaceInvisible { child, parent }),
+        (0usize..6, 0usize..5, 0usize..4).prop_map(|(actor, space, attr)| Op::ChangeAttr {
+            actor,
+            space,
+            attr
+        }),
         (1usize..5).prop_map(|space| Op::DestroySpace { space }),
     ]
 }
@@ -63,11 +90,13 @@ fn attrs(i: usize) -> Vec<Path> {
 /// returns the registry plus which spaces/actors still exist.
 fn run_ops(ops: &[Op]) -> (Reg, Vec<SpaceId>, Vec<ActorId>) {
     let mut r: Reg = Registry::new(policy(UnmatchedPolicy::Discard));
-    let spaces: Vec<SpaceId> =
-        std::iter::once(ROOT_SPACE).chain((0..4).map(|_| r.create_space(None))).collect();
-    let actors: Vec<ActorId> =
-        (0..6).map(|_| r.create_actor(ROOT_SPACE, None).unwrap()).collect();
-    let mut sink = |_: ActorId, _: u64| {};
+    let spaces: Vec<SpaceId> = std::iter::once(ROOT_SPACE)
+        .chain((0..4).map(|_| r.create_space(None)))
+        .collect();
+    let actors: Vec<ActorId> = (0..6)
+        .map(|_| r.create_actor(ROOT_SPACE, None).unwrap())
+        .collect();
+    let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
     for op in ops {
         match *op {
             Op::MakeActorVisible { actor, space, attr } => {
@@ -82,7 +111,11 @@ fn run_ops(ops: &[Op]) -> (Reg, Vec<SpaceId>, Vec<ActorId>) {
             Op::MakeActorInvisible { actor, space } => {
                 let _ = r.make_invisible(actors[actor].into(), spaces[space], None);
             }
-            Op::MakeSpaceVisible { child, parent, attr } => {
+            Op::MakeSpaceVisible {
+                child,
+                parent,
+                attr,
+            } => {
                 let _ = r.make_visible(
                     spaces[child].into(),
                     attrs(attr),
@@ -138,7 +171,10 @@ fn oracle_resolve(r: &Reg, pat: &Pattern, space: SpaceId, depth: usize) -> HashS
     }
     let mut all = Vec::new();
     joined_paths(r, space, &Path::empty(), depth, &mut all);
-    all.into_iter().filter(|(_, p)| pat.matches(p)).map(|(id, _)| id).collect()
+    all.into_iter()
+        .filter(|(_, p)| pat.matches(p))
+        .map(|(id, _)| id)
+        .collect()
 }
 
 proptest! {
@@ -220,7 +256,7 @@ proptest! {
 
         let mut received: HashMap<ActorId, u32> = HashMap::new();
         {
-            let mut sink = |a: ActorId, _m: u64| { *received.entry(a).or_insert(0) += 1; };
+            let mut sink = |a: ActorId, _m: u64, _: Option<&actorspace_core::Route>| { *received.entry(a).or_insert(0) += 1; };
             let d = r.broadcast(&pattern("node"), s, 42, &mut sink).unwrap();
             prop_assert_eq!(d, Disposition::Persistent(0));
             for &(idx, arrive) in &arrivals {

@@ -37,7 +37,9 @@ pub struct Env {
 impl Env {
     /// An environment with one (base) scope holding `bindings`.
     pub fn with_base(bindings: HashMap<String, Value>) -> Env {
-        Env { scopes: vec![bindings] }
+        Env {
+            scopes: vec![bindings],
+        }
     }
 
     /// Pushes a fresh scope.
@@ -55,7 +57,10 @@ impl Env {
         if self.scopes.is_empty() {
             self.scopes.push(HashMap::new());
         }
-        self.scopes.last_mut().expect("non-empty").insert(name.to_owned(), v);
+        self.scopes
+            .last_mut()
+            .expect("non-empty")
+            .insert(name.to_owned(), v);
     }
 
     /// Reads a variable, innermost scope first.
@@ -93,11 +98,14 @@ pub trait ActorOps {
     /// Point-to-point send.
     fn send_addr(&mut self, to: Value, msg: Value) -> Result<(), EvalError>;
     /// Pattern send; `space` of `None` means the host space.
-    fn send_pattern(&mut self, pat: &str, space: Option<Value>, msg: Value)
-        -> Result<(), EvalError>;
+    fn send_pattern(
+        &mut self,
+        pat: &str,
+        space: Option<Value>,
+        msg: Value,
+    ) -> Result<(), EvalError>;
     /// Pattern broadcast.
-    fn broadcast(&mut self, pat: &str, space: Option<Value>, msg: Value)
-        -> Result<(), EvalError>;
+    fn broadcast(&mut self, pat: &str, space: Option<Value>, msg: Value) -> Result<(), EvalError>;
     /// Reply to the sender.
     fn reply(&mut self, msg: Value) -> Result<(), EvalError>;
     /// Create an actor from a named behavior with creation arguments.
@@ -354,7 +362,9 @@ pub fn eval(expr: &Sexp, env: &mut Env, ops: &mut dyn ActorOps) -> Result<Value,
                     let pat = match eval(&args[0], env, ops)? {
                         Value::Str(s) => s.to_string(),
                         Value::Atom(a) => a.as_str().to_owned(),
-                        other => return err(format!("{form}: pattern must be a string, got {other}")),
+                        other => {
+                            return err(format!("{form}: pattern must be a string, got {other}"))
+                        }
                     };
                     let (space, msg) = if args.len() == 3 {
                         (Some(eval(&args[1], env, ops)?), eval(&args[2], env, ops)?)
@@ -410,7 +420,11 @@ pub fn eval(expr: &Sexp, env: &mut Env, ops: &mut dyn ActorOps) -> Result<Value,
                     let attr = match eval(&args[0], env, ops)? {
                         Value::Str(s) => s.to_string(),
                         Value::Atom(a) => a.as_str().to_owned(),
-                        other => return err(format!("make-visible: attribute must be a string, got {other}")),
+                        other => {
+                            return err(format!(
+                                "make-visible: attribute must be a string, got {other}"
+                            ))
+                        }
                     };
                     let space = eval(&args[1], env, ops)?;
                     ops.make_visible(&attr, space)?;
@@ -466,7 +480,9 @@ fn match_value(
                     return Ok(value == &Value::atom(atom_name));
                 }
             }
-            let Some(vals) = value.as_list() else { return Ok(false) };
+            let Some(vals) = value.as_list() else {
+                return Ok(false);
+            };
             if vals.len() != items.len() {
                 return Ok(false);
             }
@@ -509,7 +525,10 @@ fn quote_value(s: &Sexp) -> Value {
 fn num2(vals: &[Value], name: &str) -> Result<(i64, i64), EvalError> {
     match (vals[0].as_int(), vals[1].as_int()) {
         (Some(a), Some(b)) => Ok((a, b)),
-        _ => err(format!("{name}: expected integers, got {} {}", vals[0], vals[1])),
+        _ => err(format!(
+            "{name}: expected integers, got {} {}",
+            vals[0], vals[1]
+        )),
     }
 }
 
@@ -522,8 +541,16 @@ fn builtin(name: &str, vals: &[Value]) -> Result<Value, EvalError> {
             for v in vals {
                 match v {
                     Value::Int(i) => {
-                        acc = if name == "+" { acc.wrapping_add(*i) } else { acc.wrapping_mul(*i) };
-                        facc = if name == "+" { facc + *i as f64 } else { facc * *i as f64 };
+                        acc = if name == "+" {
+                            acc.wrapping_add(*i)
+                        } else {
+                            acc.wrapping_mul(*i)
+                        };
+                        facc = if name == "+" {
+                            facc + *i as f64
+                        } else {
+                            facc * *i as f64
+                        };
                     }
                     Value::Float(f) => {
                         float = true;
@@ -532,7 +559,11 @@ fn builtin(name: &str, vals: &[Value]) -> Result<Value, EvalError> {
                     other => return err(format!("{name}: not a number: {other}")),
                 }
             }
-            Ok(if float { Value::Float(facc) } else { Value::Int(acc) })
+            Ok(if float {
+                Value::Float(facc)
+            } else {
+                Value::Int(acc)
+            })
         }
         "-" => {
             if vals.is_empty() {
@@ -575,7 +606,9 @@ fn builtin(name: &str, vals: &[Value]) -> Result<Value, EvalError> {
         }
         "=" => Ok(Value::Bool(vals.len() == 2 && vals[0] == vals[1])),
         "!=" => Ok(Value::Bool(vals.len() == 2 && vals[0] != vals[1])),
-        "not" => Ok(Value::Bool(!vals.first().map(Value::truthy).unwrap_or(false))),
+        "not" => Ok(Value::Bool(
+            !vals.first().map(Value::truthy).unwrap_or(false),
+        )),
         "min" => {
             let (a, b) = num2(vals, "min")?;
             Ok(Value::Int(a.min(b)))
@@ -601,7 +634,10 @@ fn builtin(name: &str, vals: &[Value]) -> Result<Value, EvalError> {
             _ => err("len: not a list or string"),
         },
         "nth" => {
-            let idx = vals.get(1).and_then(Value::as_int).ok_or(EvalError("nth: bad index".into()))?;
+            let idx = vals
+                .get(1)
+                .and_then(Value::as_int)
+                .ok_or(EvalError("nth: bad index".into()))?;
             match vals.first().and_then(|v| v.as_list()) {
                 Some(items) => items
                     .get(idx as usize)
@@ -691,7 +727,10 @@ mod tests {
 
     #[test]
     fn cond_selects_first_true_clause() {
-        assert_eq!(ev("(cond ((< 2 1) 'a) ((< 1 2) 'b) (else 'c))"), Value::atom("b"));
+        assert_eq!(
+            ev("(cond ((< 2 1) 'a) ((< 1 2) 'b) (else 'c))"),
+            Value::atom("b")
+        );
         assert_eq!(ev("(cond ((< 2 1) 'a) (else 'c))"), Value::atom("c"));
         assert_eq!(ev("(cond ((< 2 1) 'a))"), Value::Unit);
         // Bodies may be multi-expression.
@@ -721,17 +760,29 @@ mod tests {
     #[test]
     fn match_literals_and_wildcards() {
         assert_eq!(ev("(match 5 (5 'five) (else 'other))"), Value::atom("five"));
-        assert_eq!(ev("(match 6 (5 'five) (else 'other))"), Value::atom("other"));
+        assert_eq!(
+            ev("(match 6 (5 'five) (else 'other))"),
+            Value::atom("other")
+        );
         assert_eq!(ev("(match \"x\" (\"x\" 1) (else 2))"), Value::int(1));
         assert_eq!(ev("(match 'tag ('tag 1) (else 2))"), Value::int(1));
         assert_eq!(ev("(match (list 1 2) ((_ b) b))"), Value::int(2));
-        assert_eq!(ev("(match true (true 'yes) (else 'no))"), Value::atom("yes"));
-        assert_eq!(ev("(match nil (nil 'unit) (else 'no))"), Value::atom("unit"));
+        assert_eq!(
+            ev("(match true (true 'yes) (else 'no))"),
+            Value::atom("yes")
+        );
+        assert_eq!(
+            ev("(match nil (nil 'unit) (else 'no))"),
+            Value::atom("unit")
+        );
     }
 
     #[test]
     fn match_arity_must_agree() {
-        assert_eq!(ev("(match (list 1 2 3) ((a b) 'two) ((a b c) 'three))"), Value::atom("three"));
+        assert_eq!(
+            ev("(match (list 1 2 3) ((a b) 'two) ((a b c) 'three))"),
+            Value::atom("three")
+        );
         // No clause matches → Unit.
         assert_eq!(ev("(match (list 1) ((a b) a))"), Value::Unit);
     }
@@ -769,9 +820,15 @@ mod tests {
     fn lists() {
         assert_eq!(ev("(len (list 1 2 3))"), Value::int(3));
         assert_eq!(ev("(head (list 7 8))"), Value::int(7));
-        assert_eq!(ev("(tail (list 7 8 9))"), Value::list([Value::int(8), Value::int(9)]));
+        assert_eq!(
+            ev("(tail (list 7 8 9))"),
+            Value::list([Value::int(8), Value::int(9)])
+        );
         assert_eq!(ev("(nth (list 5 6 7) 1)"), Value::int(6));
-        assert_eq!(ev("(cons 1 (list 2))"), Value::list([Value::int(1), Value::int(2)]));
+        assert_eq!(
+            ev("(cons 1 (list 2))"),
+            Value::list([Value::int(1), Value::int(2)])
+        );
         assert_eq!(
             ev("(append (list 1) (list 2 3))"),
             Value::list([Value::int(1), Value::int(2), Value::int(3)])
@@ -783,7 +840,10 @@ mod tests {
     fn quoting() {
         assert_eq!(ev("'foo"), Value::atom("foo"));
         assert_eq!(ev("'(a 1)"), Value::list([Value::atom("a"), Value::int(1)]));
-        assert_eq!(ev("(quote (1 2))"), Value::list([Value::int(1), Value::int(2)]));
+        assert_eq!(
+            ev("(quote (1 2))"),
+            Value::list([Value::int(1), Value::int(2)])
+        );
     }
 
     #[test]

@@ -96,7 +96,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                     }
                 }
                 if !closed {
-                    return Err(LexError { offset: i, message: "unterminated string".into() });
+                    return Err(LexError {
+                        offset: i,
+                        message: "unterminated string".into(),
+                    });
                 }
                 out.push(Token::Str(s));
             }

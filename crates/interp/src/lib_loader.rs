@@ -105,7 +105,15 @@ fn parse_behavior(form: &Sexp) -> Result<(String, BehaviorDef), EvalError> {
             }
             let (msg_var, body) =
                 handler.ok_or_else(|| EvalError(format!("behavior {name} lacks (on …)")))?;
-            Ok((name.clone(), BehaviorDef { params, msg_var, body, init }))
+            Ok((
+                name.clone(),
+                BehaviorDef {
+                    params,
+                    msg_var,
+                    body,
+                    init,
+                },
+            ))
         }
         _ => Err(EvalError(format!("not a behavior definition: {form}"))),
     }
@@ -121,7 +129,11 @@ pub struct InterpBehavior {
 impl InterpBehavior {
     /// Instantiates `name` from `lib` with creation arguments (must match
     /// the declared parameter count).
-    pub fn new(lib: Arc<BehaviorLib>, name: &str, args: Vec<Value>) -> Result<InterpBehavior, EvalError> {
+    pub fn new(
+        lib: Arc<BehaviorLib>,
+        name: &str,
+        args: Vec<Value>,
+    ) -> Result<InterpBehavior, EvalError> {
         let def = lib
             .get(name)
             .ok_or_else(|| EvalError(format!("unknown behavior `{name}`")))?;
@@ -133,7 +145,11 @@ impl InterpBehavior {
             )));
         }
         let state = def.params.iter().cloned().zip(args).collect();
-        Ok(InterpBehavior { lib, name: name.to_owned(), state })
+        Ok(InterpBehavior {
+            lib,
+            name: name.to_owned(),
+            state,
+        })
     }
 
     /// The behavior's current name (changes on `become`).
@@ -142,7 +158,9 @@ impl InterpBehavior {
     }
 
     fn run(&mut self, ctx: &mut Ctx<'_>, msg: Option<Message>, run_init: bool) {
-        let Some(def) = self.lib.get(&self.name).cloned() else { return };
+        let Some(def) = self.lib.get(&self.name).cloned() else {
+            return;
+        };
         let mut env = Env::with_base(self.state.clone());
         if let Some(m) = &msg {
             env.define(&def.msg_var, m.body.clone());
@@ -203,7 +221,11 @@ pub fn eval_with_ctx(
     ctx: &mut Ctx<'_>,
     expr: &Sexp,
 ) -> Result<(Value, Option<PendingBecome>), EvalError> {
-    let mut ops = CtxOps { ctx, lib, pending_become: None };
+    let mut ops = CtxOps {
+        ctx,
+        lib,
+        pending_become: None,
+    };
     let v = eval(expr, env, &mut ops)?;
     Ok((v, ops.pending_become))
 }
@@ -216,7 +238,8 @@ struct CtxOps<'a, 'b> {
 }
 
 fn space_of(v: &Value) -> Result<SpaceId, EvalError> {
-    v.as_space().ok_or_else(|| EvalError(format!("expected a space, got {v}")))
+    v.as_space()
+        .ok_or_else(|| EvalError(format!("expected a space, got {v}")))
 }
 
 fn pattern_of(text: &str) -> Result<Pattern, EvalError> {
@@ -237,7 +260,9 @@ impl ActorOps for CtxOps<'_, '_> {
     }
 
     fn send_addr(&mut self, to: Value, msg: Value) -> Result<(), EvalError> {
-        let to = to.as_addr().ok_or_else(|| EvalError(format!("send-addr: not an address: {to}")))?;
+        let to = to
+            .as_addr()
+            .ok_or_else(|| EvalError(format!("send-addr: not an address: {to}")))?;
         self.ctx.send_addr(to, msg);
         Ok(())
     }
@@ -339,9 +364,9 @@ mod tests {
         for bad in [
             "(behavior)",
             "(behavior x)",
-            "(behavior x (p))",                       // no handler
-            "(behavior x (p) (on m 1) (on m 2))",     // two handlers
-            "(behavior x (1) (on m 1))",              // non-symbol param
+            "(behavior x (p))",                   // no handler
+            "(behavior x (p) (on m 1) (on m 2))", // two handlers
+            "(behavior x (1) (on m 1))",          // non-symbol param
             "(notbehavior x () (on m 1))",
             "(behavior x () (weird 1))",
         ] {

@@ -12,7 +12,10 @@ use actorspace_runtime::{ActorSystem, Config, Value};
 const TIMEOUT: Duration = Duration::from_secs(10);
 
 fn sys() -> ActorSystem {
-    ActorSystem::new(Config { workers: 3, ..Config::default() })
+    ActorSystem::new(Config {
+        workers: 3,
+        ..Config::default()
+    })
 }
 
 #[test]
@@ -31,8 +34,9 @@ fn counter_with_set_state() {
     );
     let s = sys();
     let (inbox, rx) = s.inbox();
-    let c = s
-        .spawn(InterpBehavior::new(lib, "counter", vec![Value::int(0), Value::Addr(inbox)]).unwrap());
+    let c = s.spawn(
+        InterpBehavior::new(lib, "counter", vec![Value::int(0), Value::Addr(inbox)]).unwrap(),
+    );
     for _ in 0..7 {
         c.send(Value::atom("inc"));
     }
@@ -59,8 +63,7 @@ fn become_switches_behavior() {
     );
     let s = sys();
     let (inbox, rx) = s.inbox();
-    let door =
-        s.spawn(InterpBehavior::new(lib, "open", vec![Value::Addr(inbox)]).unwrap());
+    let door = s.spawn(InterpBehavior::new(lib, "open", vec![Value::Addr(inbox)]).unwrap());
     door.send(Value::int(1));
     assert_eq!(
         rx.recv_timeout(TIMEOUT).unwrap().body.as_list().unwrap()[0],
@@ -94,8 +97,7 @@ fn interpreted_actor_advertises_itself_and_serves_patterns() {
     let s = sys();
     let space = s.create_space(None).unwrap();
     let (inbox, rx) = s.inbox();
-    let _srv = s
-        .spawn(InterpBehavior::new(lib, "fib-server", vec![Value::Space(space)]).unwrap());
+    let _srv = s.spawn(InterpBehavior::new(lib, "fib-server", vec![Value::Space(space)]).unwrap());
     s.await_idle(TIMEOUT);
     s.send_pattern(
         &pattern("srv/*"),
@@ -141,7 +143,11 @@ fn interpreted_divide_and_conquer_pool() {
     let s = sys();
     let (inbox, rx) = s.inbox();
     let root = s.spawn(InterpBehavior::new(lib, "summer", vec![]).unwrap());
-    root.send(Value::list([Value::int(0), Value::int(500), Value::Addr(inbox)]));
+    root.send(Value::list([
+        Value::int(0),
+        Value::int(500),
+        Value::Addr(inbox),
+    ]));
     let got = rx.recv_timeout(TIMEOUT).unwrap().body.as_int().unwrap();
     assert_eq!(got, (0..500i64).sum::<i64>());
     s.shutdown();
@@ -177,9 +183,15 @@ fn match_based_message_dispatch() {
     acct.send(Value::list([Value::atom("query")]));
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(120));
     acct.send(Value::list([Value::atom("withdraw"), Value::int(999)]));
-    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::atom("insufficient"));
+    assert_eq!(
+        rx.recv_timeout(TIMEOUT).unwrap().body,
+        Value::atom("insufficient")
+    );
     acct.send(Value::str("garbage"));
-    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::atom("unknown-message"));
+    assert_eq!(
+        rx.recv_timeout(TIMEOUT).unwrap().body,
+        Value::atom("unknown-message")
+    );
     s.shutdown();
 }
 
@@ -234,12 +246,19 @@ fn runtime_loading_of_new_behaviors() {
     let mut lib = BehaviorLib::load("(behavior v1 (out) (on m (send-addr out 1)))").unwrap();
     let s = sys();
     let (inbox, rx) = s.inbox();
-    let a = s.spawn(InterpBehavior::new(Arc::new(BehaviorLib::load(
-        "(behavior v1 (out) (on m (send-addr out 1)))").unwrap()), "v1", vec![Value::Addr(inbox)]).unwrap());
+    let a = s.spawn(
+        InterpBehavior::new(
+            Arc::new(BehaviorLib::load("(behavior v1 (out) (on m (send-addr out 1)))").unwrap()),
+            "v1",
+            vec![Value::Addr(inbox)],
+        )
+        .unwrap(),
+    );
     a.send(Value::Unit);
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(1));
     // Hot-load v2 into a new library snapshot and spawn it.
-    lib.load_more("(behavior v2 (out) (on m (send-addr out 2)))").unwrap();
+    lib.load_more("(behavior v2 (out) (on m (send-addr out 2)))")
+        .unwrap();
     let lib = Arc::new(lib);
     let b = s.spawn(InterpBehavior::new(lib, "v2", vec![Value::Addr(inbox)]).unwrap());
     b.send(Value::Unit);

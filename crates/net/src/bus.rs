@@ -83,6 +83,19 @@ pub enum BusOp {
         /// Which actor.
         id: ActorId,
     },
+    /// A node has been declared failed by `origin`'s failure detector.
+    /// Every replica purges the dead node's actors from all visibility
+    /// tables, so pattern resolution falls back to surviving matches.
+    /// Ordering the purge through the bus keeps replicas convergent.
+    NodeDown {
+        /// The failed node.
+        node: NodeId,
+    },
+    /// A node has re-registered through the directory after a restart.
+    NodeUp {
+        /// The restarted node.
+        node: NodeId,
+    },
 }
 
 /// A submitted event, tagged with its origin node.
@@ -134,7 +147,10 @@ impl Applier {
     /// Builds an applier calling `apply` for each event, in order.
     pub fn new(apply: impl Fn(BusEvent) + Send + Sync + 'static) -> Applier {
         Applier {
-            state: Mutex::new(ApplierState { next: 0, buffer: BTreeMap::new() }),
+            state: Mutex::new(ApplierState {
+                next: 0,
+                buffer: BTreeMap::new(),
+            }),
             applied: AtomicU64::new(0),
             apply: Box::new(apply),
         }
@@ -151,7 +167,9 @@ impl Applier {
             st.buffer.insert(e.seq, e.event);
             loop {
                 let next = st.next;
-                let Some(ev) = st.buffer.remove(&next) else { break };
+                let Some(ev) = st.buffer.remove(&next) else {
+                    break;
+                };
                 ready.push(ev);
                 st.next += 1;
             }
@@ -168,6 +186,57 @@ impl Applier {
     }
 }
 
+/// A retained copy of the bus history, for replaying into a restarted
+/// node's fresh [`Applier`].
+///
+/// The bus is loss-free and every node's downlink sees every event, so
+/// recording at any one downlink yields a gap-free log. A restarted node
+/// replays the snapshot (original creations, visibility changes, and the
+/// `NodeDown` purges of its own previous incarnation, in global order) and
+/// converges to the exact replica state of the survivors; live events
+/// racing the replay are deduplicated by the applier's watermark.
+#[derive(Default)]
+pub struct EventLog {
+    events: Mutex<BTreeMap<u64, BusEvent>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Records one sequenced event (idempotent per sequence number).
+    pub fn record(&self, e: &SeqEvent) {
+        self.events
+            .lock()
+            .entry(e.seq)
+            .or_insert_with(|| e.event.clone());
+    }
+
+    /// The history so far, in sequence order.
+    pub fn snapshot(&self) -> Vec<SeqEvent> {
+        self.events
+            .lock()
+            .iter()
+            .map(|(&seq, event)| SeqEvent {
+                seq,
+                event: event.clone(),
+            })
+            .collect()
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,7 +244,10 @@ mod tests {
     fn ev(seq: u64) -> SeqEvent {
         SeqEvent {
             seq,
-            event: BusEvent { origin: NodeId(0), op: BusOp::RemoveActor { id: ActorId(seq) } },
+            event: BusEvent {
+                origin: NodeId(0),
+                op: BusOp::RemoveActor { id: ActorId(seq) },
+            },
         }
     }
 

@@ -1,5 +1,5 @@
-//! The cluster: nodes, replicated state, data plane, and the coordinator
-//! hook.
+//! The cluster: nodes, replicated state, data plane, failure handling, and
+//! the coordinator hook.
 //!
 //! Wiring per the paper's Figure 3: every node runs a full
 //! [`ActorSystem`]; all state-changing primitives are rerouted (via the
@@ -13,22 +13,42 @@
 //! is absorbed by the §5.6 suspension semantics: a send racing its own
 //! `make_visible` simply suspends on the local replica and wakes when the
 //! event applies there.
+//!
+//! # Node failures
+//!
+//! On top of the link faults masked by [`crate::reliable`], the cluster
+//! injects *node* faults: [`Cluster::kill_node`] drops a node mid-flight
+//! and [`Cluster::restart_node`] boots a fresh incarnation. A heartbeat
+//! [`FailureDetector`] notices the silence; each observer submits a
+//! `NodeDown` event so every replica purges the dead node's actors from
+//! its visibility tables in the same global order. Messages that were
+//! bound for the dead node — journalled in-flight packets as well as
+//! messages its mailboxes had accepted but not yet processed — carry the
+//! [`Route`] that resolved them, and are re-resolved against a surviving
+//! replica: they re-match a surviving replica actor, or suspend (§5.6)
+//! until one is made visible. A restarted node re-registers through the
+//! directory (`NodeUp`), replays the retained bus history to reconverge
+//! its replica, and serves traffic again.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use actorspace_atoms::Path;
 use actorspace_capability::{Capability, Guard};
 use actorspace_core::{
-    ActorId, Disposition, ManagerPolicy, MemberId, Pattern, Result, SpaceId,
+    ActorId, DeliveryKind, Disposition, ManagerPolicy, MemberId, Pattern, Result, Route, SpaceId,
 };
 use actorspace_runtime::{
     ActorSystem, Behavior, BoxBehavior, Config, CoordinatorHook, Message, Transport, Value,
 };
+use parking_lot::{Mutex, RwLock};
 
-use crate::bus::{Applier, BusEvent, BusOp, OrderedBroadcast, SeqEvent};
-use crate::directory::{id_base, node_of_actor, NodeId};
+use crate::bus::{Applier, BusEvent, BusOp, EventLog, OrderedBroadcast, SeqEvent};
+use crate::directory::{id_base, id_range, node_of_actor, node_of_raw, NodeId};
+use crate::failure::{FailureConfig, FailureDetector};
 use crate::link::{Link, LinkConfig};
 use crate::reliable::ReliablePipe;
 use crate::sequencer::Sequencer;
@@ -62,6 +82,8 @@ pub struct ClusterConfig {
     pub policy: ManagerPolicy,
     /// Data-plane retransmission period.
     pub retx_every: Duration,
+    /// Failure-detector tuning (heartbeat period, timeout, miss budget).
+    pub failure: FailureConfig,
 }
 
 impl Default for ClusterConfig {
@@ -75,6 +97,7 @@ impl Default for ClusterConfig {
             token_hop: Duration::from_micros(200),
             policy: ManagerPolicy::default(),
             retx_every: Duration::from_millis(20),
+            failure: FailureConfig::default(),
         }
     }
 }
@@ -82,31 +105,58 @@ impl Default for ClusterConfig {
 /// Per-node counters.
 #[derive(Debug, Clone)]
 pub struct NodeStats {
-    /// Bus events applied on this node.
+    /// Bus events applied on this node (current incarnation).
     pub applied: u64,
-    /// Bus events whose application failed (e.g. capability refused).
+    /// Bus events whose application failed (e.g. capability refused;
+    /// current incarnation).
     pub apply_errors: u64,
-    /// Data messages forwarded to other nodes.
+    /// Data messages forwarded to other nodes (cumulative across
+    /// incarnations).
     pub forwarded: u64,
     /// Inbound wire packets that failed to decode (always 0 between
     /// well-behaved nodes; counted defensively).
     pub decode_failures: u64,
-    /// The node's runtime counters.
+    /// Whether the node is currently up.
+    pub up: bool,
+    /// The node's runtime counters (current incarnation).
     pub system: actorspace_runtime::Stats,
+}
+
+/// The mutable identity of one node: its current incarnation.
+///
+/// `kill_node` clears `up` and shuts the system down; `restart_node`
+/// installs a fresh system/applier/error-counter triple. The applier and
+/// error counter are per-incarnation on purpose: a fresh incarnation
+/// replays the bus history from sequence 0, and its error count must match
+/// the other replicas' (they all applied the same events).
+struct NodeSlot {
+    up: AtomicBool,
+    system: RwLock<Arc<ActorSystem>>,
+    applier: RwLock<Arc<Applier>>,
+    apply_errors: RwLock<Arc<AtomicU64>>,
+}
+
+impl NodeSlot {
+    fn is_up(&self) -> bool {
+        self.up.load(Ordering::Acquire)
+    }
+
+    fn system(&self) -> Arc<ActorSystem> {
+        self.system.read().clone()
+    }
 }
 
 struct NodeInner {
     id: NodeId,
-    system: Arc<ActorSystem>,
-    applier: Arc<Applier>,
-    apply_errors: Arc<AtomicU64>,
+    slot: Arc<NodeSlot>,
     forwarded: Arc<AtomicU64>,
     decode_failures: Arc<AtomicU64>,
 }
 
 /// A handle to one cluster node. All ActorSpace primitives invoked through
 /// it (or through behaviors running on it) are globally ordered via the
-/// bus.
+/// bus. After a restart the handle transparently addresses the new
+/// incarnation.
 #[derive(Clone)]
 pub struct NodeHandle {
     inner: Arc<NodeInner>,
@@ -118,24 +168,28 @@ impl NodeHandle {
         self.inner.id
     }
 
+    /// Whether the node is currently up.
+    pub fn is_up(&self) -> bool {
+        self.inner.slot.is_up()
+    }
+
     /// The underlying actor system (for `inbox`, `await_idle`, stats, …).
-    pub fn system(&self) -> &ActorSystem {
-        &self.inner.system
+    pub fn system(&self) -> Arc<ActorSystem> {
+        self.inner.slot.system()
     }
 
     /// Spawns an actor on this node. The creation event is replicated; the
     /// actor starts once its creation is globally ordered.
     pub fn spawn(&self, behavior: impl Behavior) -> ActorId {
-        self.inner
-            .system
-            .spawn(behavior)
-            .leak() // cluster actors are kept alive until removed
+        self.system().spawn(behavior).leak() // cluster actors are kept alive until removed
     }
 
     /// Creates an actorSpace; the id is immediately usable (operations
     /// referencing it are ordered after its creation event).
     pub fn create_space(&self, cap: Option<&Capability>) -> SpaceId {
-        self.inner.system.create_space(cap).expect("create_space is infallible")
+        self.system()
+            .create_space(cap)
+            .expect("create_space is infallible")
     }
 
     /// `make_visible` via the bus.
@@ -146,7 +200,7 @@ impl NodeHandle {
         space: SpaceId,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.inner.system.make_visible(member, attr, space, cap)
+        self.system().make_visible(member, attr, space, cap)
     }
 
     /// `make_invisible` via the bus.
@@ -156,7 +210,7 @@ impl NodeHandle {
         space: SpaceId,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.inner.system.make_invisible(member, space, cap)
+        self.system().make_invisible(member, space, cap)
     }
 
     /// `change_attributes` via the bus.
@@ -167,7 +221,7 @@ impl NodeHandle {
         space: SpaceId,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.inner.system.change_attributes(member, attrs, space, cap)
+        self.system().change_attributes(member, attrs, space, cap)
     }
 
     /// Pattern send resolved against this node's replica (§7.3: resolution
@@ -178,55 +232,75 @@ impl NodeHandle {
         space: SpaceId,
         body: Value,
     ) -> Result<Disposition> {
-        self.inner.system.send_pattern(pattern, space, body, None)
+        self.system().send_pattern(pattern, space, body, None)
     }
 
     /// Pattern broadcast resolved against this node's replica.
-    pub fn broadcast(
-        &self,
-        pattern: &Pattern,
-        space: SpaceId,
-        body: Value,
-    ) -> Result<Disposition> {
-        self.inner.system.broadcast(pattern, space, body, None)
+    pub fn broadcast(&self, pattern: &Pattern, space: SpaceId, body: Value) -> Result<Disposition> {
+        self.system().broadcast(pattern, space, body, None)
     }
 
     /// Point-to-point send; forwards across the data plane when the target
     /// is remote.
     pub fn send_to(&self, to: ActorId, body: Value) -> bool {
-        self.inner.system.send_to(to, body)
+        self.system().send_to(to, body)
     }
 
     /// Counters.
     pub fn stats(&self) -> NodeStats {
         NodeStats {
-            applied: self.inner.applier.applied(),
-            apply_errors: self.inner.apply_errors.load(Ordering::Relaxed),
+            applied: self.inner.slot.applier.read().applied(),
+            apply_errors: self.inner.slot.apply_errors.read().load(Ordering::Relaxed),
             forwarded: self.inner.forwarded.load(Ordering::Relaxed),
             decode_failures: self.inner.decode_failures.load(Ordering::Relaxed),
-            system: self.inner.system.stats(),
+            up: self.inner.slot.is_up(),
+            system: self.inner.slot.system().stats(),
         }
     }
 }
 
-/// What crosses a data link: the destination plus the *encoded* message —
-/// §5's run-time-selected data representation. `Arc` keeps retransmission
-/// clones cheap.
-type WirePacket = (ActorId, Arc<Vec<u8>>);
+/// What crosses a data link: the destination, the *encoded* message — §5's
+/// run-time-selected data representation — and the pattern resolution that
+/// chose the destination. The route rides beside the bytes so an
+/// undelivered packet can be re-resolved against a surviving replica if
+/// the destination node dies. `Arc` keeps retransmission clones cheap.
+#[derive(Clone)]
+struct WirePacket {
+    to: ActorId,
+    bytes: Arc<Vec<u8>>,
+    route: Option<Route>,
+}
 
-/// A simulated multi-node ActorSpace deployment (Figure 3).
+type PipeGrid = Vec<Vec<Option<Arc<ReliablePipe<WirePacket>>>>>;
+
+/// Messages awaiting re-resolution after their destination node died.
+/// Drained asynchronously by the service thread — never synchronously at
+/// the point of failure, which may sit inside a registry lock.
+type BounceQueue = Arc<Mutex<VecDeque<(Route, Message)>>>;
+
+/// A simulated multi-node ActorSpace deployment (Figure 3) with node-crash
+/// fault injection.
 pub struct Cluster {
+    config: ClusterConfig,
     nodes: Vec<NodeHandle>,
+    slots: Vec<Arc<NodeSlot>>,
     bus: Arc<dyn OrderedBroadcast>,
-    data_pipes: Vec<Vec<Option<Arc<ReliablePipe<WirePacket>>>>>,
+    log: Arc<EventLog>,
+    detector: Arc<FailureDetector>,
+    data_pipes: Arc<PipeGrid>,
+    requeue: BounceQueue,
+    service_stop: Arc<AtomicBool>,
+    service: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Cluster {
-    /// Boots `config.nodes` nodes and wires the bus and data plane.
+    /// Boots `config.nodes` nodes and wires the bus, data plane, and
+    /// failure detector.
     pub fn new(config: ClusterConfig) -> Cluster {
         let n = config.nodes.max(1);
 
-        // 1. Node systems with disjoint id ranges.
+        // 1. Node systems with disjoint id ranges, plus their appliers and
+        // the slots that hold each node's current incarnation.
         let systems: Vec<Arc<ActorSystem>> = (0..n)
             .map(|i| {
                 Arc::new(ActorSystem::new(Config {
@@ -237,21 +311,37 @@ impl Cluster {
                 }))
             })
             .collect();
+        let slots: Vec<Arc<NodeSlot>> = (0..n)
+            .map(|i| {
+                let errors = Arc::new(AtomicU64::new(0));
+                let applier = make_applier(systems[i].clone(), NodeId(i as u16), errors.clone());
+                Arc::new(NodeSlot {
+                    up: AtomicBool::new(true),
+                    system: RwLock::new(systems[i].clone()),
+                    applier: RwLock::new(applier),
+                    apply_errors: RwLock::new(errors),
+                })
+            })
+            .collect();
 
         // 2. Data plane: reliable pipes for every ordered pair. Messages
         // cross the wire encoded (§5 data representation); decode failures
         // are impossible for packets our own nodes produced, but are
-        // counted defensively as dead letters.
+        // counted defensively as dead letters. A down destination rejects
+        // packets, which therefore stay journalled on the sender for
+        // failover draining. The acceptance check and the delivery share
+        // the slot's system lock so `kill_node` (which drains mailboxes
+        // under the write lock) cannot race a packet into a mailbox it has
+        // already harvested.
         let decode_failures: Vec<Arc<AtomicU64>> =
             (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
-        let mut data_pipes: Vec<Vec<Option<Arc<ReliablePipe<WirePacket>>>>> =
-            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+        let mut data_pipes: PipeGrid = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for (src, row) in data_pipes.iter_mut().enumerate() {
-            for (dst, slot) in row.iter_mut().enumerate() {
+            for (dst, pipe_slot) in row.iter_mut().enumerate() {
                 if src == dst {
                     continue;
                 }
-                let target = systems[dst].clone();
+                let slot = slots[dst].clone();
                 let fails = decode_failures[dst].clone();
                 let cfg = LinkConfig {
                     seed: config
@@ -260,48 +350,52 @@ impl Cluster {
                         .wrapping_add((src * n + dst) as u64 * 7919),
                     ..config.data_link.clone()
                 };
-                *slot = Some(Arc::new(ReliablePipe::new(
+                *pipe_slot = Some(Arc::new(ReliablePipe::new(
                     cfg,
                     config.retx_every,
-                    move |(to, bytes): WirePacket| {
-                        match actorspace_runtime::codec::decode_message(&bytes) {
+                    move |pkt: WirePacket| {
+                        let system = slot.system.read();
+                        if !slot.is_up() {
+                            return false; // stays journalled for failover
+                        }
+                        match actorspace_runtime::codec::decode_message(&pkt.bytes) {
                             Ok(msg) => {
-                                target.deliver_remote(to, msg);
+                                system.deliver_remote_routed(pkt.to, msg, pkt.route.clone());
                             }
                             Err(_) => {
                                 fails.fetch_add(1, Ordering::Relaxed);
                             }
                         }
+                        true // consumed either way; retransmitting garbage cannot help
                     },
                 )));
             }
         }
+        let data_pipes = Arc::new(data_pipes);
 
-        // 3. Per-node appliers + bus downlinks.
-        let apply_errors: Vec<Arc<AtomicU64>> =
-            (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
-        let appliers: Vec<Arc<Applier>> = (0..n)
-            .map(|i| {
-                let system = systems[i].clone();
-                let me = NodeId(i as u16);
-                let errors = apply_errors[i].clone();
-                Arc::new(Applier::new(move |e: BusEvent| {
-                    apply_op(&system, me, e.op, &errors);
-                }))
-            })
-            .collect();
-        let downlinks: Vec<Arc<Link<SeqEvent>>> = appliers
+        // 3. Bus downlinks. Every downlink records into the shared event
+        // log (idempotent per sequence number) — the log is the retained
+        // history a restarted node replays to reconverge its replica.
+        let log = Arc::new(EventLog::new());
+        let downlinks: Vec<Arc<Link<SeqEvent>>> = slots
             .iter()
             .enumerate()
-            .map(|(i, a)| {
-                let a = a.clone();
+            .map(|(i, slot)| {
+                let slot = slot.clone();
+                let log = log.clone();
                 let cfg = LinkConfig {
                     seed: config.bus_link.seed.wrapping_add(i as u64 * 104729),
                     drop_prob: 0.0,
                     dup_prob: 0.0,
                     ..config.bus_link.clone()
                 };
-                Arc::new(Link::new(cfg, move |e| a.on_event(e)))
+                Arc::new(Link::new(cfg, move |e: SeqEvent| {
+                    log.record(&e);
+                    if slot.is_up() {
+                        let applier = slot.applier.read().clone();
+                        applier.on_event(e);
+                    }
+                }))
             })
             .collect();
 
@@ -310,41 +404,79 @@ impl Cluster {
             OrderingProtocol::Sequencer => {
                 Arc::new(Sequencer::new(config.bus_link.clone(), downlinks))
             }
-            OrderingProtocol::TokenBus => {
-                Arc::new(TokenBus::new(n, config.token_hop, downlinks))
-            }
+            OrderingProtocol::TokenBus => Arc::new(TokenBus::new(n, config.token_hop, downlinks)),
         };
 
-        // 5. Hooks (bus rerouting) and uplinks (data forwarding).
-        let forwarded: Vec<Arc<AtomicU64>> =
-            (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        // 5. Failure detector + heartbeat inboxes. Heartbeats ride
+        // loss-free links like the bus; the miss budget absorbs jitter.
+        let detector = Arc::new(FailureDetector::new(n, config.failure.clone()));
+        let hb_links: Vec<Arc<Link<NodeId>>> = (0..n)
+            .map(|i| {
+                let det = detector.clone();
+                let cfg = LinkConfig {
+                    seed: config.bus_link.seed.wrapping_add(777 + i as u64 * 31337),
+                    drop_prob: 0.0,
+                    dup_prob: 0.0,
+                    ..config.bus_link.clone()
+                };
+                Arc::new(Link::new(cfg, move |from: NodeId| {
+                    det.beat(i, from.0 as usize);
+                }))
+            })
+            .collect();
+
+        // 6. Hooks (bus rerouting), uplinks (data forwarding + failover
+        // bouncing), and node handles.
+        let requeue: BounceQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let forwarded: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
             let me = NodeId(i as u16);
-            let hook = Arc::new(ClusterHook {
-                node: me,
-                system: systems[i].clone(),
-                bus: bus.clone(),
-            });
-            systems[i].set_coordinator_hook(hook);
-
-            let pipes_row: Vec<Option<Arc<ReliablePipe<WirePacket>>>> = data_pipes[i].clone();
-            let fwd = forwarded[i].clone();
-            systems[i].set_uplink(Arc::new(NodeUplink { me, pipes: pipes_row, forwarded: fwd }));
-
+            install_plumbing(
+                &systems[i],
+                me,
+                &bus,
+                &data_pipes[i],
+                &forwarded[i],
+                &detector,
+                &requeue,
+            );
             nodes.push(NodeHandle {
                 inner: Arc::new(NodeInner {
                     id: me,
-                    system: systems[i].clone(),
-                    applier: appliers[i].clone(),
-                    apply_errors: apply_errors[i].clone(),
+                    slot: slots[i].clone(),
                     forwarded: forwarded[i].clone(),
                     decode_failures: decode_failures[i].clone(),
                 }),
             });
         }
 
-        Cluster { nodes, bus, data_pipes }
+        // 7. The service thread: heartbeats, suspicion sweeps, journal
+        // draining, and bounce-queue re-resolution.
+        let service_stop = Arc::new(AtomicBool::new(false));
+        let service = spawn_service(ServiceCtx {
+            slots: slots.clone(),
+            hb_links,
+            detector: detector.clone(),
+            bus: bus.clone(),
+            pipes: data_pipes.clone(),
+            requeue: requeue.clone(),
+            stop: service_stop.clone(),
+            tick: (config.failure.heartbeat_every / 2).max(Duration::from_millis(1)),
+        });
+
+        Cluster {
+            config,
+            nodes,
+            slots,
+            bus,
+            log,
+            detector,
+            data_pipes,
+            requeue,
+            service_stop,
+            service: Mutex::new(Some(service)),
+        }
     }
 
     /// The node handles.
@@ -362,14 +494,102 @@ impl Cluster {
         &*self.bus
     }
 
+    /// The failure detector (for tests and metrics).
+    pub fn detector(&self) -> &FailureDetector {
+        &self.detector
+    }
+
+    /// Crashes node `i` mid-flight: its workers stop, inbound packets are
+    /// rejected (and stay journalled on their senders), and its heartbeats
+    /// cease, so peers suspect it after the detector threshold and purge
+    /// its actors everywhere. Messages its mailboxes had accepted but not
+    /// yet processed are bounced for re-resolution — the simulation's
+    /// stand-in for the message-logging recovery a real deployment would
+    /// use. Returns false if the node was already down.
+    pub fn kill_node(&self, i: usize) -> bool {
+        let slot = &self.slots[i];
+        let harvested = {
+            let system = slot.system.write();
+            if !slot.up.swap(false, Ordering::AcqRel) {
+                return false;
+            }
+            system.shutdown();
+            system.drain_unprocessed()
+        };
+        let mut q = self.requeue.lock();
+        for (route, msg) in harvested {
+            match route {
+                Some(r) if r.kind == DeliveryKind::Send => q.push_back((r, msg)),
+                // Broadcast copies already reached the other recipients;
+                // unrouted (point-to-point) messages die with the node.
+                _ => self.slots[i].system().note_dead_letter(),
+            }
+        }
+        true
+    }
+
+    /// Boots a fresh incarnation of node `i`: a new system re-registers
+    /// through the directory (`NodeUp`), replays the retained bus history
+    /// to reconverge its replica, and serves traffic again. Its previous
+    /// incarnation's actors stay dead (their purge is part of the replayed
+    /// history); new actors spawned on the node become visible cluster-wide
+    /// as usual. Returns false if the node is already up.
+    pub fn restart_node(&self, i: usize) -> bool {
+        let slot = &self.slots[i];
+        if slot.is_up() {
+            return false;
+        }
+        let me = NodeId(i as u16);
+        let fresh = Arc::new(ActorSystem::new(Config {
+            workers: self.config.workers_per_node,
+            policy: self.config.policy.clone(),
+            id_base: id_base(me),
+            ..Config::default()
+        }));
+        let errors = Arc::new(AtomicU64::new(0));
+        let applier = make_applier(fresh.clone(), me, errors.clone());
+        install_plumbing(
+            &fresh,
+            me,
+            &self.bus,
+            &self.data_pipes[i],
+            &self.nodes[i].inner.forwarded,
+            &self.detector,
+            &self.requeue,
+        );
+        {
+            let mut system = slot.system.write();
+            *system = fresh;
+            *slot.apply_errors.write() = errors;
+            *slot.applier.write() = applier.clone();
+            self.detector.reset_observer(i);
+            slot.up.store(true, Ordering::Release);
+        }
+        // Recovery: replay the retained history into the fresh replica.
+        // Live events racing the replay are deduplicated by the applier's
+        // sequence watermark.
+        for e in self.log.snapshot() {
+            applier.on_event(e);
+        }
+        self.bus.submit(BusEvent {
+            origin: me,
+            op: BusOp::NodeUp { node: me },
+        });
+        true
+    }
+
     /// Waits until every submitted bus event has been applied on every
-    /// node. Returns false on timeout.
+    /// *live* node. Returns false on timeout.
     pub fn await_coherence(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         loop {
             let submitted = self.bus.submitted();
             let coherent = self.bus.issued() == submitted
-                && self.nodes.iter().all(|nh| nh.inner.applier.applied() == submitted);
+                && self
+                    .slots
+                    .iter()
+                    .filter(|s| s.is_up())
+                    .all(|s| s.applier.read().applied() == submitted);
             if coherent {
                 return true;
             }
@@ -380,23 +600,27 @@ impl Cluster {
         }
     }
 
-    /// Waits for full quiescence: coherence, idle nodes, and an empty data
-    /// plane — checked twice in a row to close in-flight windows.
+    /// Waits for full quiescence: coherence, idle live nodes, an empty
+    /// data plane, and an empty bounce queue — checked twice in a row to
+    /// close in-flight windows. (Journals to a crashed destination drain
+    /// to zero once the detector fires.)
     pub fn await_quiescence(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
         let mut stable = 0;
         while stable < 2 {
             let quiet = self.await_coherence(Duration::from_millis(50))
                 && self
-                    .nodes
+                    .slots
                     .iter()
-                    .all(|nh| nh.inner.system.await_idle(Duration::from_millis(50)))
+                    .filter(|s| s.is_up())
+                    .all(|s| s.system().await_idle(Duration::from_millis(50)))
                 && self
                     .data_pipes
                     .iter()
                     .flatten()
                     .flatten()
-                    .all(|p| p.unacked() == 0);
+                    .all(|p| p.unacked() == 0)
+                && self.requeue.lock().is_empty();
             if quiet {
                 stable += 1;
             } else {
@@ -410,10 +634,14 @@ impl Cluster {
         true
     }
 
-    /// Stops every node.
+    /// Stops the service thread and every node.
     pub fn shutdown(&self) {
-        for nh in &self.nodes {
-            nh.inner.system.shutdown();
+        self.service_stop.store(true, Ordering::Release);
+        if let Some(h) = self.service.lock().take() {
+            let _ = h.join();
+        }
+        for slot in &self.slots {
+            slot.system().shutdown();
         }
     }
 }
@@ -424,39 +652,219 @@ impl Drop for Cluster {
     }
 }
 
+/// Builds the per-incarnation applier for one node.
+fn make_applier(system: Arc<ActorSystem>, me: NodeId, errors: Arc<AtomicU64>) -> Arc<Applier> {
+    Arc::new(Applier::new(move |e: BusEvent| {
+        apply_op(&system, me, e.op, &errors);
+    }))
+}
+
+/// Wires one system (initial boot or restart) into the cluster: the
+/// coordinator hook rerouting primitives onto the bus, and the uplink
+/// forwarding resolved messages across the data plane.
+fn install_plumbing(
+    system: &Arc<ActorSystem>,
+    me: NodeId,
+    bus: &Arc<dyn OrderedBroadcast>,
+    pipes: &[Option<Arc<ReliablePipe<WirePacket>>>],
+    forwarded: &Arc<AtomicU64>,
+    detector: &Arc<FailureDetector>,
+    requeue: &BounceQueue,
+) {
+    system.set_coordinator_hook(Arc::new(ClusterHook {
+        node: me,
+        system: system.clone(),
+        bus: bus.clone(),
+    }));
+    system.set_uplink(Arc::new(NodeUplink {
+        me,
+        pipes: pipes.to_vec(),
+        forwarded: forwarded.clone(),
+        detector: detector.clone(),
+        requeue: requeue.clone(),
+    }));
+}
+
+/// Everything the service thread needs.
+struct ServiceCtx {
+    slots: Vec<Arc<NodeSlot>>,
+    hb_links: Vec<Arc<Link<NodeId>>>,
+    detector: Arc<FailureDetector>,
+    bus: Arc<dyn OrderedBroadcast>,
+    pipes: Arc<PipeGrid>,
+    requeue: BounceQueue,
+    stop: Arc<AtomicBool>,
+    tick: Duration,
+}
+
+/// The cluster service thread. Each tick it (1) sends heartbeats on behalf
+/// of every live node, (2) sweeps every live observer's detector —
+/// submitting `NodeDown` for fresh suspicions — and drains the journals of
+/// pipes toward suspected nodes into the bounce queue, and (3) re-resolves
+/// bounced messages on a surviving replica. Draining repeats every tick
+/// (not just at suspicion time) because a packet can slip into a journal
+/// between a sweep and the uplink observing the suspicion.
+fn spawn_service(ctx: ServiceCtx) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("actorspace-cluster-svc".into())
+        .spawn(move || {
+            let n = ctx.slots.len();
+            while !ctx.stop.load(Ordering::Acquire) {
+                // (1) Heartbeats: live nodes beat to every peer.
+                for (i, slot) in ctx.slots.iter().enumerate() {
+                    if !slot.is_up() {
+                        continue;
+                    }
+                    for (j, hb) in ctx.hb_links.iter().enumerate() {
+                        if i != j {
+                            hb.send(NodeId(i as u16));
+                        }
+                    }
+                }
+
+                // (2) Sweeps and journal drains.
+                for (i, slot) in ctx.slots.iter().enumerate() {
+                    if !slot.is_up() {
+                        continue;
+                    }
+                    let system = slot.system();
+                    for j in ctx.detector.sweep(i) {
+                        system.note_suspicion();
+                        ctx.bus.submit(BusEvent {
+                            origin: NodeId(i as u16),
+                            op: BusOp::NodeDown {
+                                node: NodeId(j as u16),
+                            },
+                        });
+                    }
+                    for j in 0..n {
+                        if j == i || !ctx.detector.is_suspected(i, j) {
+                            continue;
+                        }
+                        let Some(Some(pipe)) = ctx.pipes[i].get(j) else {
+                            continue;
+                        };
+                        for pkt in pipe.drain_undelivered() {
+                            let decoded = actorspace_runtime::codec::decode_message(&pkt.bytes);
+                            match (pkt.route, decoded) {
+                                (Some(route), Ok(msg)) if route.kind == DeliveryKind::Send => {
+                                    ctx.requeue.lock().push_back((route, msg));
+                                }
+                                // Broadcast copies already fanned out to the
+                                // survivors; unrouted messages have no
+                                // pattern to re-resolve.
+                                _ => system.note_dead_letter(),
+                            }
+                        }
+                    }
+                }
+
+                // (3) Re-resolve bounced messages on a surviving replica.
+                // The queue lock is released before re-resolution: resends
+                // take the registry lock and may bounce again (e.g. while a
+                // stale visibility entry is still being purged), which
+                // pushes back onto this queue.
+                let batch: Vec<(Route, Message)> = ctx.requeue.lock().drain(..).collect();
+                if !batch.is_empty() {
+                    match ctx.slots.iter().find(|s| s.is_up()) {
+                        Some(slot) => {
+                            let system = slot.system();
+                            for (route, msg) in batch {
+                                system.note_failover();
+                                let _ = system.resend_routed(&route, msg);
+                            }
+                        }
+                        None => ctx.requeue.lock().extend(batch),
+                    }
+                }
+
+                std::thread::sleep(ctx.tick);
+            }
+        })
+        .expect("spawn cluster service thread")
+}
+
 /// Applies one replicated operation to a node's local state.
 fn apply_op(system: &ActorSystem, me: NodeId, op: BusOp, errors: &AtomicU64) {
     let result: Result<()> = match op {
         BusOp::CreateActor { id, host, guard } => {
-            let inserted =
-                system.with_registry(|reg, _| reg.insert_actor_record(id, host, guard));
+            let inserted = system.with_registry(|reg, _| {
+                // A restarted node replays its previous incarnation's
+                // creations; the floor keeps fresh allocations from reusing
+                // those addresses.
+                if node_of_actor(id) == Some(me) {
+                    reg.ensure_id_floor(id.0);
+                }
+                reg.insert_actor_record(id, host, guard)
+            });
             // Activation: the owning node starts the actor only once its
-            // creation is globally ordered.
-            if inserted && node_of_actor(id) == Some(me) {
+            // creation is globally ordered — and only if it still hosts the
+            // behavior cell (a replayed creation has no cell; the actor
+            // died with the previous incarnation).
+            if inserted && node_of_actor(id) == Some(me) && system.has_actor(id) {
                 system.send_start(id);
             }
             Ok(())
         }
         BusOp::CreateSpace { id, guard } => {
-            system.with_registry(|reg, _| reg.insert_space_record(id, guard));
+            system.with_registry(|reg, _| {
+                if node_of_raw(id.0) == Some(me) {
+                    reg.ensure_id_floor(id.0);
+                }
+                reg.insert_space_record(id, guard)
+            });
             Ok(())
         }
-        BusOp::MakeVisible { member, attrs, space, cap } => system
+        BusOp::MakeVisible {
+            member,
+            attrs,
+            space,
+            cap,
+        } => system
             .with_registry(|reg, sink| reg.make_visible(member, attrs, space, cap.as_ref(), sink)),
         BusOp::MakeInvisible { member, space, cap } => {
             system.with_registry(|reg, _| reg.make_invisible(member, space, cap.as_ref()))
         }
-        BusOp::ChangeAttributes { member, attrs, space, cap } => system.with_registry(
-            |reg, sink| reg.change_attributes(member, attrs, space, cap.as_ref(), sink),
-        ),
+        BusOp::ChangeAttributes {
+            member,
+            attrs,
+            space,
+            cap,
+        } => system.with_registry(|reg, sink| {
+            reg.change_attributes(member, attrs, space, cap.as_ref(), sink)
+        }),
         BusOp::DestroySpace { space, cap } => {
             system.with_registry(|reg, _| reg.destroy_space(space, cap.as_ref()))
         }
-        BusOp::RemoveActor { id } => {
+        BusOp::RemoveActor { id } => system.with_registry(|reg, _| {
+            reg.remove_actor(id);
+            Ok(())
+        }),
+        BusOp::NodeDown { node } => {
+            // Purge the dead node's actors from every visibility table so
+            // pattern resolution falls back to surviving matches. Applied
+            // on every replica — including, during replay, the restarted
+            // node purging its own previous incarnation. Idempotent, so
+            // concurrent suspicions by several observers are harmless.
+            let range = id_range(node);
             system.with_registry(|reg, _| {
-                reg.remove_actor(id);
-                Ok(())
-            })
+                reg.purge_actor_range(range.start, range.end);
+            });
+            Ok(())
+        }
+        BusOp::NodeUp { node } => {
+            // The recovery announcement doubles as the obituary for the
+            // node's previous incarnation: if the node died and returned
+            // faster than any detector threshold, no NodeDown was ever
+            // submitted, yet its old actors are just as dead. Everything
+            // the *new* incarnation creates is ordered after this event,
+            // so the purge only ever removes pre-crash records.
+            let range = id_range(node);
+            system.with_registry(|reg, _| {
+                reg.purge_actor_range(range.start, range.end);
+            });
+            system.note_reregistration();
+            Ok(())
         }
     };
     if result.is_err() {
@@ -473,7 +881,10 @@ struct ClusterHook {
 
 impl ClusterHook {
     fn submit(&self, op: BusOp) {
-        self.bus.submit(BusEvent { origin: self.node, op });
+        self.bus.submit(BusEvent {
+            origin: self.node,
+            op,
+        });
     }
 }
 
@@ -485,7 +896,12 @@ impl CoordinatorHook for ClusterHook {
         space: SpaceId,
         cap: Option<Capability>,
     ) -> Result<()> {
-        self.submit(BusOp::MakeVisible { member, attrs, space, cap });
+        self.submit(BusOp::MakeVisible {
+            member,
+            attrs,
+            space,
+            cap,
+        });
         Ok(())
     }
 
@@ -506,13 +922,21 @@ impl CoordinatorHook for ClusterHook {
         space: SpaceId,
         cap: Option<Capability>,
     ) -> Result<()> {
-        self.submit(BusOp::ChangeAttributes { member, attrs, space, cap });
+        self.submit(BusOp::ChangeAttributes {
+            member,
+            attrs,
+            space,
+            cap,
+        });
         Ok(())
     }
 
     fn create_space(&self, cap: Option<Capability>) -> SpaceId {
         let id = self.system.with_registry(|reg, _| reg.allocate_space_id());
-        self.submit(BusOp::CreateSpace { id, guard: Guard::from_creation(cap.as_ref()) });
+        self.submit(BusOp::CreateSpace {
+            id,
+            guard: Guard::from_creation(cap.as_ref()),
+        });
         id
     }
 
@@ -539,22 +963,64 @@ impl CoordinatorHook for ClusterHook {
 }
 
 /// The data-plane uplink: encodes and forwards messages for remote actors
-/// over the reliable pipe to the owning node.
+/// over the reliable pipe to the owning node. Messages bound for a
+/// suspected node — or for a local actor whose cell is gone (purged with a
+/// dead incarnation) — are *bounced* to the cluster's re-resolution queue
+/// instead, when their route permits it. Bouncing is asynchronous by
+/// design: this method runs inside registry resolution, so re-resolving
+/// here would deadlock.
 struct NodeUplink {
     me: NodeId,
     pipes: Vec<Option<Arc<ReliablePipe<WirePacket>>>>,
     forwarded: Arc<AtomicU64>,
+    detector: Arc<FailureDetector>,
+    requeue: BounceQueue,
+}
+
+impl NodeUplink {
+    fn bounce(&self, route: Option<&Route>, msg: Message) -> bool {
+        match route {
+            Some(r) if r.kind == DeliveryKind::Send => {
+                self.requeue.lock().push_back((r.clone(), msg));
+                true
+            }
+            // Broadcast copies already reached the surviving recipients;
+            // unrouted messages have no pattern to re-resolve: dead letter.
+            _ => false,
+        }
+    }
 }
 
 impl Transport for NodeUplink {
     fn deliver(&self, to: ActorId, msg: Message) -> bool {
-        let Some(target) = node_of_actor(to) else { return false };
+        self.deliver_routed(to, msg, None)
+    }
+
+    fn deliver_routed(&self, to: ActorId, msg: Message, route: Option<&Route>) -> bool {
+        let Some(target) = node_of_actor(to) else {
+            return false;
+        };
         if target == self.me {
-            return false; // local but no cell: dead actor
+            // Local address but no local cell: the actor is dead — possibly
+            // purged with a failed incarnation while still visible in a
+            // not-yet-purged table entry.
+            return self.bounce(route, msg);
         }
-        let Some(Some(pipe)) = self.pipes.get(target.0 as usize) else { return false };
+        if self
+            .detector
+            .is_suspected(self.me.0 as usize, target.0 as usize)
+        {
+            return self.bounce(route, msg);
+        }
+        let Some(Some(pipe)) = self.pipes.get(target.0 as usize) else {
+            return false;
+        };
         let bytes = actorspace_runtime::codec::message_to_bytes(&msg);
-        pipe.send((to, Arc::new(bytes)));
+        pipe.send(WirePacket {
+            to,
+            bytes: Arc::new(bytes),
+            route: route.cloned(),
+        });
         self.forwarded.fetch_add(1, Ordering::Relaxed);
         true
     }

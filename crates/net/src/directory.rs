@@ -24,10 +24,22 @@ pub fn id_base(node: NodeId) -> u64 {
     (u64::from(node.0) + 1) << 48
 }
 
+/// The raw-id range node `n` allocates from (actors and spaces share one
+/// allocator). Used to purge a crashed node's actors from every replica.
+pub fn id_range(node: NodeId) -> std::ops::Range<u64> {
+    let base = id_base(node);
+    base..base + (1 << 48)
+}
+
 /// The node owning an actor address, or `None` for addresses outside any
 /// node range (standalone-system ids).
 pub fn node_of_actor(a: ActorId) -> Option<NodeId> {
-    let hi = a.0 >> 48;
+    node_of_raw(a.0)
+}
+
+/// The node owning any raw id, or `None` for ids outside node ranges.
+pub fn node_of_raw(raw: u64) -> Option<NodeId> {
+    let hi = raw >> 48;
     if hi == 0 {
         return None;
     }
@@ -67,5 +79,18 @@ mod tests {
         let node = NodeId(3);
         assert_eq!(node_of_actor(ActorId(id_base(node))), Some(node));
         assert_eq!(node_of_actor(ActorId(id_base(node) - 1)), Some(NodeId(2)));
+    }
+
+    #[test]
+    fn id_range_covers_exactly_the_owned_ids() {
+        let node = NodeId(2);
+        let r = id_range(node);
+        assert_eq!(r.start, id_base(node));
+        assert_eq!(r.end, id_base(NodeId(3)));
+        assert!(r.contains(&id_base(node)));
+        assert!(!r.contains(&(r.end)));
+        for raw in [r.start, r.start + 7, r.end - 1] {
+            assert_eq!(node_of_raw(raw), Some(node));
+        }
     }
 }

@@ -36,12 +36,14 @@
 pub mod bus;
 pub mod cluster;
 pub mod directory;
+pub mod failure;
 pub mod link;
 pub mod reliable;
 pub mod sequencer;
 pub mod tokenbus;
 
-pub use bus::{BusEvent, BusOp, OrderedBroadcast, SeqEvent};
+pub use bus::{BusEvent, BusOp, EventLog, OrderedBroadcast, SeqEvent};
 pub use cluster::{Cluster, ClusterConfig, NodeHandle, NodeStats, OrderingProtocol};
-pub use directory::{id_base, node_of_actor, NodeId};
+pub use directory::{id_base, id_range, node_of_actor, NodeId};
+pub use failure::{FailureConfig, FailureDetector};
 pub use link::{Link, LinkConfig};

@@ -45,12 +45,20 @@ impl Default for LinkConfig {
 impl LinkConfig {
     /// A loss-free, low-latency configuration.
     pub fn ideal() -> LinkConfig {
-        LinkConfig { jitter: Duration::ZERO, ..LinkConfig::default() }
+        LinkConfig {
+            jitter: Duration::ZERO,
+            ..LinkConfig::default()
+        }
     }
 
     /// A lossy configuration for failure-injection tests.
     pub fn lossy(drop_prob: f64, dup_prob: f64, seed: u64) -> LinkConfig {
-        LinkConfig { drop_prob, dup_prob, seed, ..LinkConfig::default() }
+        LinkConfig {
+            drop_prob,
+            dup_prob,
+            seed,
+            ..LinkConfig::default()
+        }
     }
 }
 
@@ -89,7 +97,10 @@ impl<T: Send + 'static> Link<T> {
     /// requires `T: Clone` — use [`Link::new_cloneable`]; here `dup_prob`
     /// is forced to zero.
     pub fn new(cfg: LinkConfig, deliver: impl Fn(T) + Send + 'static) -> Link<T> {
-        let cfg = LinkConfig { dup_prob: 0.0, ..cfg };
+        let cfg = LinkConfig {
+            dup_prob: 0.0,
+            ..cfg
+        };
         let (tx, rx) = mpsc::channel::<T>();
         std::thread::Builder::new()
             .name("actorspace-link".into())
@@ -227,7 +238,11 @@ mod tests {
             assert!(t0.elapsed() < Duration::from_secs(5));
             std::thread::sleep(Duration::from_millis(1));
         }
-        assert!(t0.elapsed() >= Duration::from_millis(18), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(18),
+            "{:?}",
+            t0.elapsed()
+        );
         assert_eq!(got.load(Ordering::Acquire), 7);
     }
 
@@ -243,7 +258,11 @@ mod tests {
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         while got.lock().unwrap().len() < 500 {
-            assert!(Instant::now() < deadline, "only {} arrived", got.lock().unwrap().len());
+            assert!(
+                Instant::now() < deadline,
+                "only {} arrived",
+                got.lock().unwrap().len()
+            );
             std::thread::sleep(Duration::from_millis(2));
         }
         let mut v = got.lock().unwrap().clone();
@@ -273,14 +292,22 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         let v = got.lock().unwrap().clone();
-        assert_ne!(v, (0..200).collect::<Vec<_>>(), "jitter should reorder some pair");
+        assert_ne!(
+            v,
+            (0..200).collect::<Vec<_>>(),
+            "jitter should reorder some pair"
+        );
     }
 
     #[test]
     fn drops_lose_messages_and_dups_duplicate() {
         let count = Arc::new(AtomicUsize::new(0));
         let c = count.clone();
-        let cfg = LinkConfig { drop_prob: 0.5, seed: 7, ..LinkConfig::ideal() };
+        let cfg = LinkConfig {
+            drop_prob: 0.5,
+            seed: 7,
+            ..LinkConfig::ideal()
+        };
         let link = Link::new_cloneable(cfg, move |_x: u32| {
             c.fetch_add(1, Ordering::Relaxed);
         });
@@ -293,7 +320,11 @@ mod tests {
 
         let count2 = Arc::new(AtomicUsize::new(0));
         let c2 = count2.clone();
-        let cfg = LinkConfig { dup_prob: 1.0, seed: 9, ..LinkConfig::ideal() };
+        let cfg = LinkConfig {
+            dup_prob: 1.0,
+            seed: 9,
+            ..LinkConfig::ideal()
+        };
         let link2 = Link::new_cloneable(cfg, move |_x: u32| {
             c2.fetch_add(1, Ordering::Relaxed);
         });
@@ -301,6 +332,10 @@ mod tests {
             link2.send(i);
         }
         std::thread::sleep(Duration::from_millis(300));
-        assert_eq!(count2.load(Ordering::Relaxed), 200, "dup_prob=1 doubles every message");
+        assert_eq!(
+            count2.load(Ordering::Relaxed),
+            200,
+            "dup_prob=1 doubles every message"
+        );
     }
 }

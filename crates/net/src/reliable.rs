@@ -8,12 +8,20 @@
 //! delivers each sequence number once and (re-)acknowledges everything it
 //! has seen. No ordering is imposed — reordering remains visible to the
 //! application, as the paper allows.
+//!
+//! Delivery is *conditional*: the receiving side may reject a packet (a
+//! crashed node refuses traffic), in which case nothing is acknowledged
+//! and the packet stays in the sender's journal. That journal is what the
+//! failover path drains: [`ReliablePipe::drain_undelivered`] removes every
+//! packet the receiver has provably not accepted, so a crashed
+//! destination's in-flight messages can be re-routed elsewhere without
+//! ever duplicating one that did land.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::link::{Link, LinkConfig};
 
@@ -39,39 +47,64 @@ struct SenderState<T> {
     next_seq: u64,
 }
 
+/// Signals the retransmit thread to exit without waiting out its period.
+struct StopFlag {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
 /// The sending half: call [`ReliableSender::send`]; a retransmit timer
 /// thread re-sends unacked packets until acknowledged. Dropping the sender
-/// stops the timer thread.
+/// stops the timer thread promptly and joins it.
 pub struct ReliableSender<T: Clone + Send + 'static> {
     state: Arc<Mutex<SenderState<T>>>,
     link: Arc<Link<Packet<T>>>,
-    stop: Arc<std::sync::atomic::AtomicBool>,
+    stop: Arc<StopFlag>,
+    retx: Option<std::thread::JoinHandle<()>>,
 }
 
 impl<T: Clone + Send + 'static> Drop for ReliableSender<T> {
     fn drop(&mut self) {
-        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        *self.stop.stopped.lock() = true;
+        self.stop.cv.notify_all();
+        if let Some(h) = self.retx.take() {
+            let _ = h.join();
+        }
     }
 }
 
 impl<T: Clone + Send + 'static> ReliableSender<T> {
     /// Wraps a forward link. `retx_every` is the retransmission period.
     pub fn new(link: Arc<Link<Packet<T>>>, retx_every: Duration) -> ReliableSender<T> {
-        let state: Arc<Mutex<SenderState<T>>> =
-            Arc::new(Mutex::new(SenderState { unacked: HashMap::new(), next_seq: 0 }));
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let state: Arc<Mutex<SenderState<T>>> = Arc::new(Mutex::new(SenderState {
+            unacked: HashMap::new(),
+            next_seq: 0,
+        }));
+        let stop = Arc::new(StopFlag {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        });
         let s2 = state.clone();
         let l2 = link.clone();
         let stop2 = stop.clone();
-        std::thread::Builder::new()
+        let retx = std::thread::Builder::new()
             .name("actorspace-retx".into())
             .spawn(move || loop {
-                std::thread::sleep(retx_every);
-                if stop2.load(std::sync::atomic::Ordering::Acquire) {
-                    return;
+                {
+                    let mut g = stop2.stopped.lock();
+                    if !*g {
+                        stop2.cv.wait_for(&mut g, retx_every);
+                    }
+                    if *g {
+                        return;
+                    }
                 }
-                let pending: Vec<(u64, T)> =
-                    s2.lock().unacked.iter().map(|(&s, p)| (s, p.clone())).collect();
+                let pending: Vec<(u64, T)> = s2
+                    .lock()
+                    .unacked
+                    .iter()
+                    .map(|(&s, p)| (s, p.clone()))
+                    .collect();
                 for (seq, payload) in pending {
                     if !l2.send(Packet::Data { seq, payload }) {
                         return; // link down
@@ -79,7 +112,12 @@ impl<T: Clone + Send + 'static> ReliableSender<T> {
                 }
             })
             .expect("spawn retx thread");
-        ReliableSender { state, link, stop }
+        ReliableSender {
+            state,
+            link,
+            stop,
+            retx: Some(retx),
+        }
     }
 
     /// Sends a payload; it will be retransmitted until acked.
@@ -113,16 +151,36 @@ pub struct ReliableReceiver {
 impl ReliableReceiver {
     /// Fresh receiver state.
     pub fn new() -> ReliableReceiver {
-        ReliableReceiver { seen: Mutex::new(HashSet::new()) }
+        ReliableReceiver {
+            seen: Mutex::new(HashSet::new()),
+        }
     }
 
-    /// Handles an incoming data packet: returns `Some(payload)` on first
-    /// receipt, `None` for duplicates. `send_ack` transmits the ack on the
-    /// reverse path (it may itself be lost; retransmission covers that).
-    pub fn on_data<T>(&self, seq: u64, payload: T, send_ack: impl FnOnce(u64)) -> Option<T> {
-        let fresh = self.seen.lock().insert(seq);
-        send_ack(seq);
-        fresh.then_some(payload)
+    /// Handles an incoming data packet. First receipt is offered to
+    /// `accept`; only an accepted packet is recorded and acknowledged, so a
+    /// rejected one keeps retransmitting until the destination can take it
+    /// (or the sender's journal is drained for failover). Duplicates are
+    /// re-acknowledged without redelivery.
+    pub fn on_data<T>(
+        &self,
+        seq: u64,
+        payload: T,
+        send_ack: impl FnOnce(u64),
+        accept: impl FnOnce(T) -> bool,
+    ) {
+        if self.seen.lock().contains(&seq) {
+            send_ack(seq); // duplicate: the original ack may have been lost
+            return;
+        }
+        if accept(payload) {
+            self.seen.lock().insert(seq);
+            send_ack(seq);
+        }
+    }
+
+    /// Whether `seq` has been accepted by this receiver.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.seen.lock().contains(&seq)
     }
 }
 
@@ -136,34 +194,44 @@ impl Default for ReliableReceiver {
 /// by the cluster's data plane and by tests.
 pub struct ReliablePipe<T: Clone + Send + 'static> {
     sender: ReliableSender<T>,
+    receiver: Arc<ReliableReceiver>,
 }
 
 impl<T: Clone + Send + 'static> ReliablePipe<T> {
     /// Builds the forward path `a → b` over `cfg`-faulty links. `deliver`
-    /// receives each payload exactly once on the `b` side.
+    /// receives each payload at most once on the `b` side; returning
+    /// `false` rejects the packet, leaving it unacknowledged in the
+    /// sender's journal for retransmission (or failover draining).
     pub fn new(
         cfg: LinkConfig,
         retx_every: Duration,
-        deliver: impl Fn(T) + Send + Sync + 'static,
+        deliver: impl Fn(T) -> bool + Send + Sync + 'static,
     ) -> ReliablePipe<T> {
         // The ack (reverse) link shares the fault model.
         type AckLink<T> = Arc<Mutex<Option<Arc<Link<Packet<T>>>>>>;
         let ack_holder: AckLink<T> = Arc::new(Mutex::new(None));
 
         let receiver = Arc::new(ReliableReceiver::new());
+        let rx = receiver.clone();
         let ack_for_fwd = ack_holder.clone();
         let fwd: Arc<Link<Packet<T>>> = Arc::new(Link::new_cloneable(
-            LinkConfig { seed: cfg.seed, ..cfg.clone() },
+            LinkConfig {
+                seed: cfg.seed,
+                ..cfg.clone()
+            },
             move |pkt| {
                 if let Packet::Data { seq, payload } = pkt {
                     let ack = ack_for_fwd.lock().clone();
-                    if let Some(p) = receiver.on_data(seq, payload, |s| {
-                        if let Some(ack) = &ack {
-                            ack.send(Packet::Ack { seq: s });
-                        }
-                    }) {
-                        deliver(p);
-                    }
+                    rx.on_data(
+                        seq,
+                        payload,
+                        |s| {
+                            if let Some(ack) = &ack {
+                                ack.send(Packet::Ack { seq: s });
+                            }
+                        },
+                        &deliver,
+                    );
                 }
             },
         ));
@@ -173,7 +241,10 @@ impl<T: Clone + Send + 'static> ReliablePipe<T> {
         // Reverse link: acks flow back into the sender.
         let sender_state = sender.state.clone();
         let rev: Arc<Link<Packet<T>>> = Arc::new(Link::new_cloneable(
-            LinkConfig { seed: cfg.seed.wrapping_add(1), ..cfg },
+            LinkConfig {
+                seed: cfg.seed.wrapping_add(1),
+                ..cfg
+            },
             move |pkt| {
                 if let Packet::Ack { seq } = pkt {
                     sender_state.lock().unacked.remove(&seq);
@@ -182,7 +253,7 @@ impl<T: Clone + Send + 'static> ReliablePipe<T> {
         ));
         *ack_holder.lock() = Some(rev);
 
-        ReliablePipe { sender }
+        ReliablePipe { sender, receiver }
     }
 
     /// Sends a payload with the exactly-once guarantee.
@@ -193,6 +264,24 @@ impl<T: Clone + Send + 'static> ReliablePipe<T> {
     /// Outstanding unacknowledged packets.
     pub fn unacked(&self) -> usize {
         self.sender.unacked()
+    }
+
+    /// Removes and returns every journalled packet the receiver has
+    /// provably *not* accepted. Packets the receiver accepted but whose
+    /// acks were lost are dropped from the journal without being returned —
+    /// they already reached the destination, and returning them would
+    /// duplicate. Used on suspicion of the destination node to re-route
+    /// in-flight messages.
+    pub fn drain_undelivered(&self) -> Vec<T> {
+        let taken: Vec<(u64, T)> = {
+            let mut st = self.sender.state.lock();
+            st.unacked.drain().collect()
+        };
+        taken
+            .into_iter()
+            .filter(|(seq, _)| !self.receiver.contains(*seq))
+            .map(|(_, p)| p)
+            .collect()
     }
 }
 
@@ -214,9 +303,14 @@ mod tests {
     fn exactly_once_over_clean_link() {
         let count = Arc::new(AtomicUsize::new(0));
         let c = count.clone();
-        let pipe = ReliablePipe::new(LinkConfig::ideal(), Duration::from_millis(20), move |_x: u32| {
-            c.fetch_add(1, Ordering::Relaxed);
-        });
+        let pipe = ReliablePipe::new(
+            LinkConfig::ideal(),
+            Duration::from_millis(20),
+            move |_x: u32| {
+                c.fetch_add(1, Ordering::Relaxed);
+                true
+            },
+        );
         for i in 0..200 {
             pipe.send(i);
         }
@@ -234,6 +328,7 @@ mod tests {
         let cfg = LinkConfig::lossy(0.4, 0.3, 99);
         let pipe = ReliablePipe::new(cfg, Duration::from_millis(10), move |x: u32| {
             g.lock().push(x);
+            true
         });
         let n = 300u32;
         for i in 0..n {
@@ -247,5 +342,73 @@ mod tests {
         v.dedup();
         assert_eq!(len, v.len(), "duplicates leaked through");
         assert_eq!(v, (0..n).collect::<Vec<_>>(), "payloads missing");
+    }
+
+    #[test]
+    fn rejected_packets_stay_unacked_until_accepted() {
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let (g2, gt2) = (gate.clone(), got.clone());
+        let pipe = ReliablePipe::new(
+            LinkConfig::ideal(),
+            Duration::from_millis(5),
+            move |x: u32| {
+                if g2.load(Ordering::Acquire) {
+                    gt2.lock().push(x);
+                    true
+                } else {
+                    false
+                }
+            },
+        );
+        pipe.send(1);
+        pipe.send(2);
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(pipe.unacked(), 2, "rejected packets must stay journalled");
+        assert!(got.lock().is_empty());
+        gate.store(true, Ordering::Release);
+        wait_for(|| pipe.unacked() == 0, 10);
+        let mut v = got.lock().clone();
+        v.sort_unstable();
+        assert_eq!(
+            v,
+            vec![1, 2],
+            "retransmission must deliver after acceptance"
+        );
+    }
+
+    #[test]
+    fn drain_undelivered_returns_only_unaccepted_packets() {
+        // Accept only even payloads; odd ones stay journalled and must be
+        // the exact drain result.
+        let pipe = ReliablePipe::new(
+            LinkConfig::ideal(),
+            Duration::from_secs(60),
+            move |x: u32| x.is_multiple_of(2),
+        );
+        for i in 0..10 {
+            pipe.send(i);
+        }
+        wait_for(|| pipe.unacked() == 5, 10);
+        let mut drained = pipe.drain_undelivered();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 3, 5, 7, 9]);
+        assert_eq!(pipe.unacked(), 0, "drain must empty the journal");
+        assert!(pipe.drain_undelivered().is_empty());
+    }
+
+    #[test]
+    fn dropping_sender_joins_retx_thread_promptly() {
+        // Regression: Drop used to only raise a flag the timer thread
+        // checked after sleeping a full period — with a long period the
+        // thread outlived the sender by up to `retx_every`.
+        let pipe = ReliablePipe::new(LinkConfig::ideal(), Duration::from_secs(60), |_: u32| true);
+        pipe.send(7);
+        let start = Instant::now();
+        drop(pipe);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop must not wait out the retransmission period"
+        );
     }
 }

@@ -42,7 +42,10 @@ impl Sequencer {
                 let mut seq = 0u64;
                 while let Ok(event) = rx.recv() {
                     for link in &downlinks {
-                        link.send(SeqEvent { seq, event: event.clone() });
+                        link.send(SeqEvent {
+                            seq,
+                            event: event.clone(),
+                        });
                     }
                     seq += 1;
                     issued2.store(seq, Ordering::Release);
@@ -52,11 +55,22 @@ impl Sequencer {
 
         // The shared uplink: submissions experience link latency before
         // reaching the sequencer.
-        let uplink = Link::new(LinkConfig { drop_prob: 0.0, dup_prob: 0.0, ..bus_cfg }, move |e| {
-            let _ = tx.send(e);
-        });
+        let uplink = Link::new(
+            LinkConfig {
+                drop_prob: 0.0,
+                dup_prob: 0.0,
+                ..bus_cfg
+            },
+            move |e| {
+                let _ = tx.send(e);
+            },
+        );
 
-        Sequencer { uplink, submitted: AtomicU64::new(0), issued }
+        Sequencer {
+            uplink,
+            submitted: AtomicU64::new(0),
+            issued,
+        }
     }
 }
 
@@ -87,8 +101,9 @@ mod tests {
     #[test]
     fn all_nodes_see_the_same_total_order() {
         let n_nodes = 4;
-        let logs: Vec<Arc<Mutex<Vec<u64>>>> =
-            (0..n_nodes).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let logs: Vec<Arc<Mutex<Vec<u64>>>> = (0..n_nodes)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
         let appliers: Vec<Arc<Applier>> = logs
             .iter()
             .map(|log| {
@@ -127,7 +142,10 @@ mod tests {
         }
         let deadline = Instant::now() + Duration::from_secs(10);
         while appliers.iter().any(|a| a.applied() < 50) {
-            assert!(Instant::now() < deadline, "timed out waiting for application");
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for application"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
         let first = logs[0].lock().clone();

@@ -31,11 +31,7 @@ pub struct TokenBus {
 
 impl TokenBus {
     /// Builds the bus. `hop` is the token's per-node hold/travel time.
-    pub fn new(
-        n_nodes: usize,
-        hop: Duration,
-        downlinks: Vec<Arc<Link<SeqEvent>>>,
-    ) -> TokenBus {
+    pub fn new(n_nodes: usize, hop: Duration, downlinks: Vec<Arc<Link<SeqEvent>>>) -> TokenBus {
         let pending: Arc<Vec<Mutex<VecDeque<BusEvent>>>> =
             Arc::new((0..n_nodes).map(|_| Mutex::new(VecDeque::new())).collect());
         let issued = Arc::new(AtomicU64::new(0));
@@ -63,7 +59,10 @@ impl TokenBus {
                     };
                     for event in drained {
                         for link in &downlinks {
-                            link.send(SeqEvent { seq, event: event.clone() });
+                            link.send(SeqEvent {
+                                seq,
+                                event: event.clone(),
+                            });
                         }
                         seq += 1;
                     }
@@ -73,7 +72,12 @@ impl TokenBus {
             })
             .expect("spawn token thread");
 
-        TokenBus { pending, submitted: AtomicU64::new(0), issued, stop }
+        TokenBus {
+            pending,
+            submitted: AtomicU64::new(0),
+            issued,
+            stop,
+        }
     }
 }
 
@@ -111,8 +115,9 @@ mod tests {
     #[test]
     fn token_bus_preserves_total_order_across_nodes() {
         let n_nodes = 3;
-        let logs: Vec<Arc<Mutex<Vec<u64>>>> =
-            (0..n_nodes).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let logs: Vec<Arc<Mutex<Vec<u64>>>> = (0..n_nodes)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
         let appliers: Vec<Arc<Applier>> = logs
             .iter()
             .map(|log| {

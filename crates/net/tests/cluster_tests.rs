@@ -11,7 +11,11 @@ use actorspace_runtime::{from_fn, Value};
 const TIMEOUT: Duration = Duration::from_secs(20);
 
 fn cluster(nodes: usize, protocol: OrderingProtocol) -> Cluster {
-    Cluster::new(ClusterConfig { nodes, protocol, ..ClusterConfig::default() })
+    Cluster::new(ClusterConfig {
+        nodes,
+        protocol,
+        ..ClusterConfig::default()
+    })
 }
 
 #[test]
@@ -24,11 +28,15 @@ fn cross_node_pattern_send() {
         let n = msg.body.as_int().unwrap_or(0);
         ctx.send_addr(inbox, Value::int(n + 100));
     }));
-    c.node(1).make_visible(worker, &path("worker"), space, None).unwrap();
+    c.node(1)
+        .make_visible(worker, &path("worker"), space, None)
+        .unwrap();
     assert!(c.await_coherence(TIMEOUT), "visibility must replicate");
 
     // Node 0 resolves against its replica and forwards to node 1.
-    c.node(0).send_pattern(&pattern("worker"), space, Value::int(1)).unwrap();
+    c.node(0)
+        .send_pattern(&pattern("worker"), space, Value::int(1))
+        .unwrap();
     let reply = rx.recv_timeout(TIMEOUT).unwrap();
     assert_eq!(reply.body, Value::int(101));
     c.shutdown();
@@ -42,7 +50,9 @@ fn visibility_is_coherent_across_all_nodes() {
     let mut ids = Vec::new();
     for i in 0..4 {
         let w = c.node(i).spawn(from_fn(|_, _| {}));
-        c.node(i).make_visible(w, &path(&format!("w/n{i}")), space, None).unwrap();
+        c.node(i)
+            .make_visible(w, &path(&format!("w/n{i}")), space, None)
+            .unwrap();
         ids.push(w);
     }
     assert!(c.await_coherence(TIMEOUT));
@@ -64,9 +74,13 @@ fn token_bus_protocol_works_end_to_end() {
     let worker = c.node(1).spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    c.node(1).make_visible(worker, &path("svc"), space, None).unwrap();
+    c.node(1)
+        .make_visible(worker, &path("svc"), space, None)
+        .unwrap();
     assert!(c.await_coherence(TIMEOUT));
-    c.node(2).send_pattern(&pattern("svc"), space, Value::int(9)).unwrap();
+    c.node(2)
+        .send_pattern(&pattern("svc"), space, Value::int(9))
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(9));
     c.shutdown();
 }
@@ -78,13 +92,20 @@ fn suspended_send_absorbs_replication_window() {
     let c = cluster(2, OrderingProtocol::Sequencer);
     let (inbox, rx) = c.node(0).system().inbox();
     let space = c.node(0).create_space(None);
-    assert!(c.await_coherence(TIMEOUT), "space creation must replicate first");
-    c.node(0).send_pattern(&pattern("late/svc"), space, Value::int(5)).unwrap();
+    assert!(
+        c.await_coherence(TIMEOUT),
+        "space creation must replicate first"
+    );
+    c.node(0)
+        .send_pattern(&pattern("late/svc"), space, Value::int(5))
+        .unwrap();
 
     let worker = c.node(1).spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    c.node(1).make_visible(worker, &path("late/svc"), space, None).unwrap();
+    c.node(1)
+        .make_visible(worker, &path("late/svc"), space, None)
+        .unwrap();
     // When the visibility event applies on node 0, the suspended message
     // wakes and forwards to node 1.
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(5));
@@ -101,16 +122,24 @@ fn broadcast_reaches_actors_on_every_node() {
         let w = c.node(i).spawn(from_fn(move |ctx, msg| {
             ctx.send_addr(inbox, Value::list([Value::int(node), msg.body]));
         }));
-        c.node(i).make_visible(w, &path("member"), space, None).unwrap();
+        c.node(i)
+            .make_visible(w, &path("member"), space, None)
+            .unwrap();
     }
     assert!(c.await_coherence(TIMEOUT));
-    c.node(1).broadcast(&pattern("member"), space, Value::str("hi")).unwrap();
+    c.node(1)
+        .broadcast(&pattern("member"), space, Value::str("hi"))
+        .unwrap();
     let mut nodes_heard = std::collections::HashSet::new();
     for _ in 0..3 {
         let m = rx.recv_timeout(TIMEOUT).unwrap();
         nodes_heard.insert(m.body.as_list().unwrap()[0].as_int().unwrap());
     }
-    assert_eq!(nodes_heard.len(), 3, "every node's member must receive the broadcast");
+    assert_eq!(
+        nodes_heard.len(),
+        3,
+        "every node's member must receive the broadcast"
+    );
     c.shutdown();
 }
 
@@ -127,19 +156,27 @@ fn lossy_data_links_still_deliver_exactly_once() {
     let echo = c.node(1).spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    c.node(1).make_visible(echo, &path("echo"), space, None).unwrap();
+    c.node(1)
+        .make_visible(echo, &path("echo"), space, None)
+        .unwrap();
     assert!(c.await_coherence(TIMEOUT));
 
     let n = 50;
     for i in 0..n {
-        c.node(0).send_pattern(&pattern("echo"), space, Value::int(i)).unwrap();
+        c.node(0)
+            .send_pattern(&pattern("echo"), space, Value::int(i))
+            .unwrap();
     }
     let mut got = Vec::new();
     for _ in 0..n {
         got.push(rx.recv_timeout(TIMEOUT).unwrap().body.as_int().unwrap());
     }
     got.sort_unstable();
-    assert_eq!(got, (0..n).collect::<Vec<_>>(), "loss or duplication leaked through");
+    assert_eq!(
+        got,
+        (0..n).collect::<Vec<_>>(),
+        "loss or duplication leaked through"
+    );
     c.shutdown();
 }
 
@@ -156,9 +193,14 @@ fn remote_actor_creation_starts_after_global_ordering() {
     }
     impl actorspace_runtime::Behavior for Advertiser {
         fn on_start(&mut self, ctx: &mut actorspace_runtime::Ctx<'_>) {
-            ctx.make_self_visible(&path("self/adv"), self.space, None).unwrap();
+            ctx.make_self_visible(&path("self/adv"), self.space, None)
+                .unwrap();
         }
-        fn receive(&mut self, ctx: &mut actorspace_runtime::Ctx<'_>, msg: actorspace_runtime::Message) {
+        fn receive(
+            &mut self,
+            ctx: &mut actorspace_runtime::Ctx<'_>,
+            msg: actorspace_runtime::Message,
+        ) {
             ctx.reply(msg.body);
         }
     }
@@ -167,7 +209,10 @@ fn remote_actor_creation_starts_after_global_ordering() {
     // Both replicas resolve it.
     for i in 0..2 {
         assert_eq!(
-            c.node(i).system().resolve(&pattern("self/**"), space).unwrap(),
+            c.node(i)
+                .system()
+                .resolve(&pattern("self/**"), space)
+                .unwrap(),
             vec![a],
             "node {i}"
         );
@@ -180,14 +225,20 @@ fn nested_spaces_work_across_nodes() {
     let c = cluster(2, OrderingProtocol::Sequencer);
     let outer = c.node(0).create_space(None);
     let inner = c.node(1).create_space(None);
-    c.node(1).make_visible(inner, &path("pool"), outer, None).unwrap();
+    c.node(1)
+        .make_visible(inner, &path("pool"), outer, None)
+        .unwrap();
     let (inbox, rx) = c.node(0).system().inbox();
     let w = c.node(1).spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    c.node(1).make_visible(w, &path("worker"), inner, None).unwrap();
+    c.node(1)
+        .make_visible(w, &path("worker"), inner, None)
+        .unwrap();
     assert!(c.await_coherence(TIMEOUT));
-    c.node(0).send_pattern(&pattern("pool/worker"), outer, Value::int(3)).unwrap();
+    c.node(0)
+        .send_pattern(&pattern("pool/worker"), outer, Value::int(3))
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(3));
     c.shutdown();
 }
@@ -223,7 +274,9 @@ fn stats_count_forwarded_messages() {
     c.node(1).make_visible(w, &path("w"), space, None).unwrap();
     assert!(c.await_coherence(TIMEOUT));
     for i in 0..10 {
-        c.node(0).send_pattern(&pattern("w"), space, Value::int(i)).unwrap();
+        c.node(0)
+            .send_pattern(&pattern("w"), space, Value::int(i))
+            .unwrap();
     }
     for _ in 0..10 {
         rx.recv_timeout(TIMEOUT).unwrap();

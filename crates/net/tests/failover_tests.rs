@@ -1,0 +1,247 @@
+//! Node-crash fault injection: failure detection, failover of in-flight
+//! and suspended messages to surviving replicas, and restart with
+//! re-registration through the directory.
+
+use std::time::{Duration, Instant};
+
+use actorspace_atoms::path;
+use actorspace_net::{Cluster, ClusterConfig, FailureConfig};
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, Value};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn fast_cluster(nodes: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes,
+        failure: FailureConfig::fast(),
+        ..ClusterConfig::default()
+    })
+}
+
+#[test]
+fn killed_node_traffic_fails_over_to_survivor() {
+    let c = fast_cluster(4);
+    let (inbox, rx) = c.node(0).system().inbox();
+    let space = c.node(0).create_space(None);
+
+    // Phase 1: the only worker lives on node 2; traffic flows normally.
+    let doomed = c.node(2).spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    c.node(2)
+        .make_visible(doomed, &path("svc"), space, None)
+        .unwrap();
+    assert!(c.await_coherence(TIMEOUT));
+    for i in 0..10 {
+        c.node(0)
+            .send_pattern(&pattern("svc"), space, Value::int(i))
+            .unwrap();
+    }
+    for _ in 0..10 {
+        rx.recv_timeout(TIMEOUT).unwrap();
+    }
+
+    // Phase 2: kill node 2 mid-run and keep sending. The sends resolve
+    // against node 0's replica — which still lists the dead worker until
+    // the detector fires and the NodeDown purge applies — so they take the
+    // full failover path: journalled on the wire, rejected by the dead
+    // node, drained on suspicion, and re-resolved.
+    assert!(c.kill_node(2));
+    assert!(!c.node(2).is_up());
+    for i in 0..20 {
+        c.node(0)
+            .send_pattern(&pattern("svc"), space, Value::int(100 + i))
+            .unwrap();
+    }
+
+    // Phase 3: a replacement on a survivor picks up every re-resolved (or
+    // §5.6-suspended) message.
+    let replacement = c.node(1).spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    c.node(1)
+        .make_visible(replacement, &path("svc"), space, None)
+        .unwrap();
+
+    let mut got = Vec::new();
+    for _ in 0..20 {
+        got.push(rx.recv_timeout(TIMEOUT).unwrap().body.as_int().unwrap());
+    }
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        (100..120).collect::<Vec<_>>(),
+        "all post-kill sends must fail over"
+    );
+
+    let survivors = c.nodes().iter().filter(|n| n.is_up());
+    let suspicions: usize = survivors.map(|n| n.stats().system.suspicions).sum();
+    assert!(
+        suspicions >= 1,
+        "survivors must have suspected the dead node"
+    );
+    let failovers: usize = c.nodes().iter().map(|n| n.stats().system.failovers).sum();
+    assert!(
+        failovers >= 1,
+        "at least one message must have taken the failover path"
+    );
+    c.shutdown();
+}
+
+#[test]
+fn accepted_but_unprocessed_messages_fail_over_exactly_once() {
+    // A slow worker accumulates a mailbox backlog; the node dies with most
+    // of the backlog unprocessed. Every message must reach *a* worker
+    // exactly once: the processed prefix counts, the harvested backlog is
+    // re-resolved to the fallback, and nothing is delivered twice.
+    let c = fast_cluster(3);
+    let (inbox, rx) = c.node(0).system().inbox();
+    let space = c.node(0).create_space(None);
+    let slow = c.node(2).spawn(from_fn(move |ctx, msg| {
+        std::thread::sleep(Duration::from_millis(5));
+        ctx.send_addr(inbox, msg.body);
+    }));
+    c.node(2)
+        .make_visible(slow, &path("svc"), space, None)
+        .unwrap();
+    assert!(c.await_coherence(TIMEOUT));
+
+    let n = 30;
+    for i in 0..n {
+        c.node(0)
+            .send_pattern(&pattern("svc"), space, Value::int(i))
+            .unwrap();
+    }
+    // Let a few process, then crash with the rest still queued.
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(c.kill_node(2));
+    let fallback = c.node(1).spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    c.node(1)
+        .make_visible(fallback, &path("svc"), space, None)
+        .unwrap();
+
+    let mut got = Vec::new();
+    for _ in 0..n {
+        got.push(rx.recv_timeout(TIMEOUT).unwrap().body.as_int().unwrap());
+    }
+    assert!(
+        rx.recv_timeout(Duration::from_millis(500)).is_err(),
+        "a message was delivered more than once"
+    );
+    got.sort_unstable();
+    assert_eq!(got, (0..n).collect::<Vec<_>>());
+    c.shutdown();
+}
+
+#[test]
+fn restarted_node_serves_traffic_after_reregistration() {
+    let c = fast_cluster(3);
+    let space = c.node(0).create_space(None);
+    assert!(c.await_coherence(TIMEOUT));
+
+    assert!(c.kill_node(1));
+    // Wait until a survivor's detector notices the silence.
+    let deadline = Instant::now() + TIMEOUT;
+    while !c.detector().is_suspected(0, 1) {
+        assert!(
+            Instant::now() < deadline,
+            "node 0 never suspected the dead node"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    assert!(c.restart_node(1));
+    assert!(c.node(1).is_up());
+    assert!(
+        c.await_coherence(TIMEOUT),
+        "restarted node must replay to coherence"
+    );
+
+    // The new incarnation serves traffic: fresh worker, fresh visibility.
+    let (inbox, rx) = c.node(0).system().inbox();
+    let worker = c.node(1).spawn(from_fn(move |ctx, msg| {
+        let v = msg.body.as_int().unwrap_or(0);
+        ctx.send_addr(inbox, Value::int(v * 2));
+    }));
+    c.node(1)
+        .make_visible(worker, &path("svc2"), space, None)
+        .unwrap();
+    assert!(c.await_coherence(TIMEOUT));
+    c.node(0)
+        .send_pattern(&pattern("svc2"), space, Value::int(21))
+        .unwrap();
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(42));
+
+    assert!(
+        c.node(0).stats().system.re_registrations >= 1,
+        "the NodeUp re-registration must be observed cluster-wide"
+    );
+    c.shutdown();
+}
+
+#[test]
+fn quick_restart_before_detection_still_buries_old_actors() {
+    // Kill and restart faster than the detector threshold: no NodeDown is
+    // ever submitted, so the NodeUp re-registration itself must purge the
+    // previous incarnation's records — otherwise sends resolve to a ghost
+    // forever.
+    let c = Cluster::new(ClusterConfig {
+        nodes: 2,
+        // Slow detector: the restart will beat it.
+        failure: FailureConfig::default(),
+        ..ClusterConfig::default()
+    });
+    let (inbox, rx) = c.node(0).system().inbox();
+    let space = c.node(0).create_space(None);
+    let ghost = c.node(1).spawn(from_fn(|_, _| {}));
+    c.node(1)
+        .make_visible(ghost, &path("svc"), space, None)
+        .unwrap();
+    assert!(c.await_coherence(TIMEOUT));
+
+    assert!(c.kill_node(1));
+    assert!(c.restart_node(1));
+    assert!(c.await_coherence(TIMEOUT));
+
+    // The ghost's record is gone from every replica.
+    let deadline = Instant::now() + TIMEOUT;
+    loop {
+        let visible = c.node(0).system().resolve(&pattern("svc"), space).unwrap();
+        if visible.is_empty() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ghost actor still resolvable: {visible:?}"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // And the new incarnation serves fresh actors under the same pattern.
+    let worker = c.node(1).spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    c.node(1)
+        .make_visible(worker, &path("svc"), space, None)
+        .unwrap();
+    c.node(0)
+        .send_pattern(&pattern("svc"), space, Value::int(7))
+        .unwrap();
+    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(7));
+    c.shutdown();
+}
+
+#[test]
+fn kill_and_restart_are_idempotent() {
+    let c = fast_cluster(2);
+    assert!(!c.restart_node(1), "restarting an up node is a no-op");
+    assert!(c.kill_node(1));
+    assert!(!c.kill_node(1), "double kill is a no-op");
+    assert!(c.restart_node(1));
+    assert!(!c.restart_node(1));
+    assert!(c.await_coherence(TIMEOUT));
+    c.shutdown();
+}

@@ -281,7 +281,10 @@ mod tests {
         for (ast, name) in [
             (Ast::AnyAtom, "star"),
             (Ast::Star(Box::new(Ast::AnyAtom)), "double star"),
-            (Ast::alt(vec![Ast::Atom(atom("a")), Ast::Atom(atom("b"))]), "alt"),
+            (
+                Ast::alt(vec![Ast::Atom(atom("a")), Ast::Atom(atom("b"))]),
+                "alt",
+            ),
             (Ast::class(vec![atom("a")], false), "class"),
             (Ast::Opt(Box::new(Ast::Atom(atom("a")))), "opt"),
             (

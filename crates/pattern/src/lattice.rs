@@ -92,11 +92,17 @@ pub fn meet(a: &Nfa, b: &Nfa) -> Nfa {
 /// both accept, or `None` if that set is empty. Exact over the open
 /// alphabet.
 fn sorted_intersect(s: &[Atom], t: &[Atom]) -> Vec<Atom> {
-    s.iter().filter(|x| t.binary_search(x).is_ok()).copied().collect()
+    s.iter()
+        .filter(|x| t.binary_search(x).is_ok())
+        .copied()
+        .collect()
 }
 
 fn sorted_minus(s: &[Atom], t: &[Atom]) -> Vec<Atom> {
-    s.iter().filter(|x| t.binary_search(x).is_err()).copied().collect()
+    s.iter()
+        .filter(|x| t.binary_search(x).is_err())
+        .copied()
+        .collect()
 }
 
 fn sorted_union(s: &[Atom], t: &[Atom]) -> Vec<Atom> {
@@ -164,7 +170,8 @@ fn build_dfa(nfa: &Nfa, complemented: bool) -> Nfa {
             }
             let id = self.states.len() as StateId;
             self.states.push(State::default());
-            self.accepting.push(subset.binary_search(&self.nfa_accept).is_ok());
+            self.accepting
+                .push(subset.binary_search(&self.nfa_accept).is_ok());
             self.index.insert(subset.clone(), id);
             self.work.push(subset);
             id
@@ -338,8 +345,14 @@ mod tests {
         ] {
             let p = pattern(pat);
             let d = determinize(p.nfa());
-            assert!(matcher::matches(&d, path(yes).atoms()), "{pat} should match {yes}");
-            assert!(!matcher::matches(&d, path(no).atoms()), "{pat} should reject {no}");
+            assert!(
+                matcher::matches(&d, path(yes).atoms()),
+                "{pat} should match {yes}"
+            );
+            assert!(
+                !matcher::matches(&d, path(no).atoms()),
+                "{pat} should reject {no}"
+            );
         }
     }
 

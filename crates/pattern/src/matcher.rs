@@ -20,7 +20,9 @@ pub struct StateSet {
 
 impl StateSet {
     fn empty(n_states: usize) -> StateSet {
-        StateSet { bits: vec![0u64; n_states.div_ceil(64)].into_boxed_slice() }
+        StateSet {
+            bits: vec![0u64; n_states.div_ceil(64)].into_boxed_slice(),
+        }
     }
 
     fn insert(&mut self, s: StateId) -> bool {
@@ -154,15 +156,13 @@ pub fn intersects(a: &Nfa, b: &Nfa) -> bool {
     let mut seen = vec![false; a.len() * b.len()];
     let mut queue = VecDeque::new();
 
-    let push = |x: StateId,
-                y: StateId,
-                seen: &mut Vec<bool>,
-                queue: &mut VecDeque<(StateId, StateId)>| {
-        if !seen[idx(x, y)] {
-            seen[idx(x, y)] = true;
-            queue.push_back((x, y));
-        }
-    };
+    let push =
+        |x: StateId, y: StateId, seen: &mut Vec<bool>, queue: &mut VecDeque<(StateId, StateId)>| {
+            if !seen[idx(x, y)] {
+                seen[idx(x, y)] = true;
+                queue.push_back((x, y));
+            }
+        };
 
     push(a.start(), b.start(), &mut seen, &mut queue);
     while let Some((x, y)) = queue.pop_front() {

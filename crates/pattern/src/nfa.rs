@@ -73,7 +73,11 @@ impl Nfa {
     pub fn from_parts(states: Vec<State>, start: StateId, accept: StateId) -> Nfa {
         debug_assert!((start as usize) < states.len());
         debug_assert!((accept as usize) < states.len());
-        Nfa { states, start, accept }
+        Nfa {
+            states,
+            start,
+            accept,
+        }
     }
 
     /// The start state.
@@ -218,7 +222,11 @@ impl Builder {
 pub fn compile(ast: &Ast) -> Nfa {
     let mut b = Builder { states: Vec::new() };
     let (start, accept) = b.fragment(ast);
-    Nfa { states: b.states, start, accept }
+    Nfa {
+        states: b.states,
+        start,
+        accept,
+    }
 }
 
 #[cfg(test)]

@@ -15,7 +15,11 @@ use crate::ast::Ast;
 /// Parses pattern `text` into an [`Ast`].
 pub fn parse(text: &str) -> Result<Ast, ParseError> {
     let tokens = lex(text)?;
-    let mut p = Parser { tokens, pos: 0, text };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        text,
+    };
     let ast = p.parse_alt()?;
     if p.pos != p.tokens.len() {
         return Err(p.err_here("unexpected trailing input"));
@@ -34,7 +38,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "pattern parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -87,7 +95,11 @@ fn lex(text: &str) -> Result<Vec<Tok>, ParseError> {
             '/' => {
                 chars.next();
                 joined = false;
-                toks.push(Tok { kind: TokKind::Slash, offset: i, joined: false });
+                toks.push(Tok {
+                    kind: TokKind::Slash,
+                    offset: i,
+                    joined: false,
+                });
                 continue;
             }
             '*' => {
@@ -162,7 +174,11 @@ fn lex(text: &str) -> Result<Vec<Tok>, ParseError> {
                 })
             }
         };
-        toks.push(Tok { kind, offset: i, joined });
+        toks.push(Tok {
+            kind,
+            offset: i,
+            joined,
+        });
         joined = true;
     }
     Ok(toks)
@@ -189,7 +205,10 @@ impl<'a> Parser<'a> {
 
     fn err_here(&self, msg: &str) -> ParseError {
         let offset = self.peek().map(|t| t.offset).unwrap_or(self.text.len());
-        ParseError { offset, message: msg.to_owned() }
+        ParseError {
+            offset,
+            message: msg.to_owned(),
+        }
     }
 
     fn expect(&mut self, kind: TokKind, what: &str) -> Result<(), ParseError> {
@@ -279,7 +298,9 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_primary(&mut self) -> Result<Ast, ParseError> {
-        let t = self.bump().ok_or_else(|| self.err_here("expected a pattern element"))?;
+        let t = self
+            .bump()
+            .ok_or_else(|| self.err_here("expected a pattern element"))?;
         match t.kind {
             TokKind::Ident(name) => Ok(Ast::Atom(atom(&name))),
             TokKind::Star => Ok(Ast::AnyAtom),
@@ -355,20 +376,23 @@ mod tests {
     #[test]
     fn literal_paths() {
         assert_eq!(p("a"), Ast::Atom(atom("a")));
-        assert_eq!(p("a/b"), Ast::seq(vec![Ast::Atom(atom("a")), Ast::Atom(atom("b"))]));
+        assert_eq!(
+            p("a/b"),
+            Ast::seq(vec![Ast::Atom(atom("a")), Ast::Atom(atom("b"))])
+        );
     }
 
     #[test]
     fn wildcards() {
         assert_eq!(p("*"), Ast::AnyAtom);
         assert_eq!(p("**"), Ast::Star(Box::new(Ast::AnyAtom)));
-        assert_eq!(
-            p("a/*"),
-            Ast::seq(vec![Ast::Atom(atom("a")), Ast::AnyAtom])
-        );
+        assert_eq!(p("a/*"), Ast::seq(vec![Ast::Atom(atom("a")), Ast::AnyAtom]));
         assert_eq!(
             p("a/**"),
-            Ast::seq(vec![Ast::Atom(atom("a")), Ast::Star(Box::new(Ast::AnyAtom))])
+            Ast::seq(vec![
+                Ast::Atom(atom("a")),
+                Ast::Star(Box::new(Ast::AnyAtom))
+            ])
         );
     }
 
@@ -377,11 +401,17 @@ mod tests {
         // `a*`: star glued to the atom → repetition.
         assert_eq!(p("a*"), Ast::Star(Box::new(Ast::Atom(atom("a")))));
         // `a / *`: separated → sequence with any-atom.
-        assert_eq!(p("a / *"), Ast::seq(vec![Ast::Atom(atom("a")), Ast::AnyAtom]));
+        assert_eq!(
+            p("a / *"),
+            Ast::seq(vec![Ast::Atom(atom("a")), Ast::AnyAtom])
+        );
         // `(a/b)*`: group repetition.
         assert_eq!(
             p("(a/b)*"),
-            Ast::Star(Box::new(Ast::seq(vec![Ast::Atom(atom("a")), Ast::Atom(atom("b"))])))
+            Ast::Star(Box::new(Ast::seq(vec![
+                Ast::Atom(atom("a")),
+                Ast::Atom(atom("b"))
+            ])))
         );
     }
 
@@ -413,7 +443,10 @@ mod tests {
 
     #[test]
     fn classes() {
-        assert_eq!(p("[a b c]"), Ast::class(vec![atom("a"), atom("b"), atom("c")], false));
+        assert_eq!(
+            p("[a b c]"),
+            Ast::class(vec![atom("a"), atom("b"), atom("c")], false)
+        );
         assert_eq!(p("[a, b]"), Ast::class(vec![atom("a"), atom("b")], false));
         assert_eq!(p("[^a]"), Ast::class(vec![atom("a")], true));
     }
@@ -443,7 +476,9 @@ mod tests {
 
     #[test]
     fn errors_are_reported_with_position() {
-        for bad in ["{a", "(a", "[a", "[]", "a)", "a}", "a**", "@", "+a", "a ^", "a/ +"] {
+        for bad in [
+            "{a", "(a", "[a", "[]", "a)", "a}", "a**", "@", "+a", "a ^", "a/ +",
+        ] {
             let err = parse(bad).expect_err(&format!("{bad:?} should fail"));
             assert!(err.offset <= bad.len());
             assert!(!err.message.is_empty());

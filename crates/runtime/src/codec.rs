@@ -165,19 +165,27 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn i64(&mut self) -> Result<i64, DecodeError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn u128(&mut self) -> Result<u128, DecodeError> {
-        Ok(u128::from_le_bytes(self.take(16)?.try_into().expect("16 bytes")))
+        Ok(u128::from_le_bytes(
+            self.take(16)?.try_into().expect("16 bytes"),
+        ))
     }
 
     fn str(&mut self) -> Result<&'a str, DecodeError> {
@@ -192,9 +200,9 @@ fn decode_inner(r: &mut Reader<'_>) -> Result<Value, DecodeError> {
         T_FALSE => Ok(Value::Bool(false)),
         T_TRUE => Ok(Value::Bool(true)),
         T_INT => Ok(Value::Int(r.i64()?)),
-        T_FLOAT => {
-            Ok(Value::Float(f64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"))))
-        }
+        T_FLOAT => Ok(Value::Float(f64::from_le_bytes(
+            r.take(8)?.try_into().expect("8 bytes"),
+        ))),
         T_STR => Ok(Value::str(r.str()?)),
         T_ATOM => Ok(Value::atom(r.str()?)),
         T_ADDR => Ok(Value::Addr(ActorId(r.u64()?))),
@@ -338,7 +346,10 @@ mod tests {
         for m in [
             Message::new(Value::int(5)),
             Message::from_sender(ActorId(9), Value::str("hello")),
-            Message::rpc(Some(ActorId(1)), Value::list([Value::int(1), Value::int(2)])),
+            Message::rpc(
+                Some(ActorId(1)),
+                Value::list([Value::int(1), Value::int(2)]),
+            ),
         ] {
             let bytes = message_to_bytes(&m);
             let got = decode_message(&bytes).unwrap();
@@ -354,7 +365,10 @@ mod tests {
         assert_eq!(decode_value(&[0xff]), Err(DecodeError::BadTag(0xff)));
         assert_eq!(decode_value(&[T_INT, 1, 2]), Err(DecodeError::Truncated));
         // Valid unit + junk.
-        assert_eq!(decode_value(&[T_UNIT, 0]), Err(DecodeError::TrailingBytes(1)));
+        assert_eq!(
+            decode_value(&[T_UNIT, 0]),
+            Err(DecodeError::TrailingBytes(1))
+        );
         // Bad UTF-8 in a string.
         let mut bad = vec![T_STR];
         bad.extend_from_slice(&2u32.to_le_bytes());

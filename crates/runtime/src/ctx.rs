@@ -4,11 +4,9 @@
 
 use std::sync::Arc;
 
-use actorspace_capability::Capability;
-use actorspace_core::{
-    ActorId, Disposition, MemberId, Pattern, Result, SpaceId,
-};
 use actorspace_atoms::Path;
+use actorspace_capability::Capability;
+use actorspace_core::{ActorId, Disposition, MemberId, Pattern, Result, SpaceId};
 
 use crate::actor::{Behavior, BoxBehavior};
 use crate::message::{Envelope, Message, Port};
@@ -28,7 +26,13 @@ pub struct Ctx<'a> {
 
 impl<'a> Ctx<'a> {
     pub(crate) fn new(shared: &'a Arc<Shared>, self_id: ActorId, sender: Option<ActorId>) -> Self {
-        Ctx { shared, self_id, sender, next_behavior: None, stop: false }
+        Ctx {
+            shared,
+            self_id,
+            sender,
+            next_behavior: None,
+            stop: false,
+        }
     }
 
     pub(crate) fn into_effects(self) -> (Option<BoxBehavior>, bool) {
@@ -67,7 +71,8 @@ impl<'a> Ctx<'a> {
     /// collapsed because the coordinator is in-process).
     pub fn create(&mut self, behavior: impl Behavior) -> ActorId {
         let host = self.host_space();
-        self.create_in(host, behavior, None).expect("own host space exists")
+        self.create_in(host, behavior, None)
+            .expect("own host space exists")
     }
 
     /// `create` into an explicit host space with an optional capability.
@@ -99,7 +104,11 @@ impl<'a> Ctx<'a> {
     pub fn reply_rpc(&mut self, to: ActorId, body: Value) -> bool {
         self.shared.deliver(Envelope::user(
             to,
-            Message { from: Some(self.self_id), body, port: Port::Rpc },
+            Message {
+                from: Some(self.self_id),
+                body,
+                port: Port::Rpc,
+            },
         ))
     }
 
@@ -128,7 +137,8 @@ impl<'a> Ctx<'a> {
         body: Value,
     ) -> Result<Disposition> {
         let msg = Message::from_sender(self.self_id, body);
-        self.shared.with_registry(|reg, sink| reg.send(pattern, space, msg, sink))
+        self.shared
+            .with_registry(|reg, sink| reg.send(pattern, space, msg, sink))
     }
 
     /// `send(pattern, message)` resolved in this actor's host space (§7.1).
@@ -145,7 +155,8 @@ impl<'a> Ctx<'a> {
         body: Value,
     ) -> Result<Disposition> {
         let msg = Message::from_sender(self.self_id, body);
-        self.shared.with_registry(|reg, sink| reg.broadcast(pattern, space, msg, sink))
+        self.shared
+            .with_registry(|reg, sink| reg.broadcast(pattern, space, msg, sink))
     }
 
     /// `broadcast` resolved in this actor's host space.
@@ -164,8 +175,11 @@ impl<'a> Ctx<'a> {
         body: Value,
     ) -> Result<Disposition> {
         let host = self.host_space();
-        let space =
-            self.shared.registry.lock().resolve_space_pattern(space_pattern, host)?;
+        let space = self
+            .shared
+            .registry
+            .lock()
+            .resolve_space_pattern(space_pattern, host)?;
         self.send_pattern(pattern, space, body)
     }
 
@@ -189,16 +203,18 @@ impl<'a> Ctx<'a> {
         space: SpaceId,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.make_visible(MemberId::Actor(self.self_id), vec![attr.clone()], space, cap)
+        self.make_visible(
+            MemberId::Actor(self.self_id),
+            vec![attr.clone()],
+            space,
+            cap,
+        )
     }
 
     /// Makes this actor invisible in `space`.
-    pub fn make_self_invisible(
-        &mut self,
-        space: SpaceId,
-        cap: Option<&Capability>,
-    ) -> Result<()> {
-        self.shared.op_make_invisible(MemberId::Actor(self.self_id), space, cap)
+    pub fn make_self_invisible(&mut self, space: SpaceId, cap: Option<&Capability>) -> Result<()> {
+        self.shared
+            .op_make_invisible(MemberId::Actor(self.self_id), space, cap)
     }
 
     /// `make_visible` for any member this actor holds a capability for.
@@ -231,7 +247,8 @@ impl<'a> Ctx<'a> {
         space: SpaceId,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.shared.op_change_attributes(member.into(), attrs, space, cap)
+        self.shared
+            .op_change_attributes(member.into(), attrs, space, cap)
     }
 
     /// Resolves a pattern without sending.

@@ -59,19 +59,24 @@ mod tests {
     /// consecutive sequence numbers).
     #[test]
     fn sequenced_broadcasts_are_totally_ordered() {
-        let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+        let sys = ActorSystem::new(Config {
+            workers: 4,
+            ..Config::default()
+        });
         let space = sys.create_space(None).unwrap();
 
         let n_members = 4;
-        let logs: Vec<Arc<Mutex<Vec<i64>>>> =
-            (0..n_members).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+        let logs: Vec<Arc<Mutex<Vec<i64>>>> = (0..n_members)
+            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .collect();
         for (i, log) in logs.iter().enumerate() {
             let log = log.clone();
             let m = sys.spawn(from_fn(move |_ctx, msg| {
                 let parts = msg.body.as_list().unwrap();
                 log.lock().push(parts[0].as_int().unwrap());
             }));
-            sys.make_visible(m.id(), &path(&format!("grp/{i}")), space, None).unwrap();
+            sys.make_visible(m.id(), &path(&format!("grp/{i}")), space, None)
+                .unwrap();
             m.leak();
         }
 
@@ -105,16 +110,21 @@ mod tests {
     /// but every member still receives every broadcast (integrity).
     #[test]
     fn unsequenced_broadcasts_keep_integrity() {
-        let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+        let sys = ActorSystem::new(Config {
+            workers: 4,
+            ..Config::default()
+        });
         let space = sys.create_space(None).unwrap();
         let log = Arc::new(Mutex::new(Vec::new()));
         let l = log.clone();
         let m = sys.spawn(from_fn(move |_ctx, msg| {
             l.lock().push(msg.body.as_int().unwrap());
         }));
-        sys.make_visible(m.id(), &path("grp/x"), space, None).unwrap();
+        sys.make_visible(m.id(), &path("grp/x"), space, None)
+            .unwrap();
         for i in 0..50 {
-            sys.broadcast(&pattern("grp/*"), space, Value::int(i), None).unwrap();
+            sys.broadcast(&pattern("grp/*"), space, Value::int(i), None)
+                .unwrap();
         }
         assert!(sys.await_idle(Duration::from_secs(30)));
         let mut got = log.lock().clone();

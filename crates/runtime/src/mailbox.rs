@@ -18,9 +18,14 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use actorspace_core::Route;
 use parking_lot::Mutex;
 
 use crate::message::{Payload, Port};
+
+/// One queued entry: the payload plus the pattern resolution that produced
+/// it (if any), retained for failover re-routing.
+pub(crate) type Queued = (Payload, Option<Route>);
 
 /// Scheduling states.
 const IDLE: usize = 0;
@@ -29,9 +34,9 @@ const RUNNING: usize = 2;
 
 /// A three-port mailbox with scheduling state.
 pub(crate) struct Mailbox {
-    behavior: Mutex<VecDeque<Payload>>,
-    rpc: Mutex<VecDeque<Payload>>,
-    invocation: Mutex<VecDeque<Payload>>,
+    behavior: Mutex<VecDeque<Queued>>,
+    rpc: Mutex<VecDeque<Queued>>,
+    invocation: Mutex<VecDeque<Queued>>,
     state: AtomicUsize,
     len: AtomicUsize,
 }
@@ -49,11 +54,11 @@ impl Mailbox {
 
     /// Enqueues a payload on `port`. Returns `true` when the caller must
     /// hand the actor to the scheduler (the mailbox was idle).
-    pub fn push(&self, port: Port, payload: Payload) -> bool {
+    pub fn push(&self, port: Port, payload: Payload, route: Option<Route>) -> bool {
         match port {
-            Port::Behavior => self.behavior.lock().push_back(payload),
-            Port::Rpc => self.rpc.lock().push_back(payload),
-            Port::Invocation => self.invocation.lock().push_back(payload),
+            Port::Behavior => self.behavior.lock().push_back((payload, route)),
+            Port::Rpc => self.rpc.lock().push_back((payload, route)),
+            Port::Invocation => self.invocation.lock().push_back((payload, route)),
         }
         self.len.fetch_add(1, Ordering::Release);
         self.try_schedule()
@@ -83,7 +88,7 @@ impl Mailbox {
     }
 
     /// Pops the next payload by port priority.
-    pub fn pop(&self) -> Option<Payload> {
+    pub fn pop(&self) -> Option<Queued> {
         let got = {
             if let Some(p) = self.behavior.lock().pop_front() {
                 Some(p)
@@ -97,6 +102,18 @@ impl Mailbox {
             self.len.fetch_sub(1, Ordering::Release);
         }
         got
+    }
+
+    /// Empties every queue, returning the entries in port-priority order.
+    /// Used to harvest accepted-but-unprocessed messages from a crashed
+    /// node's mailboxes for failover re-routing.
+    pub fn drain(&self) -> Vec<Queued> {
+        let mut out = Vec::new();
+        out.extend(self.behavior.lock().drain(..));
+        out.extend(self.rpc.lock().drain(..));
+        out.extend(self.invocation.lock().drain(..));
+        self.len.fetch_sub(out.len(), Ordering::Release);
+        out
     }
 
     /// Total queued messages.
@@ -120,8 +137,8 @@ mod tests {
         Payload::User(Message::rpc(None, Value::int(i)))
     }
 
-    fn val(p: Payload) -> i64 {
-        match p {
+    fn val(q: Queued) -> i64 {
+        match q.0 {
             Payload::User(m) => m.body.as_int().unwrap(),
             _ => panic!("expected user payload"),
         }
@@ -131,7 +148,7 @@ mod tests {
     fn fifo_within_a_port() {
         let mb = Mailbox::new();
         for i in 0..5 {
-            mb.push(Port::Invocation, user(i));
+            mb.push(Port::Invocation, user(i), None);
         }
         for i in 0..5 {
             assert_eq!(val(mb.pop().unwrap()), i);
@@ -142,10 +159,10 @@ mod tests {
     #[test]
     fn port_priority_behavior_then_rpc_then_invocation() {
         let mb = Mailbox::new();
-        mb.push(Port::Invocation, user(3));
-        mb.push(Port::Rpc, rpc(2));
-        mb.push(Port::Behavior, Payload::Start);
-        assert!(matches!(mb.pop().unwrap(), Payload::Start));
+        mb.push(Port::Invocation, user(3), None);
+        mb.push(Port::Rpc, rpc(2), None);
+        mb.push(Port::Behavior, Payload::Start, None);
+        assert!(matches!(mb.pop().unwrap().0, Payload::Start));
         assert_eq!(val(mb.pop().unwrap()), 2);
         assert_eq!(val(mb.pop().unwrap()), 3);
     }
@@ -153,18 +170,24 @@ mod tests {
     #[test]
     fn first_push_schedules_subsequent_do_not() {
         let mb = Mailbox::new();
-        assert!(mb.push(Port::Invocation, user(1)), "idle mailbox must schedule");
-        assert!(!mb.push(Port::Invocation, user(2)), "already scheduled");
+        assert!(
+            mb.push(Port::Invocation, user(1), None),
+            "idle mailbox must schedule"
+        );
+        assert!(
+            !mb.push(Port::Invocation, user(2), None),
+            "already scheduled"
+        );
         assert_eq!(mb.len(), 2);
     }
 
     #[test]
     fn finish_running_detects_racing_messages() {
         let mb = Mailbox::new();
-        assert!(mb.push(Port::Invocation, user(1)));
+        assert!(mb.push(Port::Invocation, user(1), None));
         mb.begin_running();
         // While running, pushes do not schedule.
-        assert!(!mb.push(Port::Invocation, user(2)));
+        assert!(!mb.push(Port::Invocation, user(2), None));
         mb.pop().unwrap();
         // One message left: finishing must hand back a reschedule.
         assert!(mb.finish_running());
@@ -177,8 +200,8 @@ mod tests {
     fn len_tracks_pushes_and_pops() {
         let mb = Mailbox::new();
         assert_eq!(mb.len(), 0);
-        mb.push(Port::Invocation, user(1));
-        mb.push(Port::Rpc, rpc(2));
+        mb.push(Port::Invocation, user(1), None);
+        mb.push(Port::Rpc, rpc(2), None);
         assert_eq!(mb.len(), 2);
         mb.pop();
         assert_eq!(mb.len(), 1);
@@ -198,7 +221,7 @@ mod tests {
             let schedules = schedules.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
-                    if mb.push(Port::Invocation, user(t * 100 + i)) {
+                    if mb.push(Port::Invocation, user(t * 100 + i), None) {
                         schedules.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -207,7 +230,11 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(schedules.load(Ordering::Relaxed), 1, "exactly one scheduling transition");
+        assert_eq!(
+            schedules.load(Ordering::Relaxed),
+            1,
+            "exactly one scheduling transition"
+        );
         assert_eq!(mb.len(), 800);
     }
 }

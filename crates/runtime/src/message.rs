@@ -7,7 +7,7 @@
 //! RPC-port is used when an actor performs a system call that expects a
 //! return value."
 
-use actorspace_core::ActorId;
+use actorspace_core::{ActorId, Route};
 
 use crate::actor::BoxBehavior;
 use crate::value::Value;
@@ -38,17 +38,29 @@ pub struct Message {
 impl Message {
     /// An invocation-port message with no sender.
     pub fn new(body: Value) -> Message {
-        Message { from: None, body, port: Port::Invocation }
+        Message {
+            from: None,
+            body,
+            port: Port::Invocation,
+        }
     }
 
     /// An invocation-port message from a known sender.
     pub fn from_sender(from: ActorId, body: Value) -> Message {
-        Message { from: Some(from), body, port: Port::Invocation }
+        Message {
+            from: Some(from),
+            body,
+            port: Port::Invocation,
+        }
     }
 
     /// An RPC-port reply.
     pub fn rpc(from: Option<ActorId>, body: Value) -> Message {
-        Message { from, body, port: Port::Rpc }
+        Message {
+            from,
+            body,
+            port: Port::Rpc,
+        }
     }
 }
 
@@ -79,21 +91,46 @@ pub struct Envelope {
     /// Destination actor.
     pub to: ActorId,
     pub(crate) payload: Payload,
+    /// The pattern resolution that chose `to`, when the envelope came from
+    /// a `send`/`broadcast`. Kept with the message through the mailbox so a
+    /// failover path can re-resolve it if `to` dies unprocessed.
+    pub(crate) route: Option<Route>,
 }
 
 impl Envelope {
-    /// A user message envelope.
+    /// A user message envelope (point-to-point; carries no route).
     pub fn user(to: ActorId, msg: Message) -> Envelope {
-        Envelope { to, payload: Payload::User(msg) }
+        Envelope {
+            to,
+            payload: Payload::User(msg),
+            route: None,
+        }
+    }
+
+    /// A user message envelope produced by pattern resolution.
+    pub fn user_routed(to: ActorId, msg: Message, route: Option<Route>) -> Envelope {
+        Envelope {
+            to,
+            payload: Payload::User(msg),
+            route,
+        }
     }
 
     /// A behavior-replacement envelope.
     pub fn become_(to: ActorId, behavior: BoxBehavior) -> Envelope {
-        Envelope { to, payload: Payload::Become(behavior) }
+        Envelope {
+            to,
+            payload: Payload::Become(behavior),
+            route: None,
+        }
     }
 
     pub(crate) fn start(to: ActorId) -> Envelope {
-        Envelope { to, payload: Payload::Start }
+        Envelope {
+            to,
+            payload: Payload::Start,
+            route: None,
+        }
     }
 
     /// The port this envelope will be queued on.

@@ -52,7 +52,9 @@ fn process_batch(shared: &Arc<Shared>, cell: Arc<ActorCell>) {
     let mut stopped = behavior.is_none();
 
     for _ in 0..shared.batch {
-        let Some(payload) = cell.mailbox.pop() else { break };
+        let Some((payload, _route)) = cell.mailbox.pop() else {
+            break;
+        };
         match payload {
             Payload::Start => {
                 if let Some(b) = behavior.as_mut() {
@@ -73,8 +75,7 @@ fn process_batch(shared: &Arc<Shared>, cell: Arc<ActorCell>) {
                 if let Some(b) = behavior.as_mut() {
                     let from = msg.from;
                     let mut ctx = Ctx::new(shared, cell.id, from);
-                    let unwound =
-                        catch_unwind(AssertUnwindSafe(|| b.receive(&mut ctx, msg)));
+                    let unwound = catch_unwind(AssertUnwindSafe(|| b.receive(&mut ctx, msg)));
                     if unwound.is_err() {
                         // A panicking behavior drops the message; the actor
                         // survives with its current state (fail-soft).
@@ -90,7 +91,7 @@ fn process_batch(shared: &Arc<Shared>, cell: Arc<ActorCell>) {
         shared.dec_pending();
         if stopped {
             // Drain whatever remains as dead letters.
-            while let Some(p) = cell.mailbox.pop() {
+            while let Some((p, _)) = cell.mailbox.pop() {
                 if matches!(p, Payload::User(_)) {
                     shared.dead_letters.fetch_add(1, Ordering::Relaxed);
                 }

@@ -12,11 +12,12 @@ use std::time::{Duration, Instant};
 use crossbeam::deque::Injector;
 use parking_lot::{Condvar, Mutex, RwLock};
 
+use actorspace_atoms::Path;
 use actorspace_capability::{CapMinter, Capability};
 use actorspace_core::{
-    ActorId, Disposition, GcReport, ManagerPolicy, MemberId, Pattern, Registry, Result, SpaceId,
+    ActorId, Disposition, GcReport, ManagerPolicy, MemberId, Pattern, Registry, Result, Route,
+    SpaceId,
 };
-use actorspace_atoms::Path;
 
 use crate::actor::{ActorCell, Behavior};
 use crate::message::{Envelope, Message, Payload};
@@ -40,8 +41,16 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4);
-        Config { workers, batch: 16, policy: ManagerPolicy::default(), id_base: 1 }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(4);
+        Config {
+            workers,
+            batch: 16,
+            policy: ManagerPolicy::default(),
+            id_base: 1,
+        }
     }
 }
 
@@ -56,6 +65,12 @@ pub struct Stats {
     pub actors: usize,
     /// Live spaces.
     pub spaces: usize,
+    /// Remote nodes this node has declared failed (failure detector).
+    pub suspicions: usize,
+    /// Messages re-routed to a surviving replica after a node failure.
+    pub failovers: usize,
+    /// Node re-registrations (restarts) observed through the directory.
+    pub re_registrations: usize,
 }
 
 /// State shared between the API, workers, and contexts.
@@ -73,6 +88,10 @@ pub(crate) struct Shared {
     pub sleep_cv: Condvar,
     pub shutdown: AtomicBool,
     pub dead_letters: AtomicUsize,
+    /// Failure-detector events, counted on the node that observed them.
+    pub suspicions: AtomicUsize,
+    pub failovers: AtomicUsize,
+    pub re_registrations: AtomicUsize,
     /// Delivery fallback for non-local actors (§7.2 transport objects).
     pub uplink: RwLock<Option<Arc<dyn Transport>>>,
     /// Reroutes state-changing primitives through an external coordinator
@@ -86,19 +105,21 @@ impl Shared {
     /// Returns true if the message found a home.
     pub fn deliver(&self, env: Envelope) -> bool {
         let cell = self.actors.read().get(&env.to).cloned();
+        let port = env.port();
+        let Envelope { to, payload, route } = env;
         match cell {
             Some(cell) => {
                 self.pending.fetch_add(1, Ordering::AcqRel);
-                if cell.mailbox.push(env.port(), env.payload) {
+                if cell.mailbox.push(port, payload, route) {
                     self.injector.push(cell);
                     self.notify_worker();
                 }
                 true
             }
             None => {
-                if let Payload::User(msg) = env.payload {
+                if let Payload::User(msg) = payload {
                     if let Some(up) = self.uplink.read().clone() {
-                        if up.deliver(env.to, msg) {
+                        if up.deliver_routed(to, msg, route.as_ref()) {
                             return true;
                         }
                     }
@@ -125,11 +146,11 @@ impl Shared {
     /// Runs `f` with the registry and a sink that enqueues deliveries.
     pub fn with_registry<R>(
         &self,
-        f: impl FnOnce(&mut Registry<Message>, &mut dyn FnMut(ActorId, Message)) -> R,
+        f: impl FnOnce(&mut Registry<Message>, &mut dyn FnMut(ActorId, Message, Option<&Route>)) -> R,
     ) -> R {
         let mut reg = self.registry.lock();
-        let mut sink = |to: ActorId, msg: Message| {
-            self.deliver(Envelope::user(to, msg));
+        let mut sink = |to: ActorId, msg: Message, route: Option<&Route>| {
+            self.deliver(Envelope::user_routed(to, msg, route.cloned()));
         };
         f(&mut reg, &mut sink)
     }
@@ -255,7 +276,10 @@ impl ActorSystem {
         let shared = Arc::new(Shared {
             actors: RwLock::new(HashMap::new()),
             injector: Injector::new(),
-            registry: Mutex::new(Registry::with_id_base(config.policy.clone(), config.id_base)),
+            registry: Mutex::new(Registry::with_id_base(
+                config.policy.clone(),
+                config.id_base,
+            )),
             minter: CapMinter::new(),
             pending: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
@@ -264,6 +288,9 @@ impl ActorSystem {
             sleep_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             dead_letters: AtomicUsize::new(0),
+            suspicions: AtomicUsize::new(0),
+            failovers: AtomicUsize::new(0),
+            re_registrations: AtomicUsize::new(0),
             uplink: RwLock::new(None),
             hook: RwLock::new(None),
             batch: config.batch.max(1),
@@ -277,7 +304,10 @@ impl ActorSystem {
                     .expect("spawn worker")
             })
             .collect();
-        ActorSystem { shared, workers: Mutex::new(workers) }
+        ActorSystem {
+            shared,
+            workers: Mutex::new(workers),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -299,9 +329,14 @@ impl ActorSystem {
         behavior: impl Behavior,
         cap: Option<&Capability>,
     ) -> Result<ActorHandle> {
-        let id = self.shared.op_create_actor(space, cap, Box::new(behavior))?;
+        let id = self
+            .shared
+            .op_create_actor(space, cap, Box::new(behavior))?;
         self.shared.registry.lock().add_root(id);
-        Ok(ActorHandle { id, shared: self.shared.clone() })
+        Ok(ActorHandle {
+            id,
+            shared: self.shared.clone(),
+        })
     }
 
     /// Creates a channel-backed receiver actor: messages sent to the
@@ -385,7 +420,8 @@ impl ActorSystem {
         space: SpaceId,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.shared.op_change_attributes(member.into(), attrs, space, cap)
+        self.shared
+            .op_change_attributes(member.into(), attrs, space, cap)
     }
 
     /// `send(pattern@space, message)` from outside the system (no sender
@@ -397,8 +433,13 @@ impl ActorSystem {
         body: Value,
         from: Option<ActorId>,
     ) -> Result<Disposition> {
-        let msg = Message { from, body, port: crate::message::Port::Invocation };
-        self.shared.with_registry(|reg, sink| reg.send(pattern, space, msg, sink))
+        let msg = Message {
+            from,
+            body,
+            port: crate::message::Port::Invocation,
+        };
+        self.shared
+            .with_registry(|reg, sink| reg.send(pattern, space, msg, sink))
     }
 
     /// `broadcast(pattern@space, message)` from outside the system.
@@ -409,8 +450,13 @@ impl ActorSystem {
         body: Value,
         from: Option<ActorId>,
     ) -> Result<Disposition> {
-        let msg = Message { from, body, port: crate::message::Port::Invocation };
-        self.shared.with_registry(|reg, sink| reg.broadcast(pattern, space, msg, sink))
+        let msg = Message {
+            from,
+            body,
+            port: crate::message::Port::Invocation,
+        };
+        self.shared
+            .with_registry(|reg, sink| reg.broadcast(pattern, space, msg, sink))
     }
 
     /// Point-to-point send by mail address — the Actor special case.
@@ -421,7 +467,8 @@ impl ActorSystem {
 
     /// Installs a new behavior via the actor's Behavior port (§7.2).
     pub fn send_behavior(&self, to: ActorId, behavior: impl Behavior) -> bool {
-        self.shared.deliver(Envelope::become_(to, Box::new(behavior)))
+        self.shared
+            .deliver(Envelope::become_(to, Box::new(behavior)))
     }
 
     /// Resolves a pattern without sending (inspection).
@@ -442,7 +489,10 @@ impl ActorSystem {
         policy: ManagerPolicy,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.shared.registry.lock().set_space_policy(space, policy, cap)
+        self.shared
+            .registry
+            .lock()
+            .set_space_policy(space, policy, cap)
     }
 
     /// Installs a custom manager on a space. Requires `Rights::MANAGE`.
@@ -452,7 +502,10 @@ impl ActorSystem {
         manager: Box<dyn actorspace_core::Manager>,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.shared.registry.lock().set_space_manager(space, manager, cap)
+        self.shared
+            .registry
+            .lock()
+            .set_space_manager(space, manager, cap)
     }
 
     /// Cancels persistent broadcasts on a space.
@@ -468,7 +521,10 @@ impl ActorSystem {
         filter: Option<actorspace_core::MatchFilter>,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.shared.registry.lock().set_match_filter(space, filter, cap)
+        self.shared
+            .registry
+            .lock()
+            .set_match_filter(space, filter, cap)
     }
 
     /// Reports an actor's load for least-loaded arbitration in `space`.
@@ -492,10 +548,7 @@ impl ActorSystem {
     /// behaviors, so callers supply the acquaintance map (or none, to
     /// collect purely by visibility/handle reachability). Stopped actors'
     /// cells are removed along with their registry records.
-    pub fn collect_garbage(
-        &self,
-        acquaintances: &dyn Fn(ActorId) -> Vec<MemberId>,
-    ) -> GcReport {
+    pub fn collect_garbage(&self, acquaintances: &dyn Fn(ActorId) -> Vec<MemberId>) -> GcReport {
         let report = self.shared.registry.lock().collect_garbage(acquaintances);
         let mut actors = self.shared.actors.write();
         for a in &report.collected_actors {
@@ -531,7 +584,30 @@ impl ActorSystem {
             dead_letters: self.shared.dead_letters.load(Ordering::Relaxed),
             actors: reg.actor_count(),
             spaces: reg.space_count(),
+            suspicions: self.shared.suspicions.load(Ordering::Relaxed),
+            failovers: self.shared.failovers.load(Ordering::Relaxed),
+            re_registrations: self.shared.re_registrations.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records that this node's failure detector declared a peer failed.
+    pub fn note_suspicion(&self) {
+        self.shared.suspicions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one message re-routed to a survivor after a node failure.
+    pub fn note_failover(&self) {
+        self.shared.failovers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a node re-registration (restart) observed via the directory.
+    pub fn note_reregistration(&self) {
+        self.shared.re_registrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a message that could not be failed over (no route).
+    pub fn note_dead_letter(&self) {
+        self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Installs the non-local delivery fallback (§7.2 transport selection).
@@ -567,11 +643,51 @@ impl ActorSystem {
         self.shared.deliver(Envelope::user(to, msg))
     }
 
+    /// [`ActorSystem::deliver_remote`] preserving the originating pattern
+    /// resolution, so the message stays re-routable if this node dies with
+    /// it still queued.
+    pub fn deliver_remote_routed(&self, to: ActorId, msg: Message, route: Option<Route>) -> bool {
+        self.shared.deliver(Envelope::user_routed(to, msg, route))
+    }
+
+    /// Re-resolves a previously routed message against the current registry
+    /// state — the failover path after its original recipient died. The
+    /// space's unmatched policy applies as for a fresh `send`.
+    pub fn resend_routed(&self, route: &Route, msg: Message) -> Result<Disposition> {
+        self.shared
+            .with_registry(|reg, sink| reg.send(&route.pattern, route.space, msg, sink))
+    }
+
+    /// Whether this node currently hosts a behavior cell for `id`.
+    pub fn has_actor(&self, id: ActorId) -> bool {
+        self.shared.actors.read().contains_key(&id)
+    }
+
+    /// Empties every local mailbox, returning the user messages that were
+    /// accepted but never processed, with the pattern resolution that
+    /// produced each (when there was one). Called on a crashed node after
+    /// its workers have stopped; the cluster re-routes the routed ones and
+    /// dead-letters the rest. Non-user payloads (starts, behaviors) are
+    /// dropped — they die with the actor.
+    pub fn drain_unprocessed(&self) -> Vec<(Option<Route>, Message)> {
+        let cells: Vec<Arc<ActorCell>> = self.shared.actors.read().values().cloned().collect();
+        let mut out = Vec::new();
+        for cell in cells {
+            for (payload, route) in cell.mailbox.drain() {
+                self.shared.dec_pending();
+                if let Payload::User(msg) = payload {
+                    out.push((route, msg));
+                }
+            }
+        }
+        out
+    }
+
     /// Direct registry access for the cluster layer (replica application).
     /// The closure receives the registry and a delivery sink.
     pub fn with_registry<R>(
         &self,
-        f: impl FnOnce(&mut Registry<Message>, &mut dyn FnMut(ActorId, Message)) -> R,
+        f: impl FnOnce(&mut Registry<Message>, &mut dyn FnMut(ActorId, Message, Option<&Route>)) -> R,
     ) -> R {
         self.shared.with_registry(f)
     }
@@ -584,7 +700,8 @@ impl ActorSystem {
         behavior: impl Behavior,
         cap: Option<&Capability>,
     ) -> Result<ActorId> {
-        self.shared.spawn_cell(space, cap, Box::new(behavior), false)
+        self.shared
+            .spawn_cell(space, cap, Box::new(behavior), false)
     }
 
     /// Stops all workers. Queued messages may be dropped. Idempotent.
@@ -623,7 +740,8 @@ impl ActorHandle {
 
     /// Point-to-point send to this actor.
     pub fn send(&self, body: Value) -> bool {
-        self.shared.deliver(Envelope::user(self.id, Message::new(body)))
+        self.shared
+            .deliver(Envelope::user(self.id, Message::new(body)))
     }
 
     /// Keeps the actor rooted forever and discards the handle.

@@ -9,7 +9,7 @@
 //! the simulated cluster installs one that forwards over inter-node links;
 //! tests install channel- or closure-backed ones.
 
-use actorspace_core::ActorId;
+use actorspace_core::{ActorId, Route};
 
 use crate::message::Message;
 
@@ -18,6 +18,15 @@ pub trait Transport: Send + Sync {
     /// Attempts delivery; returns false if the destination is unknown to
     /// this transport too (the message becomes a dead letter).
     fn deliver(&self, to: ActorId, msg: Message) -> bool;
+
+    /// Like [`Transport::deliver`], but carrying the pattern resolution
+    /// that chose `to` when there was one. Transports that can re-route
+    /// around failed destinations (the cluster uplink) override this; the
+    /// default ignores the route.
+    fn deliver_routed(&self, to: ActorId, msg: Message, route: Option<&Route>) -> bool {
+        let _ = route;
+        self.deliver(to, msg)
+    }
 }
 
 /// Wraps a closure as a [`Transport`].
@@ -43,7 +52,10 @@ impl ChannelTransport {
     /// in-flight queue.
     pub fn new(
         capacity: usize,
-    ) -> (ChannelTransport, std::sync::mpsc::Receiver<(ActorId, Message)>) {
+    ) -> (
+        ChannelTransport,
+        std::sync::mpsc::Receiver<(ActorId, Message)>,
+    ) {
         let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
         (ChannelTransport { sender: tx }, rx)
     }

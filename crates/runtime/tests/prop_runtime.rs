@@ -19,7 +19,11 @@ const TIMEOUT: Duration = Duration::from_secs(30);
 fn per_sender_fifo_is_preserved() {
     for workers in [1usize, 2, 4] {
         for batch in [1usize, 4, 64] {
-            let sys = ActorSystem::new(Config { workers, batch, ..Config::default() });
+            let sys = ActorSystem::new(Config {
+                workers,
+                batch,
+                ..Config::default()
+            });
             let log = Arc::new(Mutex::new(Vec::new()));
             let l = log.clone();
             let receiver = sys.spawn(from_fn(move |_ctx, msg| {
@@ -36,8 +40,11 @@ fn per_sender_fifo_is_preserved() {
             }));
             sender.send(Value::int(500));
             assert!(sys.await_idle(TIMEOUT));
-            assert_eq!(*log.lock(), (0..500).collect::<Vec<i64>>(),
-                "workers={workers} batch={batch}");
+            assert_eq!(
+                *log.lock(),
+                (0..500).collect::<Vec<i64>>(),
+                "workers={workers} batch={batch}"
+            );
             sys.shutdown();
         }
     }
@@ -126,7 +133,10 @@ proptest! {
 /// visibility: total delivered + suspended must equal total sent.
 #[test]
 fn concurrent_pattern_sends_account_for_every_message() {
-    let sys = Arc::new(ActorSystem::new(Config { workers: 4, ..Config::default() }));
+    let sys = Arc::new(ActorSystem::new(Config {
+        workers: 4,
+        ..Config::default()
+    }));
     let space = sys.create_space(None).unwrap();
     let received = Arc::new(AtomicUsize::new(0));
     // One stable worker so sends always match.
@@ -134,7 +144,8 @@ fn concurrent_pattern_sends_account_for_every_message() {
     let w = sys.spawn(from_fn(move |_ctx, _msg| {
         r.fetch_add(1, Ordering::Relaxed);
     }));
-    sys.make_visible(w.id(), &path("sink"), space, None).unwrap();
+    sys.make_visible(w.id(), &path("sink"), space, None)
+        .unwrap();
 
     let senders = 4;
     let per = 2_000;
@@ -143,7 +154,8 @@ fn concurrent_pattern_sends_account_for_every_message() {
         let sys = sys.clone();
         handles.push(std::thread::spawn(move || {
             for _ in 0..per {
-                sys.send_pattern(&pattern("sink"), space, Value::Unit, None).unwrap();
+                sys.send_pattern(&pattern("sink"), space, Value::Unit, None)
+                    .unwrap();
             }
         }));
     }

@@ -14,7 +14,10 @@ use actorspace_runtime::{from_fn, ActorSystem, Behavior, Config, Ctx, Message, V
 const TIMEOUT: Duration = Duration::from_secs(10);
 
 fn system() -> ActorSystem {
-    let cfg = Config { workers: 3, ..Default::default() };
+    let cfg = Config {
+        workers: 3,
+        ..Default::default()
+    };
     ActorSystem::new(cfg)
 }
 
@@ -67,7 +70,10 @@ fn become_replaces_behavior_counter_style() {
                     ctx.send_addr(self.report_to, Value::int(self.n));
                 }
                 _ => {
-                    let next = Counter { n: self.n + 1, report_to: self.report_to };
+                    let next = Counter {
+                        n: self.n + 1,
+                        report_to: self.report_to,
+                    };
                     ctx.become_(next);
                 }
             }
@@ -75,7 +81,10 @@ fn become_replaces_behavior_counter_style() {
     }
     let sys = system();
     let (inbox, rx) = sys.inbox();
-    let counter = sys.spawn(Counter { n: 0, report_to: inbox });
+    let counter = sys.spawn(Counter {
+        n: 0,
+        report_to: inbox,
+    });
     for _ in 0..5 {
         counter.send(Value::str("inc"));
     }
@@ -134,8 +143,10 @@ fn pattern_send_reaches_visible_actor_only() {
     let _hidden = sys.spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, Value::list([Value::str("hidden"), msg.body]));
     }));
-    sys.make_visible(visible.id(), &path("srv/a"), space, None).unwrap();
-    sys.send_pattern(&pattern("srv/*"), space, Value::int(1), None).unwrap();
+    sys.make_visible(visible.id(), &path("srv/a"), space, None)
+        .unwrap();
+    sys.send_pattern(&pattern("srv/*"), space, Value::int(1), None)
+        .unwrap();
     let got = rx.recv_timeout(TIMEOUT).unwrap();
     assert_eq!(got.body.as_list().unwrap()[0], Value::str("visible"));
     sys.shutdown();
@@ -152,10 +163,12 @@ fn broadcast_reaches_every_visible_actor() {
         let a = sys.spawn(from_fn(move |ctx, msg| {
             ctx.send_addr(inbox, Value::list([Value::int(i), msg.body]));
         }));
-        sys.make_visible(a.id(), &path("node"), space, None).unwrap();
+        sys.make_visible(a.id(), &path("node"), space, None)
+            .unwrap();
         handles.push(a);
     }
-    sys.broadcast(&pattern("node"), space, Value::str("bound"), None).unwrap();
+    sys.broadcast(&pattern("node"), space, Value::str("bound"), None)
+        .unwrap();
     let mut seen = std::collections::HashSet::new();
     for _ in 0..n {
         let m = rx.recv_timeout(TIMEOUT).unwrap();
@@ -171,12 +184,14 @@ fn suspended_message_released_by_late_arrival() {
     let space = sys.create_space(None).unwrap();
     let (inbox, rx) = sys.inbox();
     // Send before any worker exists (§5.6 default: suspend).
-    sys.send_pattern(&pattern("late"), space, Value::int(7), None).unwrap();
+    sys.send_pattern(&pattern("late"), space, Value::int(7), None)
+        .unwrap();
     assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
     let late = sys.spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    sys.make_visible(late.id(), &path("late"), space, None).unwrap();
+    sys.make_visible(late.id(), &path("late"), space, None)
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(7));
     sys.shutdown();
 }
@@ -193,7 +208,8 @@ fn actor_makes_itself_visible_and_receives_work() {
     }
     impl Behavior for SelfAdvertiser {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-            ctx.make_self_visible(&path("self-made"), self.space, None).unwrap();
+            ctx.make_self_visible(&path("self-made"), self.space, None)
+                .unwrap();
         }
         fn receive(&mut self, ctx: &mut Ctx<'_>, msg: Message) {
             ctx.send_addr(self.inbox, msg.body);
@@ -201,7 +217,8 @@ fn actor_makes_itself_visible_and_receives_work() {
     }
     let _a = sys.spawn(SelfAdvertiser { space, inbox });
     sys.await_idle(TIMEOUT);
-    sys.send_pattern(&pattern("self-made"), space, Value::int(3), None).unwrap();
+    sys.send_pattern(&pattern("self-made"), space, Value::int(3), None)
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(3));
     sys.shutdown();
 }
@@ -209,7 +226,10 @@ fn actor_makes_itself_visible_and_receives_work() {
 #[test]
 fn round_robin_policy_via_system_api() {
     let sys = system();
-    let policy = ManagerPolicy { selection: SelectionPolicy::RoundRobin, ..Default::default() };
+    let policy = ManagerPolicy {
+        selection: SelectionPolicy::RoundRobin,
+        ..Default::default()
+    };
     let space = sys.create_space(None).unwrap();
     sys.set_space_policy(space, policy, None).unwrap();
     let (inbox, rx) = sys.inbox();
@@ -223,7 +243,8 @@ fn round_robin_policy_via_system_api() {
         ids.push(a);
     }
     for _ in 0..6 {
-        sys.send_pattern(&pattern("w"), space, Value::Unit, None).unwrap();
+        sys.send_pattern(&pattern("w"), space, Value::Unit, None)
+            .unwrap();
     }
     let mut got = Vec::new();
     for _ in 0..6 {
@@ -250,7 +271,10 @@ fn stop_removes_actor_and_later_sends_dead_letter() {
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(1));
     sys.await_idle(TIMEOUT);
     let before = sys.stats().dead_letters;
-    assert!(!once.send(Value::int(2)), "send to stopped actor should fail");
+    assert!(
+        !once.send(Value::int(2)),
+        "send to stopped actor should fail"
+    );
     sys.await_idle(TIMEOUT);
     assert!(sys.stats().dead_letters > before);
     sys.shutdown();
@@ -298,7 +322,8 @@ fn gc_collects_dropped_handles_and_keeps_visible_actors() {
     let sys = system();
     let space = sys.create_space(None).unwrap();
     let keep = sys.spawn(from_fn(|_, _| {}));
-    sys.make_visible(keep.id(), &path("kept"), space, None).unwrap();
+    sys.make_visible(keep.id(), &path("kept"), space, None)
+        .unwrap();
     let keep_id = keep.id();
     // `keep` is visible in a space that is itself invisible — root it via
     // the handle. Drop a second actor's handle entirely.
@@ -318,10 +343,15 @@ fn gc_collects_dropped_handles_and_keeps_visible_actors() {
 #[test]
 fn unmatched_error_policy_surfaces_to_sender() {
     let sys = system();
-    let policy = ManagerPolicy { unmatched_send: UnmatchedPolicy::Error, ..Default::default() };
+    let policy = ManagerPolicy {
+        unmatched_send: UnmatchedPolicy::Error,
+        ..Default::default()
+    };
     let space = sys.create_space(None).unwrap();
     sys.set_space_policy(space, policy, None).unwrap();
-    let err = sys.send_pattern(&pattern("ghost"), space, Value::Unit, None).unwrap_err();
+    let err = sys
+        .send_pattern(&pattern("ghost"), space, Value::Unit, None)
+        .unwrap_err();
     assert!(matches!(err, actorspace_core::Error::NoMatch { .. }));
     sys.shutdown();
 }
@@ -331,9 +361,14 @@ fn capability_protected_visibility_through_system_api() {
     let sys = system();
     let cap = sys.new_capability();
     let space = sys.create_space(None).unwrap();
-    let guarded = sys.spawn_in(actorspace_core::ROOT_SPACE, from_fn(|_, _| {}), Some(&cap)).unwrap();
-    assert!(sys.make_visible(guarded.id(), &path("x"), space, None).is_err());
-    sys.make_visible(guarded.id(), &path("x"), space, Some(&cap)).unwrap();
+    let guarded = sys
+        .spawn_in(actorspace_core::ROOT_SPACE, from_fn(|_, _| {}), Some(&cap))
+        .unwrap();
+    assert!(sys
+        .make_visible(guarded.id(), &path("x"), space, None)
+        .is_err());
+    sys.make_visible(guarded.id(), &path("x"), space, Some(&cap))
+        .unwrap();
     sys.shutdown();
 }
 
@@ -367,15 +402,25 @@ fn divide_and_conquer_fan_out_fan_in() {
                 }));
                 let left = ctx.create(Summer);
                 let right = ctx.create(Summer);
-                ctx.send_addr(left, Value::list([Value::int(lo), Value::int(mid), Value::Addr(collector)]));
-                ctx.send_addr(right, Value::list([Value::int(mid), Value::int(hi), Value::Addr(collector)]));
+                ctx.send_addr(
+                    left,
+                    Value::list([Value::int(lo), Value::int(mid), Value::Addr(collector)]),
+                );
+                ctx.send_addr(
+                    right,
+                    Value::list([Value::int(mid), Value::int(hi), Value::Addr(collector)]),
+                );
             }
         }
     }
     let sys = system();
     let (inbox, rx) = sys.inbox();
     let root = sys.spawn(Summer);
-    root.send(Value::list([Value::int(0), Value::int(10_000), Value::Addr(inbox)]));
+    root.send(Value::list([
+        Value::int(0),
+        Value::int(10_000),
+        Value::Addr(inbox),
+    ]));
     let got = rx.recv_timeout(TIMEOUT).unwrap().body.as_int().unwrap();
     assert_eq!(got, (0..10_000i64).sum::<i64>());
     sys.shutdown();
@@ -391,8 +436,10 @@ fn nested_space_pattern_send_through_runtime() {
     let w = sys.spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    sys.make_visible(w.id(), &path("worker"), inner, None).unwrap();
-    sys.send_pattern(&pattern("pool/worker"), outer, Value::int(11), None).unwrap();
+    sys.make_visible(w.id(), &path("worker"), inner, None)
+        .unwrap();
+    sys.send_pattern(&pattern("pool/worker"), outer, Value::int(11), None)
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(11));
     sys.shutdown();
 }
@@ -414,7 +461,10 @@ fn stats_track_counts() {
 
 #[test]
 fn heavy_concurrent_traffic_is_lossless() {
-    let sys = ActorSystem::new(Config { workers: 4, ..Config::default() });
+    let sys = ActorSystem::new(Config {
+        workers: 4,
+        ..Config::default()
+    });
     let space = sys.create_space(None).unwrap();
     let received = Arc::new(AtomicUsize::new(0));
     let mut handles = Vec::new();
@@ -423,12 +473,14 @@ fn heavy_concurrent_traffic_is_lossless() {
         let a = sys.spawn(from_fn(move |_, _| {
             r.fetch_add(1, Ordering::Relaxed);
         }));
-        sys.make_visible(a.id(), &path("sink"), space, None).unwrap();
+        sys.make_visible(a.id(), &path("sink"), space, None)
+            .unwrap();
         handles.push(a);
     }
     let n = 10_000;
     for _ in 0..n {
-        sys.send_pattern(&pattern("sink"), space, Value::Unit, None).unwrap();
+        sys.send_pattern(&pattern("sink"), space, Value::Unit, None)
+            .unwrap();
     }
     assert!(sys.await_idle(TIMEOUT));
     assert_eq!(received.load(Ordering::Relaxed), n);

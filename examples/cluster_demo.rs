@@ -35,7 +35,10 @@ fn main() {
         let node_name = i as i64;
         let w = cluster.node(i).spawn(from_fn(move |ctx, msg| {
             let n = msg.body.as_int().unwrap_or(0);
-            ctx.send_addr(inbox, Value::list([Value::int(node_name), Value::int(n * n)]));
+            ctx.send_addr(
+                inbox,
+                Value::list([Value::int(node_name), Value::int(n * n)]),
+            );
         }));
         cluster
             .node(i)
@@ -45,7 +48,11 @@ fn main() {
     assert!(cluster.await_coherence(Duration::from_secs(10)));
     println!("every node now resolves the same view:");
     for i in 0..3 {
-        let found = cluster.node(i).system().resolve(&pattern("sq/**"), services).unwrap();
+        let found = cluster
+            .node(i)
+            .system()
+            .resolve(&pattern("sq/**"), services)
+            .unwrap();
         println!("  node {i} sees {} workers", found.len());
     }
 
@@ -53,7 +60,10 @@ fn main() {
     // automatic (§7.3).
     println!("\nnode 2 sends 10 jobs to `sq/*` (any worker):");
     for n in 1..=10 {
-        cluster.node(2).send_pattern(&pattern("sq/*"), services, Value::int(n)).unwrap();
+        cluster
+            .node(2)
+            .send_pattern(&pattern("sq/*"), services, Value::int(n))
+            .unwrap();
     }
     let mut by_node = [0u32; 3];
     for _ in 0..10 {
@@ -67,7 +77,10 @@ fn main() {
 
     // Broadcast reaches workers on every node.
     println!("\nnode 1 broadcasts to `sq/**`:");
-    cluster.node(1).broadcast(&pattern("sq/**"), services, Value::int(5)).unwrap();
+    cluster
+        .node(1)
+        .broadcast(&pattern("sq/**"), services, Value::int(5))
+        .unwrap();
     let mut heard = std::collections::HashSet::new();
     for _ in 0..3 {
         let m = rx.recv_timeout(Duration::from_secs(10)).unwrap();

@@ -50,10 +50,11 @@ fn main() {
 
     // Spawn interpreted workers into the pool.
     for i in 0..4 {
-        let w = system.spawn(
-            InterpBehavior::new(lib.clone(), "worker", vec![Value::Space(pool)]).unwrap(),
-        );
-        system.make_visible(w.id(), &path(&format!("proc/{i}")), pool, None).unwrap();
+        let w = system
+            .spawn(InterpBehavior::new(lib.clone(), "worker", vec![Value::Space(pool)]).unwrap());
+        system
+            .make_visible(w.id(), &path(&format!("proc/{i}")), pool, None)
+            .unwrap();
         w.leak();
     }
 
@@ -62,7 +63,12 @@ fn main() {
         InterpBehavior::new(
             lib.clone(),
             "collector",
-            vec![Value::int(total), Value::Addr(inbox), Value::int(0), Value::int(0)],
+            vec![
+                Value::int(total),
+                Value::Addr(inbox),
+                Value::int(0),
+                Value::int(0),
+            ],
         )
         .unwrap(),
     );
@@ -72,12 +78,21 @@ fn main() {
         .send_pattern(
             &Pattern::any(),
             pool,
-            Value::list([Value::int(0), Value::int(total), Value::Addr(collector.id())]),
+            Value::list([
+                Value::int(0),
+                Value::int(total),
+                Value::Addr(collector.id()),
+            ]),
             None,
         )
         .unwrap();
 
-    let result = rx.recv_timeout(Duration::from_secs(30)).unwrap().body.as_int().unwrap();
+    let result = rx
+        .recv_timeout(Duration::from_secs(30))
+        .unwrap()
+        .body
+        .as_int()
+        .unwrap();
     let expected: i64 = (0..total).map(|i| i * i).sum();
     assert_eq!(result, expected);
     println!("sum of squares over 0..{total} = {result} (verified)");

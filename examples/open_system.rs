@@ -33,10 +33,19 @@ fn main() {
     // and constrain every registration to the `public` namespace (§8
     // coordination constraints).
     system
-        .make_visible(facility, &path("facility/compute"), actorspace_core::ROOT_SPACE, Some(&admin))
+        .make_visible(
+            facility,
+            &path("facility/compute"),
+            actorspace_core::ROOT_SPACE,
+            Some(&admin),
+        )
         .unwrap();
     system
-        .set_space_manager(facility, Box::new(NamespaceManager::new(path("public"))), Some(&admin))
+        .set_space_manager(
+            facility,
+            Box::new(NamespaceManager::new(path("public"))),
+            Some(&admin),
+        )
         .unwrap();
     println!("manager: facility online, admission restricted to `public/**` attributes");
 
@@ -44,20 +53,26 @@ fn main() {
     // capability so clients cannot hide or re-register it.
     let server_cap = system.new_capability();
     let (audit, audit_rx) = system.inbox();
-    let server = system.spawn_in(
-        facility,
-        from_fn(move |ctx, msg| {
-            let parts = msg.body.as_list().unwrap();
-            let n = parts[0].as_int().unwrap();
-            let reply_to = parts[1].as_addr().unwrap();
-            ctx.send_addr(reply_to, Value::int(n * n));
-            ctx.send_addr(audit, Value::int(n));
-        }),
-        Some(&server_cap),
-    )
-    .unwrap();
+    let server = system
+        .spawn_in(
+            facility,
+            from_fn(move |ctx, msg| {
+                let parts = msg.body.as_list().unwrap();
+                let n = parts[0].as_int().unwrap();
+                let reply_to = parts[1].as_addr().unwrap();
+                ctx.send_addr(reply_to, Value::int(n * n));
+                ctx.send_addr(audit, Value::int(n));
+            }),
+            Some(&server_cap),
+        )
+        .unwrap();
     system
-        .make_visible(server.id(), &path("public/square"), facility, Some(&server_cap))
+        .make_visible(
+            server.id(),
+            &path("public/square"),
+            facility,
+            Some(&server_cap),
+        )
         .unwrap();
 
     // ---- An application arrives ----------------------------------------
@@ -87,15 +102,23 @@ fn main() {
     let mallory_cap = system.new_capability();
     // 1. It cannot register junk outside the namespace the manager set.
     let junk = system.spawn(from_fn(|_, _| {}));
-    let refused =
-        system.make_visible(junk.id(), &path("evil/fake-square"), facility, None);
-    println!("mallory: register `evil/fake-square` -> {}", verdict(refused.is_err()));
+    let refused = system.make_visible(junk.id(), &path("evil/fake-square"), facility, None);
+    println!(
+        "mallory: register `evil/fake-square` -> {}",
+        verdict(refused.is_err())
+    );
     // 2. It cannot hide the real server (wrong capability).
     let refused = system.make_invisible(server.id(), facility, Some(&mallory_cap));
-    println!("mallory: hide the real server        -> {}", verdict(refused.is_err()));
+    println!(
+        "mallory: hide the real server        -> {}",
+        verdict(refused.is_err())
+    );
     // 3. It cannot re-policy or destroy the facility.
     let refused = system.destroy_space(facility, Some(&mallory_cap));
-    println!("mallory: destroy the facility        -> {}", verdict(refused.is_err()));
+    println!(
+        "mallory: destroy the facility        -> {}",
+        verdict(refused.is_err())
+    );
 
     // ---- An application dies; the manager reclaims ---------------------
     // A short-lived app spawns a helper, then exits without cleanup.

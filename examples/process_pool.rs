@@ -59,7 +59,10 @@ impl Behavior for Worker {
             // heavy enough that the pool stays busy while workers arrive.)
             let sum: i64 = (lo..hi).map(leaf_work).sum();
             self.computed.fetch_add(1, Ordering::Relaxed);
-            ctx.send_addr(collector, Value::list([Value::int(sum), Value::int(hi - lo)]));
+            ctx.send_addr(
+                collector,
+                Value::list([Value::int(sum), Value::int(hi - lo)]),
+            );
         }
     }
 }
@@ -118,7 +121,11 @@ fn main() {
         .send_pattern(
             &Pattern::any(),
             pool,
-            Value::list([Value::int(0), Value::int(total_range), Value::Addr(collector.id())]),
+            Value::list([
+                Value::int(0),
+                Value::int(total_range),
+                Value::Addr(collector.id()),
+            ]),
             None,
         )
         .unwrap();
@@ -139,7 +146,9 @@ fn main() {
     }
     println!("{late} more workers joined mid-run");
 
-    let result = done_rx.recv_timeout(Duration::from_secs(60)).expect("job must finish");
+    let result = done_rx
+        .recv_timeout(Duration::from_secs(60))
+        .expect("job must finish");
     // Verify against the sequential computation.
     let expected: i64 = (0..total_range).map(leaf_work).sum();
     assert_eq!(result, expected);
@@ -147,12 +156,18 @@ fn main() {
 
     println!("\nwork distribution (leaf jobs per worker):");
     for (i, c) in load_counters.iter().enumerate() {
-        let name = if i < initial { format!("proc/{i}") } else { format!("proc/late-{}", i - initial) };
+        let name = if i < initial {
+            format!("proc/{i}")
+        } else {
+            format!("proc/late-{}", i - initial)
+        };
         let n = c.load(Ordering::Relaxed);
         println!("  {name:<12} {n:>5}  {}", "#".repeat(n / 8));
     }
-    let late_total: usize =
-        load_counters[initial..].iter().map(|c| c.load(Ordering::Relaxed)).sum();
+    let late_total: usize = load_counters[initial..]
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .sum();
     println!(
         "\nlate-arriving workers absorbed {late_total} leaf jobs — the pool rebalanced \
          without stopping"

@@ -24,19 +24,30 @@ fn main() {
     let fib = system.spawn(from_fn(move |ctx, msg| {
         let n = msg.body.as_int().unwrap_or(0);
         fn fib(n: i64) -> i64 {
-            if n < 2 { n } else { fib(n - 1) + fib(n - 2) }
+            if n < 2 {
+                n
+            } else {
+                fib(n - 1) + fib(n - 2)
+            }
         }
         ctx.send_addr(inbox, Value::list([Value::str("fib"), Value::int(fib(n))]));
     }));
     let square = system.spawn(from_fn(move |ctx, msg| {
         let n = msg.body.as_int().unwrap_or(0);
-        ctx.send_addr(inbox, Value::list([Value::str("square"), Value::int(n * n)]));
+        ctx.send_addr(
+            inbox,
+            Value::list([Value::str("square"), Value::int(n * n)]),
+        );
     }));
 
     // Visibility is explicit (§5.4): until made visible, no pattern can
     // reach an actor.
-    system.make_visible(fib.id(), &path("srv/math/fib"), services, None).unwrap();
-    system.make_visible(square.id(), &path("srv/math/square"), services, None).unwrap();
+    system
+        .make_visible(fib.id(), &path("srv/math/fib"), services, None)
+        .unwrap();
+    system
+        .make_visible(square.id(), &path("srv/math/square"), services, None)
+        .unwrap();
 
     // Pattern-directed send: one matching actor receives it.
     system
@@ -64,14 +75,21 @@ fn main() {
 
     // Unmatched messages suspend until a matching actor appears (§5.6).
     system
-        .send_pattern(&pattern("srv/text/upper"), services, Value::str("hello"), None)
+        .send_pattern(
+            &pattern("srv/text/upper"),
+            services,
+            Value::str("hello"),
+            None,
+        )
         .unwrap();
     println!("suspended    -> message for srv/text/upper waits...");
     let upper = system.spawn(from_fn(move |ctx, msg| {
         let s = msg.body.as_str().unwrap_or("").to_uppercase();
         ctx.send_addr(inbox, Value::str(s));
     }));
-    system.make_visible(upper.id(), &path("srv/text/upper"), services, None).unwrap();
+    system
+        .make_visible(upper.id(), &path("srv/text/upper"), services, None)
+        .unwrap();
     let m = rx.recv_timeout(Duration::from_secs(5)).unwrap();
     println!("released     -> {}", m.body);
 

@@ -29,12 +29,11 @@ fn main() {
         let r = system.spawn(from_fn(move |ctx, msg| {
             let parts = msg.body.as_list().unwrap();
             let reply_to = parts[1].as_addr().unwrap();
-            ctx.send_addr(
-                reply_to,
-                Value::list([Value::str(name), parts[0].clone()]),
-            );
+            ctx.send_addr(reply_to, Value::list([Value::str(name), parts[0].clone()]));
         }));
-        system.make_visible(r.id(), &path("srv/kv"), space, None).unwrap();
+        system
+            .make_visible(r.id(), &path("srv/kv"), space, None)
+            .unwrap();
         r
     };
 
@@ -74,18 +73,31 @@ fn main() {
     let b = spawn_replica("beta");
     let c = spawn_replica("gamma");
     let _d = spawn_replica("delta").leak();
-    tally(200, "\n4 replicas, Random selection (the default non-deterministic choice)", &ask);
+    tally(
+        200,
+        "\n4 replicas, Random selection (the default non-deterministic choice)",
+        &ask,
+    );
 
     // Phase 3: §8 manager customization — switch arbitration to RoundRobin.
-    let policy = ManagerPolicy { selection: actorspace_core::SelectionPolicy::RoundRobin, ..Default::default() };
+    let policy = ManagerPolicy {
+        selection: actorspace_core::SelectionPolicy::RoundRobin,
+        ..Default::default()
+    };
     system.set_space_policy(space, policy, None).unwrap();
-    tally(200, "\n4 replicas, RoundRobin selection (customized manager)", &ask);
+    tally(
+        200,
+        "\n4 replicas, RoundRobin selection (customized manager)",
+        &ask,
+    );
 
     // Phase 4: two replicas retire — again invisible to the client.
     system.make_invisible(b.id(), space, None).unwrap();
     system.make_invisible(c.id(), space, None).unwrap();
     tally(40, "\n2 replicas after beta and gamma retire", &ask);
 
-    println!("\nthe client sent the same pattern `srv/kv` throughout — it never knew the replica count");
+    println!(
+        "\nthe client sent the same pattern `srv/kv` throughout — it never knew the replica count"
+    );
     system.shutdown();
 }

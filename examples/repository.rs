@@ -43,7 +43,12 @@ fn main() {
             );
         }));
         system
-            .make_visible(f.id(), &path(&format!("{pkg}/{iface}/{ver}")), library, None)
+            .make_visible(
+                f.id(),
+                &path(&format!("{pkg}/{iface}/{ver}")),
+                library,
+                None,
+            )
             .unwrap();
         f.leak();
     };
@@ -97,7 +102,10 @@ fn main() {
 
     // 3. Discovery without delivery: resolve enumerates matches.
     let all = system.resolve(&pattern("collections/**"), library).unwrap();
-    println!("resolve `collections/**`           -> {} factories found", all.len());
+    println!(
+        "resolve `collections/**`           -> {} factories found",
+        all.len()
+    );
 
     // 4. A query for a class not yet installed suspends (§5.6)…
     system

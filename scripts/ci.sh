@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: `scripts/ci.sh`.
+#
+# Mirrors .github/workflows/ci.yml exactly — if this script exits 0, CI
+# passes. Everything runs offline: all third-party crates are vendored
+# under vendor/ as path dependencies, so no registry access is needed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export CARGO_TERM_COLOR="${CARGO_TERM_COLOR:-always}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run
+
+echo "CI gate passed."

@@ -127,13 +127,22 @@ fn main() {
                 }
                 ":behaviors" => {
                     let names: Vec<&str> = lib.names().collect();
-                    println!("  {}", if names.is_empty() { "(none)".to_owned() } else { names.join(", ") });
+                    println!(
+                        "  {}",
+                        if names.is_empty() {
+                            "(none)".to_owned()
+                        } else {
+                            names.join(", ")
+                        }
+                    );
                     continue;
                 }
                 ":stats" => {
                     let s = system.stats();
-                    println!("  actors={} spaces={} pending={} dead_letters={}",
-                        s.actors, s.spaces, s.pending, s.dead_letters);
+                    println!(
+                        "  actors={} spaces={} pending={} dead_letters={}",
+                        s.actors, s.spaces, s.pending, s.dead_letters
+                    );
                     continue;
                 }
                 ":spaces" => {

@@ -59,9 +59,7 @@ pub use actorspace_runtime as runtime;
 pub mod prelude {
     pub use actorspace_atoms::{atom, path, Atom, Path};
     pub use actorspace_capability::{Capability, Rights};
-    pub use actorspace_core::{
-        ActorId, MemberId, SelectionPolicy, SpaceId, UnmatchedPolicy,
-    };
+    pub use actorspace_core::{ActorId, MemberId, SelectionPolicy, SpaceId, UnmatchedPolicy};
     pub use actorspace_pattern::{pattern, Pattern};
     pub use actorspace_runtime::{
         from_fn, ActorHandle, ActorSystem, Behavior, Config, Ctx, Message, Value,

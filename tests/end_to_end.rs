@@ -24,13 +24,20 @@ fn client_server_manager_roles() {
             let reply_to = msg.body.as_list().unwrap()[0].as_addr().unwrap();
             ctx.send_addr(reply_to, Value::str(name));
         }));
-        system.make_visible(srv.id(), &path("service/echo"), space, None).unwrap();
+        system
+            .make_visible(srv.id(), &path("service/echo"), space, None)
+            .unwrap();
         srv.leak();
     }
 
     // A client requests service knowing only the pattern.
     system
-        .send_pattern(&pattern("service/*"), space, Value::list([Value::Addr(inbox)]), None)
+        .send_pattern(
+            &pattern("service/*"),
+            space,
+            Value::list([Value::Addr(inbox)]),
+            None,
+        )
         .unwrap();
     let reply = rx.recv_timeout(TIMEOUT).unwrap();
     assert!(matches!(reply.body.as_str(), Some("s1") | Some("s2")));
@@ -38,13 +45,21 @@ fn client_server_manager_roles() {
     // An untrusted client cannot manage the space…
     let mallory_cap = system.new_capability();
     assert!(system
-        .set_space_policy(space, actorspace_core::ManagerPolicy::default(), Some(&mallory_cap))
+        .set_space_policy(
+            space,
+            actorspace_core::ManagerPolicy::default(),
+            Some(&mallory_cap)
+        )
         .is_err());
     assert!(system.destroy_space(space, None).is_err());
 
     // …but the manager can.
     system
-        .set_space_policy(space, actorspace_core::ManagerPolicy::default(), Some(&manage_cap))
+        .set_space_policy(
+            space,
+            actorspace_core::ManagerPolicy::default(),
+            Some(&manage_cap),
+        )
         .unwrap();
     system.destroy_space(space, Some(&manage_cap)).unwrap();
     system.shutdown();
@@ -61,13 +76,18 @@ fn wan_lan_localization() {
     // Two LANs, each a nested space with local workers.
     for lan_name in ["lan-a", "lan-b"] {
         let lan = system.create_space(None).unwrap();
-        system.make_visible(lan, &path(lan_name), wan, None).unwrap();
+        system
+            .make_visible(lan, &path(lan_name), wan, None)
+            .unwrap();
         // A representative: receives WAN broadcasts and re-distributes
         // locally within its own LAN space.
         let rep = system.spawn(from_fn(move |ctx, msg| {
-            ctx.send_pattern(&pattern("worker/*"), lan, msg.body).unwrap();
+            ctx.send_pattern(&pattern("worker/*"), lan, msg.body)
+                .unwrap();
         }));
-        system.make_visible(rep.id(), &path("rep"), lan, None).unwrap();
+        system
+            .make_visible(rep.id(), &path("rep"), lan, None)
+            .unwrap();
         rep.leak();
         for w in 0..2 {
             let lan_label = lan_name;
@@ -130,14 +150,26 @@ fn per_space_attribute_views() {
     let person = system.spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    system.make_visible(person.id(), &path("plumber"), red_book, None).unwrap();
-    system.make_visible(person.id(), &path("violinist"), blue_book, None).unwrap();
+    system
+        .make_visible(person.id(), &path("plumber"), red_book, None)
+        .unwrap();
+    system
+        .make_visible(person.id(), &path("violinist"), blue_book, None)
+        .unwrap();
 
     // Reachable as a plumber only through the red book.
-    system.send_pattern(&pattern("plumber"), red_book, Value::int(1), None).unwrap();
+    system
+        .send_pattern(&pattern("plumber"), red_book, Value::int(1), None)
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(1));
-    assert_eq!(system.resolve(&pattern("plumber"), blue_book).unwrap(), vec![]);
-    assert_eq!(system.resolve(&pattern("violinist"), blue_book).unwrap(), vec![person.id()]);
+    assert_eq!(
+        system.resolve(&pattern("plumber"), blue_book).unwrap(),
+        vec![]
+    );
+    assert_eq!(
+        system.resolve(&pattern("violinist"), blue_book).unwrap(),
+        vec![person.id()]
+    );
     system.shutdown();
 }
 
@@ -151,7 +183,10 @@ fn interp_actor_on_a_cluster_node() {
     let lib = Arc::new(
         BehaviorLib::load("(behavior tripler (out) (on m (send-addr out (* 3 m))))").unwrap(),
     );
-    let cluster = Cluster::new(ClusterConfig { nodes: 2, ..ClusterConfig::default() });
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        ..ClusterConfig::default()
+    });
     let (inbox, rx) = cluster.node(0).system().inbox();
     let space = cluster.node(0).create_space(None);
 
@@ -159,11 +194,17 @@ fn interp_actor_on_a_cluster_node() {
     let t = cluster
         .node(1)
         .spawn(InterpBehavior::new(lib, "tripler", vec![Value::Addr(inbox)]).unwrap());
-    cluster.node(1).make_visible(t, &path("math/triple"), space, None).unwrap();
+    cluster
+        .node(1)
+        .make_visible(t, &path("math/triple"), space, None)
+        .unwrap();
     assert!(cluster.await_coherence(TIMEOUT));
 
     // Node 0 reaches it by pattern; the message crosses the data plane.
-    cluster.node(0).send_pattern(&pattern("math/*"), space, Value::int(14)).unwrap();
+    cluster
+        .node(0)
+        .send_pattern(&pattern("math/*"), space, Value::int(14))
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(42));
     cluster.shutdown();
 }
@@ -178,15 +219,24 @@ fn resource_reclamation_cycle() {
     // Anchor the space in the globally visible root (§7.1) so GC keeps it;
     // only the withdrawn server should be collected.
     system
-        .make_visible(space, &path("public/services"), actorspace_core::ROOT_SPACE, None)
+        .make_visible(
+            space,
+            &path("public/services"),
+            actorspace_core::ROOT_SPACE,
+            None,
+        )
         .unwrap();
     let (inbox, rx) = system.inbox();
 
     let v1 = system.spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, Value::list([Value::str("v1"), msg.body]));
     }));
-    system.make_visible(v1.id(), &path("svc"), space, None).unwrap();
-    system.send_pattern(&pattern("svc"), space, Value::int(1), None).unwrap();
+    system
+        .make_visible(v1.id(), &path("svc"), space, None)
+        .unwrap();
+    system
+        .send_pattern(&pattern("svc"), space, Value::int(1), None)
+        .unwrap();
     rx.recv_timeout(TIMEOUT).unwrap();
 
     // The server is withdrawn and collected.
@@ -198,12 +248,16 @@ fn resource_reclamation_cycle() {
     assert!(report.collected_actors.contains(&v1_id));
 
     // New requests suspend, then a v2 replacement releases them.
-    system.send_pattern(&pattern("svc"), space, Value::int(2), None).unwrap();
+    system
+        .send_pattern(&pattern("svc"), space, Value::int(2), None)
+        .unwrap();
     assert!(rx.recv_timeout(Duration::from_millis(100)).is_err());
     let v2 = system.spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, Value::list([Value::str("v2"), msg.body]));
     }));
-    system.make_visible(v2.id(), &path("svc"), space, None).unwrap();
+    system
+        .make_visible(v2.id(), &path("svc"), space, None)
+        .unwrap();
     let m = rx.recv_timeout(TIMEOUT).unwrap();
     assert_eq!(m.body.as_list().unwrap()[0], Value::str("v2"));
     system.shutdown();

@@ -21,11 +21,15 @@ fn s1_enumeration_equals_characteristic_function() {
             let me = ctx.self_id();
             ctx.send_addr(msg.body.as_addr().unwrap(), Value::Addr(me));
         }));
-        system.make_visible(a.id(), &path(&format!("group/m{i}")), space, None).unwrap();
+        system
+            .make_visible(a.id(), &path(&format!("group/m{i}")), space, None)
+            .unwrap();
         enumerated.push(a.leak());
     }
     // By pattern.
-    system.broadcast(&pattern("group/*"), space, Value::Addr(inbox), None).unwrap();
+    system
+        .broadcast(&pattern("group/*"), space, Value::Addr(inbox), None)
+        .unwrap();
     let mut by_pattern = Vec::new();
     for _ in 0..5 {
         by_pattern.push(rx.recv_timeout(TIMEOUT).unwrap().body.as_addr().unwrap());
@@ -62,10 +66,16 @@ fn s1_identity_survives_behavior_change() {
     }));
     let id_before = a.id();
     a.send(Value::int(1));
-    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body.as_list().unwrap()[0], Value::str("before"));
+    assert_eq!(
+        rx.recv_timeout(TIMEOUT).unwrap().body.as_list().unwrap()[0],
+        Value::str("before")
+    );
     a.send(Value::str("switch"));
     a.send(Value::int(2));
-    assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body.as_list().unwrap()[0], Value::str("after"));
+    assert_eq!(
+        rx.recv_timeout(TIMEOUT).unwrap().body.as_list().unwrap()[0],
+        Value::str("after")
+    );
     assert_eq!(a.id(), id_before, "identity (mail address) is retained");
     system.shutdown();
 }
@@ -83,12 +93,18 @@ fn s3_no_interception_by_wrong_attributes() {
     let mallory = system.spawn(from_fn(move |ctx, _| {
         ctx.send_addr(inbox, Value::str("INTERCEPTED"));
     }));
-    system.make_visible(mallory.id(), &path("printer/laser"), space, None).unwrap();
+    system
+        .make_visible(mallory.id(), &path("printer/laser"), space, None)
+        .unwrap();
     let alice = system.spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    system.make_visible(alice.id(), &path("payroll/alice"), space, None).unwrap();
-    system.send_pattern(&pattern("payroll/*"), space, Value::int(9), None).unwrap();
+    system
+        .make_visible(alice.id(), &path("payroll/alice"), space, None)
+        .unwrap();
+    system
+        .send_pattern(&pattern("payroll/*"), space, Value::int(9), None)
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(9));
     // Contrast: the Linda baseline demonstrates the theft in its own tests
     // (actorspace_baselines::tuple_space::no_access_control_any_reader_can_consume).
@@ -107,16 +123,22 @@ fn s3_group_membership_changes_are_transparent() {
         let m = system.spawn(from_fn(move |ctx, msg| {
             ctx.send_addr(msg.body.as_addr().unwrap(), Value::int(tag));
         }));
-        system.make_visible(m.id(), &path("pool/w"), space, None).unwrap();
+        system
+            .make_visible(m.id(), &path("pool/w"), space, None)
+            .unwrap();
         m
     };
     let first = spawn_member(1);
-    system.send_pattern(&pattern("pool/*"), space, Value::Addr(inbox), None).unwrap();
+    system
+        .send_pattern(&pattern("pool/*"), space, Value::Addr(inbox), None)
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(1));
     // Membership churns; the client's pattern never changes.
     let _second = spawn_member(2).leak();
     system.make_invisible(first.id(), space, None).unwrap();
-    system.send_pattern(&pattern("pool/*"), space, Value::Addr(inbox), None).unwrap();
+    system
+        .send_pattern(&pattern("pool/*"), space, Value::Addr(inbox), None)
+        .unwrap();
     assert_eq!(rx.recv_timeout(TIMEOUT).unwrap().body, Value::int(2));
     system.shutdown();
 }
@@ -136,8 +158,14 @@ fn s5_description_lattice() {
     let joined = lattice::join(&fib, &pattern("srv/math/fact"));
     assert!(lattice::equivalent(&joined, &fib_or_fact));
     let met = lattice::meet(any_math.nfa(), fib_or_fact.nfa());
-    assert!(actorspace::pattern::matcher::matches(&met, path("srv/math/fib").atoms()));
-    assert!(!actorspace::pattern::matcher::matches(&met, path("srv/text/upper").atoms()));
+    assert!(actorspace::pattern::matcher::matches(
+        &met,
+        path("srv/math/fib").atoms()
+    ));
+    assert!(!actorspace::pattern::matcher::matches(
+        &met,
+        path("srv/text/upper").atoms()
+    ));
 }
 
 /// §5.2: "actorSpaces can be referred to by their actorSpace mail address
@@ -147,7 +175,9 @@ fn s5_2_spaces_addressable_by_pattern() {
     let system = ActorSystem::new(Config::default());
     let top = system.create_space(None).unwrap();
     let pool = system.create_space(None).unwrap();
-    system.make_visible(pool, &path("pools/alpha"), top, None).unwrap();
+    system
+        .make_visible(pool, &path("pools/alpha"), top, None)
+        .unwrap();
     let found = system.resolve_spaces(&pattern("pools/*"), top).unwrap();
     assert_eq!(found, vec![pool]);
     system.shutdown();
@@ -172,11 +202,15 @@ fn s5_3_no_global_broadcast_order_required() {
                 Value::list([Value::int(tag), msg.body.clone()]),
             );
         }));
-        system.make_visible(a.id(), &path("grp"), space, None).unwrap();
+        system
+            .make_visible(a.id(), &path("grp"), space, None)
+            .unwrap();
         a.leak();
     }
     for _ in 0..10 {
-        system.broadcast(&pattern("grp"), space, Value::Addr(inbox), None).unwrap();
+        system
+            .broadcast(&pattern("grp"), space, Value::Addr(inbox), None)
+            .unwrap();
         let mut seen = Vec::new();
         for _ in 0..2 {
             seen.push(
@@ -199,19 +233,17 @@ fn s5_4_actors_autonomous_spaces_passive() {
     let system = ActorSystem::new(Config::default());
     let arena = system.create_space(None).unwrap();
     let (inbox, rx) = system.inbox();
-    let a = system.spawn(from_fn(move |ctx, msg| {
-        match msg.body.as_str() {
-            Some("hide") => {
-                ctx.make_self_invisible(arena, None).unwrap();
-                ctx.send_addr(inbox, Value::str("hidden"));
-            }
-            Some("show") => {
-                ctx.make_self_visible(&path("me"), arena, None).unwrap();
-                ctx.send_addr(inbox, Value::str("shown"));
-            }
-            _ => {
-                ctx.send_addr(inbox, msg.body);
-            }
+    let a = system.spawn(from_fn(move |ctx, msg| match msg.body.as_str() {
+        Some("hide") => {
+            ctx.make_self_invisible(arena, None).unwrap();
+            ctx.send_addr(inbox, Value::str("hidden"));
+        }
+        Some("show") => {
+            ctx.make_self_visible(&path("me"), arena, None).unwrap();
+            ctx.send_addr(inbox, Value::str("shown"));
+        }
+        _ => {
+            ctx.send_addr(inbox, msg.body);
         }
     }));
     a.send(Value::str("show"));
@@ -240,11 +272,17 @@ fn s5_6_eventual_delivery_under_faults() {
     let echo = cluster.node(1).spawn(from_fn(move |ctx, msg| {
         ctx.send_addr(inbox, msg.body);
     }));
-    cluster.node(1).make_visible(echo, &path("echo"), space, None).unwrap();
+    cluster
+        .node(1)
+        .make_visible(echo, &path("echo"), space, None)
+        .unwrap();
     assert!(cluster.await_coherence(TIMEOUT));
     let n = 40;
     for i in 0..n {
-        cluster.node(0).send_pattern(&pattern("echo"), space, Value::int(i)).unwrap();
+        cluster
+            .node(0)
+            .send_pattern(&pattern("echo"), space, Value::int(i))
+            .unwrap();
     }
     let mut got: Vec<i64> = (0..n)
         .map(|_| rx.recv_timeout(TIMEOUT).unwrap().body.as_int().unwrap())
@@ -263,9 +301,14 @@ fn s7_1_visibility_independent_of_host() {
     let elsewhere = system.create_space(None).unwrap();
     let a = system.spawn_in(host, from_fn(|_, _| {}), None).unwrap();
     // Visible only in a foreign space, never in its host.
-    system.make_visible(a.id(), &path("visitor"), elsewhere, None).unwrap();
+    system
+        .make_visible(a.id(), &path("visitor"), elsewhere, None)
+        .unwrap();
     assert_eq!(system.resolve(&pattern("**"), host).unwrap(), vec![]);
-    assert_eq!(system.resolve(&pattern("visitor"), elsewhere).unwrap(), vec![a.id()]);
+    assert_eq!(
+        system.resolve(&pattern("visitor"), elsewhere).unwrap(),
+        vec![a.id()]
+    );
     system.shutdown();
 }
 
@@ -275,20 +318,27 @@ fn s7_1_visibility_independent_of_host() {
 fn s8_persistent_protocol_message() {
     use actorspace_core::{ManagerPolicy, UnmatchedPolicy};
     let system = ActorSystem::new(Config::default());
-    let policy = ManagerPolicy { unmatched_broadcast: UnmatchedPolicy::Persistent, ..Default::default() };
+    let policy = ManagerPolicy {
+        unmatched_broadcast: UnmatchedPolicy::Persistent,
+        ..Default::default()
+    };
     let group = system.create_space(None).unwrap();
     system.set_space_policy(group, policy, None).unwrap();
     let (inbox, rx) = system.inbox();
 
     // The protocol announcement precedes any member.
-    system.broadcast(&pattern("member/*"), group, Value::str("protocol-v2"), None).unwrap();
+    system
+        .broadcast(&pattern("member/*"), group, Value::str("protocol-v2"), None)
+        .unwrap();
 
     // Members join at different times; each receives it exactly once.
     for i in 0..3 {
         let m = system.spawn(from_fn(move |ctx, msg| {
             ctx.send_addr(inbox, Value::list([Value::int(i), msg.body]));
         }));
-        system.make_visible(m.id(), &path(&format!("member/{i}")), group, None).unwrap();
+        system
+            .make_visible(m.id(), &path(&format!("member/{i}")), group, None)
+            .unwrap();
         m.leak();
         let got = rx.recv_timeout(TIMEOUT).unwrap();
         let parts = got.body.as_list().unwrap();

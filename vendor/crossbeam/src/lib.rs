@@ -1,0 +1,91 @@
+//! Offline stand-in for the `crossbeam` crate. Only `deque::Injector` (the
+//! shared FIFO the runtime's workers steal from) is needed; it is backed by
+//! a mutexed `VecDeque`, which is slower than the real lock-free deque but
+//! semantically identical.
+
+/// Work-stealing deque subset.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// Contention; retry.
+        Retry,
+    }
+
+    /// A FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+        len: AtomicUsize,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+                len: AtomicUsize::new(0),
+            }
+        }
+
+        /// Pushes a task.
+        pub fn push(&self, task: T) {
+            let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+            q.push_back(task);
+            self.len.store(q.len(), Ordering::Release);
+        }
+
+        /// Steals the oldest task, if any.
+        pub fn steal(&self) -> Steal<T> {
+            let mut q = self.queue.lock().unwrap_or_else(|p| p.into_inner());
+            match q.pop_front() {
+                Some(t) => {
+                    self.len.store(q.len(), Ordering::Release);
+                    Steal::Success(t)
+                }
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued (racy, as in real crossbeam).
+        pub fn is_empty(&self) -> bool {
+            self.len.load(Ordering::Acquire) == 0
+        }
+
+        /// Number of queued tasks (racy snapshot).
+        pub fn len(&self) -> usize {
+            self.len.load(Ordering::Acquire)
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Injector::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order_and_empty() {
+            let inj = Injector::new();
+            assert!(inj.is_empty());
+            assert_eq!(inj.steal(), Steal::Empty);
+            inj.push(1);
+            inj.push(2);
+            assert_eq!(inj.len(), 2);
+            assert_eq!(inj.steal(), Steal::Success(1));
+            assert_eq!(inj.steal(), Steal::Success(2));
+            assert!(inj.is_empty());
+        }
+    }
+}

@@ -1,0 +1,795 @@
+//! Offline stand-in for the `proptest` crate, implementing the subset the
+//! workspace's property tests use: `proptest!`, `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, `Just`, `any::<T>()`, range and tuple
+//! strategies, string-pattern strategies (a simplified regex generator),
+//! `prop_map`, `prop_recursive`, `collection::vec`, and `option::of`.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports its inputs (via the panic
+//!   message) but is not minimized.
+//! - **Deterministic seeding.** Each test function derives its RNG seed from
+//!   its module path, name, and case index, so runs are reproducible without
+//!   a persistence file.
+//! - String strategies interpret only the pattern shapes used in-tree
+//!   (char classes, escapes, `{m,n}` counts), not full regex syntax.
+
+/// Test-runner plumbing: configuration and the per-case RNG.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Per-test configuration (field subset of real proptest's `Config`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for API compatibility; the stub never shrinks.
+        pub max_shrink_iters: u32,
+        /// Accepted for API compatibility; the stub never rejects.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    /// The RNG handed to strategies, seeded deterministically per case.
+    pub struct TestRng {
+        inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for case number `case` of the test `name`
+        /// (conventionally `module_path!()::fn_name`).
+        pub fn for_case(name: &str, case: u32) -> TestRng {
+            // FNV-1a over the test name, then golden-ratio case mixing.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let seed = h ^ u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            TestRng {
+                inner: SmallRng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+}
+
+/// The `Strategy` trait and combinators.
+pub mod strategy {
+    use std::marker::PhantomData;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of random values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Erases the concrete strategy type behind a cloneable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+
+        /// Builds recursive values: `f` receives a strategy for "smaller"
+        /// values (bottoming out at `self`) and returns the composite
+        /// strategy. `depth` bounds the nesting; the size hints are accepted
+        /// for API compatibility but unused (generation is depth-bounded,
+        /// which is enough to keep in-tree values small).
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(current).boxed();
+                current = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            current
+        }
+    }
+
+    /// Object-safe core of [`Strategy`], for type erasure.
+    trait DynStrategy {
+        type Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A cloneable, type-erased strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; `arms` must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+
+    /// String-pattern strategies: a `&str` literal is interpreted as a
+    /// simplified regex and generates matching strings.
+    impl<'a> Strategy for &'a str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+
+    /// `any::<T>()` support.
+    pub mod arbitrary {
+        use super::{PhantomData, Rng, Strategy, TestRng};
+
+        /// Types with a canonical "any value" strategy.
+        pub trait Arbitrary: Sized {
+            /// Draws an arbitrary value.
+            fn arbitrary(rng: &mut TestRng) -> Self;
+        }
+
+        macro_rules! impl_arbitrary_int {
+            ($($t:ty),*) => {$(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> $t {
+                        rng.gen::<$t>()
+                    }
+                }
+            )*};
+        }
+        impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        impl Arbitrary for bool {
+            fn arbitrary(rng: &mut TestRng) -> bool {
+                rng.gen::<bool>()
+            }
+        }
+
+        impl Arbitrary for f64 {
+            fn arbitrary(rng: &mut TestRng) -> f64 {
+                // Finite values across a wide magnitude range.
+                let mag = rng.gen::<f64>() * 2e18 - 1e18;
+                if mag.is_finite() {
+                    mag
+                } else {
+                    0.0
+                }
+            }
+        }
+
+        impl Arbitrary for f32 {
+            fn arbitrary(rng: &mut TestRng) -> f32 {
+                rng.gen::<f32>() * 2e9 - 1e9
+            }
+        }
+
+        impl Arbitrary for char {
+            fn arbitrary(rng: &mut TestRng) -> char {
+                char::from_u32(rng.gen_range(0x20u32..0x7f)).unwrap_or('x')
+            }
+        }
+
+        /// The strategy returned by [`any`].
+        pub struct Any<T>(pub(crate) PhantomData<T>);
+
+        impl<T: Arbitrary> Strategy for Any<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                T::arbitrary(rng)
+            }
+        }
+
+        /// A strategy for arbitrary values of `T`.
+        pub fn any<T: Arbitrary>() -> Any<T> {
+            Any(PhantomData)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use std::ops::Range;
+
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.start..self.size.end)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose length falls in `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            // Same bias as real proptest's default: mostly Some.
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// A strategy yielding `None` or `Some` of the inner strategy's values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Simplified regex-pattern string generation (internal; reached through
+/// the `impl Strategy for &str`).
+pub mod string {
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    enum CharClass {
+        /// Any printable character (the in-tree `\PC` — "not control").
+        AnyPrintable,
+        /// Inclusive char ranges (single chars are degenerate ranges).
+        Set(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        class: CharClass,
+        min: usize,
+        max: usize,
+    }
+
+    /// Parses the pattern subset used in-tree: literals, `\PC`, `\d`, `\w`,
+    /// `[...]` classes with ranges, and `{m,n}` / `{m}` / `*` / `+` / `?`
+    /// repetition suffixes.
+    fn compile(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let class = match chars[i] {
+                '\\' => {
+                    i += 1;
+                    match chars.get(i) {
+                        Some('P') => {
+                            // `\PC`: not-control — any printable char.
+                            i += 2;
+                            CharClass::AnyPrintable
+                        }
+                        Some('d') => {
+                            i += 1;
+                            CharClass::Set(vec![('0', '9')])
+                        }
+                        Some('w') => {
+                            i += 1;
+                            CharClass::Set(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])
+                        }
+                        Some(&c) => {
+                            i += 1;
+                            CharClass::Set(vec![(c, c)])
+                        }
+                        None => break,
+                    }
+                }
+                '[' => {
+                    i += 1;
+                    let negated = chars.get(i) == Some(&'^');
+                    if negated {
+                        i += 1;
+                    }
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if chars.get(i + 1) == Some(&'-')
+                            && i + 2 < chars.len()
+                            && chars[i + 2] != ']'
+                        {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    i += 1; // past ']'
+                    if negated {
+                        // Good enough for fuzzing: ignore the exclusion and
+                        // draw from the full printable pool.
+                        CharClass::AnyPrintable
+                    } else {
+                        CharClass::Set(ranges)
+                    }
+                }
+                '.' => {
+                    i += 1;
+                    CharClass::AnyPrintable
+                }
+                c => {
+                    i += 1;
+                    CharClass::Set(vec![(c, c)])
+                }
+            };
+            // Optional repetition suffix.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    i += 1;
+                    let mut min = 0usize;
+                    while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                        min = min * 10 + d as usize;
+                        i += 1;
+                    }
+                    let max = if chars.get(i) == Some(&',') {
+                        i += 1;
+                        let mut max = 0usize;
+                        while let Some(d) = chars.get(i).and_then(|c| c.to_digit(10)) {
+                            max = max * 10 + d as usize;
+                            i += 1;
+                        }
+                        max
+                    } else {
+                        min
+                    };
+                    i += 1; // past '}'
+                    (min, max)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { class, min, max });
+        }
+        pieces
+    }
+
+    fn printable(rng: &mut TestRng) -> char {
+        // Mostly ASCII, with occasional wider-unicode draws so parser fuzz
+        // sees multi-byte input. All pools avoid control characters.
+        let c = match rng.gen_range(0..10u32) {
+            0..=6 => rng.gen_range(0x20u32..0x7f),
+            7 => rng.gen_range(0xa1u32..0x530),
+            8 => rng.gen_range(0x4e00u32..0x4f00),
+            _ => rng.gen_range(0x1f300u32..0x1f400),
+        };
+        char::from_u32(c).unwrap_or('x')
+    }
+
+    fn from_class(class: &CharClass, rng: &mut TestRng) -> char {
+        match class {
+            CharClass::AnyPrintable => printable(rng),
+            CharClass::Set(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi as u32).saturating_sub(lo as u32) + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total.max(1));
+                for &(lo, hi) in ranges {
+                    let span = (hi as u32).saturating_sub(lo as u32) + 1;
+                    if pick < span {
+                        return char::from_u32(lo as u32 + pick).unwrap_or(lo);
+                    }
+                    pick -= span;
+                }
+                'x'
+            }
+        }
+    }
+
+    /// Generates one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in compile(pattern) {
+            let count = if piece.max > piece.min {
+                rng.gen_range(piece.min..piece.max + 1)
+            } else {
+                piece.min
+            };
+            for _ in 0..count {
+                out.push(from_class(&piece.class, rng));
+            }
+        }
+        out
+    }
+}
+
+pub use strategy::arbitrary;
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Map, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(expr)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items (each already annotated
+/// `#[test]` by the caller, as in real proptest).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), ::std::string::String> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(__msg) = __outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}",
+                        __case + 1,
+                        __config.cases,
+                        __msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+}
+
+/// Uniform choice among strategy alternatives.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Asserts within a property body; failure fails the current case with the
+/// generated inputs reported by the harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(__l == __r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+                __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&($left), &($right));
+        if !(__l == __r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`\n  {}",
+                __l, __r, ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("proptest::stub_tests", 0)
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut r = rng();
+        let seen: std::collections::HashSet<u8> = (0..100).map(|_| s.generate(&mut r)).collect();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let s = crate::collection::vec(0u8..10, 2..5);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn string_pattern_classes_and_counts() {
+        let s = "[a-z][a-z0-9-]{0,8}";
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!((1..=9).contains(&v.chars().count()), "{v:?}");
+            let mut cs = v.chars();
+            let first = cs.next().unwrap();
+            assert!(first.is_ascii_lowercase(), "{v:?}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn printable_pattern_has_no_controls() {
+        let s = "\\PC{0,60}";
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut r);
+            assert!(v.chars().count() <= 60);
+            assert!(!v.chars().any(|c| c.is_control()), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0u8..4)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&s.generate(&mut r)));
+        }
+        assert!(max_depth >= 1, "recursion never fired");
+        assert!(max_depth <= 3, "depth bound exceeded: {max_depth}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_multiple_args(a in 0u8..10, b in any::<bool>(), v in crate::collection::vec(0u64..5, 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!(v.len() < 4);
+            prop_assert_eq!(b, b);
+        }
+    }
+}

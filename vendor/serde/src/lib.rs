@@ -1,0 +1,111 @@
+//! Offline stand-in for `serde`: just enough trait surface for the
+//! workspace's derives and the one hand-written impl pair (`Atom`).
+//! No real serialization format ships with this stub — the runtime's wire
+//! codec is hand-written (`actorspace-runtime/src/codec.rs`) precisely so
+//! the workspace never needs serde at runtime.
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serializable types.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Deserializable types.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Output formats.
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Failure value.
+    type Error;
+
+    /// Writes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Writes a unit value (what stub derives emit).
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Input formats.
+pub trait Deserializer<'de>: Sized {
+    /// Failure value.
+    type Error: de::Error;
+
+    /// Reads a string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+/// Deserialization support traits.
+pub mod de {
+    use super::Display;
+
+    /// Errors constructible from a message, used by stub derives.
+    pub trait Error: Sized {
+        /// Builds an error carrying `msg`.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for String {
+        fn custom<T: Display>(msg: T) -> Self {
+            msg.to_string()
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A serializer capturing strings, to exercise the trait plumbing.
+    struct Capture;
+    impl Serializer for Capture {
+        type Ok = String;
+        type Error = String;
+        fn serialize_str(self, v: &str) -> Result<String, String> {
+            Ok(format!("{v:?}"))
+        }
+        fn serialize_unit(self) -> Result<String, String> {
+            Ok("null".into())
+        }
+    }
+
+    struct StrSource(&'static str);
+    impl<'de> Deserializer<'de> for StrSource {
+        type Error = String;
+        fn deserialize_string(self) -> Result<String, String> {
+            Ok(self.0.to_owned())
+        }
+    }
+
+    #[derive(Serialize, Deserialize, PartialEq, Debug)]
+    struct Id(u64);
+
+    #[test]
+    fn derived_serialize_emits_unit() {
+        assert_eq!(Id(7).serialize(Capture).unwrap(), "null");
+    }
+
+    #[test]
+    fn derived_deserialize_errors() {
+        assert!(Id::deserialize(StrSource("x")).is_err());
+    }
+
+    #[test]
+    fn string_round_trip() {
+        assert_eq!(String::deserialize(StrSource("hello")).unwrap(), "hello");
+    }
+}

@@ -1,0 +1,67 @@
+//! Stub `#[derive(Serialize, Deserialize)]` macros for the vendored serde
+//! stand-in (see vendor/README.md). The workspace derives these traits on
+//! plain id/bitflag types but never serializes them through a generic
+//! format (the runtime codec is hand-written), so the derived impls only
+//! need to exist, not to encode real data: `Serialize` writes a unit,
+//! `Deserialize` reports an error.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the macro
+//! scans the raw token stream for the `struct`/`enum` name and splices it
+//! into a fixed impl template. Generic types are not supported.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct` / `enum` / `union`
+/// keyword, skipping attributes and visibility.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            _ => continue,
+        }
+    }
+    panic!("serde_derive stub: could not find type name");
+}
+
+/// Derives a unit-encoding `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn serialize<S: ::serde::Serializer>(&self, serializer: S)\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\
+                 serializer.serialize_unit()\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Derives an always-erroring `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\
+                 -> ::core::result::Result<Self, D::Error> {{\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\
+                     \"the vendored serde stub does not implement derived deserialization\",\
+                 ))\
+             }}\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
