@@ -14,6 +14,11 @@ pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    /// Extra machine-readable attachments emitted under `"meta"` in
+    /// [`Table::to_json`]. Values are raw JSON fragments, so whole metric
+    /// snapshots ([`Snapshot::to_json`](actorspace_obs::Snapshot::to_json))
+    /// embed without re-encoding.
+    meta: Vec<(String, String)>,
 }
 
 impl Table {
@@ -23,6 +28,7 @@ impl Table {
             title: title.to_owned(),
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
+            meta: Vec::new(),
         }
     }
 
@@ -30,6 +36,13 @@ impl Table {
     pub fn row(&mut self, cells: &[String]) {
         assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
         self.rows.push(cells.to_vec());
+    }
+
+    /// Attaches a raw JSON fragment under `key` in the `"meta"` object of
+    /// [`Table::to_json`]. The caller is responsible for `raw_json` being
+    /// valid JSON (a number, string, object, …).
+    pub fn meta_json(&mut self, key: &str, raw_json: &str) {
+        self.meta.push((key.to_owned(), raw_json.to_owned()));
     }
 
     /// Renders the table to stdout.
@@ -96,11 +109,22 @@ impl Table {
                 format!("[{}]", cells.join(","))
             })
             .collect();
+        let meta = if self.meta.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> = self
+                .meta
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{}", esc(k), v))
+                .collect();
+            format!(",\"meta\":{{{}}}", entries.join(","))
+        };
         format!(
-            "{{\"title\":\"{}\",\"headers\":[{}],\"rows\":[{}]}}",
+            "{{\"title\":\"{}\",\"headers\":[{}],\"rows\":[{}]{}}}",
             esc(&self.title),
             headers.join(","),
-            rows.join(",")
+            rows.join(","),
+            meta
         )
     }
 
@@ -158,6 +182,20 @@ mod tests {
             t.to_json(),
             "{\"title\":\"fail\\\"over\",\"headers\":[\"pool\",\"time\"],\
              \"rows\":[[\"1\",\"42.00ms\"],[\"8\",\"43.10ms\"]]}"
+        );
+    }
+
+    #[test]
+    fn meta_embeds_raw_json() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["1".into()]);
+        t.meta_json("overhead_pct", "3.14");
+        t.meta_json("snapshot", "{\"at_nanos\":7,\"entries\":[]}");
+        assert_eq!(
+            t.to_json(),
+            "{\"title\":\"t\",\"headers\":[\"a\"],\"rows\":[[\"1\"]],\
+             \"meta\":{\"overhead_pct\":3.14,\
+             \"snapshot\":{\"at_nanos\":7,\"entries\":[]}}}"
         );
     }
 

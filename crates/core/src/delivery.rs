@@ -16,6 +16,7 @@
 //! itself never touches mailboxes, which keeps ordering concerns
 //! (deliberately unspecified for broadcasts, §5.3) in the runtime layer.
 
+use actorspace_obs::{Stage, TraceId};
 use actorspace_pattern::Pattern;
 
 use crate::error::{Error, Result};
@@ -66,6 +67,11 @@ pub struct Route {
     /// Send (re-resolvable to one new recipient) or broadcast (not
     /// re-resolvable: the surviving matches already have their copies).
     pub kind: DeliveryKind,
+    /// Lifecycle trace of the originating communication
+    /// ([`TraceId::NONE`] when unsampled). Rides with the message through
+    /// routing, suspension, and failover so every later stage lands in the
+    /// same trace.
+    pub trace: TraceId,
 }
 
 impl<M: Clone> Registry<M> {
@@ -78,38 +84,95 @@ impl<M: Clone> Registry<M> {
         msg: M,
         sink: Sink<'_, M>,
     ) -> Result<Disposition> {
+        let trace = self.obs.tracer.begin();
+        self.m.sends.inc();
+        self.obs
+            .tracer
+            .record(trace, self.node, Stage::Submitted { broadcast: false });
+        self.send_with_trace(pattern, space, msg, sink, trace)
+    }
+
+    /// The body of `send`, with the trace already allocated — shared with
+    /// the failover path ([`Registry::resend`]), which must *continue* an
+    /// existing trace rather than mint a new one.
+    fn send_with_trace(
+        &mut self,
+        pattern: &Pattern,
+        space: SpaceId,
+        msg: M,
+        sink: Sink<'_, M>,
+        trace: TraceId,
+    ) -> Result<Disposition> {
+        // Match latency is sampled with the trace: the extra clock reads
+        // stay off the unsampled hot path.
+        let t0 = if trace.is_some() {
+            self.obs.tracer.now_nanos()
+        } else {
+            0
+        };
         let candidates = self.resolve(pattern, space)?;
         if !candidates.is_empty() {
+            self.m.matched.inc();
+            if trace.is_some() {
+                self.m
+                    .match_ns
+                    .record(self.obs.tracer.now_nanos().saturating_sub(t0));
+                self.obs.tracer.record(
+                    trace,
+                    self.node,
+                    Stage::Matched {
+                        candidates: candidates.len() as u32,
+                    },
+                );
+            }
             let pick = self.pick(space, &candidates)?;
             let route = Route {
                 pattern: pattern.clone(),
                 space,
                 kind: DeliveryKind::Send,
+                trace,
             };
             sink(pick, msg, Some(&route));
             return Ok(Disposition::Delivered(1));
         }
-        let sp = self.space_mut(space)?;
-        let policy = sp
-            .manager_mut()
-            .unmatched_send()
-            .unwrap_or(sp.policy().unmatched_send);
+        let policy = {
+            let sp = self.space_mut(space)?;
+            sp.manager_mut()
+                .unmatched_send()
+                .unwrap_or(sp.policy().unmatched_send)
+        };
         match policy {
             // Persistent degenerates to Suspend for point-to-point sends:
             // the message still goes to exactly one recipient, just later.
             UnmatchedPolicy::Suspend | UnmatchedPolicy::Persistent => {
-                sp.push_pending(Pending {
+                self.m.suspended.inc();
+                self.obs.tracer.record(trace, self.node, Stage::Suspended);
+                let since_nanos = self.obs.tracer.now_nanos();
+                self.space_mut(space)?.push_pending(Pending {
                     pattern: pattern.clone(),
                     msg,
                     kind: DeliveryKind::Send,
+                    trace,
+                    since_nanos,
                 });
                 Ok(Disposition::Suspended)
             }
-            UnmatchedPolicy::Discard => Ok(Disposition::Discarded),
-            UnmatchedPolicy::Error => Err(Error::NoMatch {
-                pattern: pattern.text().to_owned(),
-                space,
-            }),
+            UnmatchedPolicy::Discard => {
+                self.m.discarded.inc();
+                self.obs
+                    .tracer
+                    .record(trace, self.node, Stage::DeadLettered);
+                Ok(Disposition::Discarded)
+            }
+            UnmatchedPolicy::Error => {
+                self.obs
+                    .tracer
+                    .record(trace, self.node, Stage::DeadLettered);
+                Err(Error::NoMatch {
+                    pattern: pattern.text().to_owned(),
+                    space,
+                })
+            }
         }
     }
 
@@ -123,6 +186,27 @@ impl<M: Clone> Registry<M> {
         msg: M,
         sink: Sink<'_, M>,
     ) -> Result<Disposition> {
+        let trace = self.obs.tracer.begin();
+        self.m.broadcasts.inc();
+        self.obs
+            .tracer
+            .record(trace, self.node, Stage::Submitted { broadcast: true });
+        self.broadcast_with_trace(pattern, space, msg, sink, trace)
+    }
+
+    fn broadcast_with_trace(
+        &mut self,
+        pattern: &Pattern,
+        space: SpaceId,
+        msg: M,
+        sink: Sink<'_, M>,
+        trace: TraceId,
+    ) -> Result<Disposition> {
+        let t0 = if trace.is_some() {
+            self.obs.tracer.now_nanos()
+        } else {
+            0
+        };
         let candidates = self.resolve(pattern, space)?;
         let policy = {
             let sp = self.space_mut(space)?;
@@ -130,10 +214,26 @@ impl<M: Clone> Registry<M> {
                 .unmatched_broadcast()
                 .unwrap_or(sp.policy().unmatched_broadcast)
         };
+        if !candidates.is_empty() {
+            self.m.matched.add(candidates.len() as u64);
+            if trace.is_some() {
+                self.m
+                    .match_ns
+                    .record(self.obs.tracer.now_nanos().saturating_sub(t0));
+                self.obs.tracer.record(
+                    trace,
+                    self.node,
+                    Stage::Matched {
+                        candidates: candidates.len() as u32,
+                    },
+                );
+            }
+        }
         let route = Route {
             pattern: pattern.clone(),
             space,
             kind: DeliveryKind::Broadcast,
+            trace,
         };
         if policy == UnmatchedPolicy::Persistent {
             for &c in &candidates {
@@ -156,19 +256,53 @@ impl<M: Clone> Registry<M> {
         }
         match policy {
             UnmatchedPolicy::Suspend => {
+                self.m.suspended.inc();
+                self.obs.tracer.record(trace, self.node, Stage::Suspended);
+                let since_nanos = self.obs.tracer.now_nanos();
                 self.space_mut(space)?.push_pending(Pending {
                     pattern: pattern.clone(),
                     msg,
                     kind: DeliveryKind::Broadcast,
+                    trace,
+                    since_nanos,
                 });
                 Ok(Disposition::Suspended)
             }
-            UnmatchedPolicy::Discard => Ok(Disposition::Discarded),
-            UnmatchedPolicy::Error => Err(Error::NoMatch {
-                pattern: pattern.text().to_owned(),
-                space,
-            }),
+            UnmatchedPolicy::Discard => {
+                self.m.discarded.inc();
+                self.obs
+                    .tracer
+                    .record(trace, self.node, Stage::DeadLettered);
+                Ok(Disposition::Discarded)
+            }
+            UnmatchedPolicy::Error => {
+                self.obs
+                    .tracer
+                    .record(trace, self.node, Stage::DeadLettered);
+                Err(Error::NoMatch {
+                    pattern: pattern.text().to_owned(),
+                    space,
+                })
+            }
             UnmatchedPolicy::Persistent => unreachable!("handled above"),
+        }
+    }
+
+    /// Re-resolves a previously routed message against the current registry
+    /// state — the failover path after its original recipient (or the node
+    /// holding it) died. Semantics match a fresh `send`/`broadcast` under
+    /// the space's unmatched policy, but the message's existing lifecycle
+    /// trace is *continued*: no new trace is begun and no `submitted` stage
+    /// is emitted, so the export shows one unbroken
+    /// `submitted → … → failed_over → … → delivered` history.
+    pub fn resend(&mut self, route: &Route, msg: M, sink: Sink<'_, M>) -> Result<Disposition> {
+        match route.kind {
+            DeliveryKind::Send => {
+                self.send_with_trace(&route.pattern, route.space, msg, sink, route.trace)
+            }
+            DeliveryKind::Broadcast => {
+                self.broadcast_with_trace(&route.pattern, route.space, msg, sink, route.trace)
+            }
         }
     }
 
@@ -219,10 +353,16 @@ impl<M: Clone> Registry<M> {
                 still_waiting.push(p);
                 continue;
             }
+            self.m.woken.inc();
+            self.m
+                .dwell_ns
+                .record(self.obs.tracer.now_nanos().saturating_sub(p.since_nanos));
+            self.obs.tracer.record(p.trace, self.node, Stage::Woken);
             let route = Route {
                 pattern: p.pattern.clone(),
                 space,
                 kind: p.kind,
+                trace: p.trace,
             };
             match p.kind {
                 DeliveryKind::Send => {
@@ -252,10 +392,15 @@ impl<M: Clone> Registry<M> {
         };
         for pb in &mut persistent {
             let candidates = self.resolve(&pb.pattern, space).unwrap_or_default();
+            // Late persistent deliveries are not tied back to the original
+            // broadcast's trace: it may have terminated long ago, and an
+            // open-ended stream of `delivered` events would make "exactly
+            // one terminal stage" meaningless.
             let route = Route {
                 pattern: pb.pattern.clone(),
                 space,
                 kind: DeliveryKind::Broadcast,
+                trace: TraceId::NONE,
             };
             for c in candidates {
                 if pb.delivered.insert(c) {

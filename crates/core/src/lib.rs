@@ -61,6 +61,8 @@ pub mod space;
 pub mod visibility;
 
 pub use actorspace_atoms::{Atom, Path};
+pub use actorspace_obs as obs;
+pub use actorspace_obs::{Obs, ObsConfig, Stage, TraceId};
 pub use actorspace_pattern::Pattern;
 pub use delivery::{Disposition, Route};
 pub use error::{Error, Result};

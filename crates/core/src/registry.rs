@@ -10,9 +10,11 @@
 //! the simulated cluster, and plain in-test use.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use actorspace_atoms::Path;
 use actorspace_capability::{Capability, Guard, Rights};
+use actorspace_obs::{names, Counter, Histogram, Obs, ObsConfig};
 
 use crate::error::{Error, Result};
 use crate::ids::{ActorId, IdGen, MemberId, SpaceId, ROOT_SPACE};
@@ -55,6 +57,34 @@ pub struct SpaceInfo {
     pub guarded: bool,
 }
 
+/// Pre-resolved metric handles for the delivery hot paths, so sends touch
+/// only relaxed atomics, never the registry mutex inside `Obs`.
+pub(crate) struct CoreMetrics {
+    pub sends: Arc<Counter>,
+    pub broadcasts: Arc<Counter>,
+    pub matched: Arc<Counter>,
+    pub suspended: Arc<Counter>,
+    pub woken: Arc<Counter>,
+    pub discarded: Arc<Counter>,
+    pub match_ns: Arc<Histogram>,
+    pub dwell_ns: Arc<Histogram>,
+}
+
+impl CoreMetrics {
+    fn resolve(obs: &Obs, node: u16) -> CoreMetrics {
+        CoreMetrics {
+            sends: obs.metrics.counter(names::CORE_SENDS, node),
+            broadcasts: obs.metrics.counter(names::CORE_BROADCASTS, node),
+            matched: obs.metrics.counter(names::CORE_MATCHED, node),
+            suspended: obs.metrics.counter(names::CORE_SUSPENDED, node),
+            woken: obs.metrics.counter(names::CORE_WOKEN, node),
+            discarded: obs.metrics.counter(names::CORE_DISCARDED, node),
+            match_ns: obs.metrics.histogram(names::CORE_MATCH_NS, node),
+            dwell_ns: obs.metrics.histogram(names::CORE_DWELL_NS, node),
+        }
+    }
+}
+
 /// The ActorSpace universe for one node.
 pub struct Registry<M> {
     ids: IdGen,
@@ -67,16 +97,26 @@ pub struct Registry<M> {
     roots: HashSet<ActorId>,
     /// Policy template applied to newly created spaces.
     default_policy: ManagerPolicy,
+    /// The observer receiving this registry's metrics and trace events.
+    /// Private by default; [`Registry::set_obs`] shares one across layers
+    /// (and, in the cluster, across node incarnations).
+    pub(crate) obs: Arc<Obs>,
+    /// Node label stamped on metrics and trace events (0 standalone).
+    pub(crate) node: u16,
+    pub(crate) m: CoreMetrics,
 }
 
 impl<M: Clone> Registry<M> {
-    /// Creates a registry whose root space (§7.1) uses `default_policy`.
+    /// Creates a registry whose root space (§7.1) uses `default_policy`,
+    /// reporting to a private default observer (see [`Registry::set_obs`]).
     pub fn new(default_policy: ManagerPolicy) -> Registry<M> {
         let mut spaces = HashMap::new();
         spaces.insert(
             ROOT_SPACE,
             Space::new(ROOT_SPACE, Guard::Open, default_policy.clone()),
         );
+        let obs = Obs::shared(ObsConfig::default());
+        let m = CoreMetrics::resolve(&obs, 0);
         Registry {
             ids: IdGen::default(),
             spaces,
@@ -84,7 +124,29 @@ impl<M: Clone> Registry<M> {
             containers: HashMap::new(),
             roots: HashSet::new(),
             default_policy,
+            obs,
+            node: 0,
+            m,
         }
+    }
+
+    /// Redirects this registry's metrics and trace events to `obs`, stamped
+    /// with `node` — how the runtime and cluster layers share one observer
+    /// across the whole stack (and across node restarts).
+    pub fn set_obs(&mut self, obs: Arc<Obs>, node: u16) {
+        self.m = CoreMetrics::resolve(&obs, node);
+        self.obs = obs;
+        self.node = node;
+    }
+
+    /// The observer receiving this registry's telemetry.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The node label stamped on this registry's telemetry.
+    pub fn node_label(&self) -> u16 {
+        self.node
     }
 
     /// Creates a registry whose id generator starts at `base` — used by the

@@ -46,6 +46,12 @@ pub struct Pending<M> {
     pub msg: M,
     /// Send or broadcast.
     pub kind: DeliveryKind,
+    /// Lifecycle trace of the originating communication
+    /// ([`TraceId::NONE`](actorspace_obs::TraceId::NONE) when unsampled).
+    pub trace: actorspace_obs::TraceId,
+    /// When the message was parked (observer-epoch nanoseconds); the
+    /// suspension-dwell histogram is fed from this on wake.
+    pub since_nanos: u64,
 }
 
 /// A persistent broadcast: delivered exactly once to every actor that ever
@@ -331,6 +337,8 @@ mod tests {
             pattern: pattern("a"),
             msg: 7,
             kind: DeliveryKind::Send,
+            trace: actorspace_obs::TraceId::NONE,
+            since_nanos: 0,
         });
         assert_eq!(s.pending().len(), 1);
         let taken = s.take_pending();

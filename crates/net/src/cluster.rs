@@ -41,6 +41,9 @@ use actorspace_capability::{Capability, Guard};
 use actorspace_core::{
     ActorId, DeliveryKind, Disposition, ManagerPolicy, MemberId, Pattern, Result, Route, SpaceId,
 };
+use actorspace_obs::{
+    names, Counter, DeadLetter, DeadLetterReason, Histogram, Obs, ObsConfig, Stage, TraceId,
+};
 use actorspace_runtime::{
     ActorSystem, Behavior, BoxBehavior, Config, CoordinatorHook, Message, Transport, Value,
 };
@@ -84,6 +87,12 @@ pub struct ClusterConfig {
     pub retx_every: Duration,
     /// Failure-detector tuning (heartbeat period, timeout, miss budget).
     pub failure: FailureConfig,
+    /// The observer every node reports into. `None` creates a default
+    /// ([`ObsConfig::default`]) private to this cluster. One observer is
+    /// always shared by all nodes (and all their incarnations), so
+    /// counters are cumulative across restarts and trace timestamps share
+    /// an epoch.
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Default for ClusterConfig {
@@ -98,6 +107,7 @@ impl Default for ClusterConfig {
             policy: ManagerPolicy::default(),
             retx_every: Duration::from_millis(20),
             failure: FailureConfig::default(),
+            obs: None,
         }
     }
 }
@@ -116,6 +126,12 @@ pub struct NodeStats {
     /// Inbound wire packets that failed to decode (always 0 between
     /// well-behaved nodes; counted defensively).
     pub decode_failures: u64,
+    /// Messages dropped with no recipient on this node (cumulative across
+    /// incarnations).
+    pub dead_letters: u64,
+    /// The most recent dead letters recorded against this node, oldest
+    /// first (bounded by [`ObsConfig::dead_letter_capacity`]).
+    pub recent_dead_letters: Vec<DeadLetter>,
     /// Whether the node is currently up.
     pub up: bool,
     /// The node's runtime counters (current incarnation).
@@ -149,8 +165,9 @@ impl NodeSlot {
 struct NodeInner {
     id: NodeId,
     slot: Arc<NodeSlot>,
-    forwarded: Arc<AtomicU64>,
-    decode_failures: Arc<AtomicU64>,
+    obs: Arc<Obs>,
+    forwarded: Arc<Counter>,
+    decode_failures: Arc<Counter>,
 }
 
 /// A handle to one cluster node. All ActorSpace primitives invoked through
@@ -248,11 +265,15 @@ impl NodeHandle {
 
     /// Counters.
     pub fn stats(&self) -> NodeStats {
+        let obs = &self.inner.obs;
+        let node = self.inner.id.0;
         NodeStats {
             applied: self.inner.slot.applier.read().applied(),
             apply_errors: self.inner.slot.apply_errors.read().load(Ordering::Relaxed),
-            forwarded: self.inner.forwarded.load(Ordering::Relaxed),
-            decode_failures: self.inner.decode_failures.load(Ordering::Relaxed),
+            forwarded: self.inner.forwarded.get(),
+            decode_failures: self.inner.decode_failures.get(),
+            dead_letters: obs.metrics.counter(names::RT_DEAD_LETTERS, node).get(),
+            recent_dead_letters: obs.dead_letters.recent_for_node(node),
             up: self.inner.slot.is_up(),
             system: self.inner.slot.system().stats(),
         }
@@ -273,15 +294,27 @@ struct WirePacket {
 
 type PipeGrid = Vec<Vec<Option<Arc<ReliablePipe<WirePacket>>>>>;
 
+/// One message awaiting re-resolution after its destination node died:
+/// the original pattern resolution, the node it was dislodged from, and
+/// the instant it bounced — the latter two feed the `failed_over{from,to}`
+/// trace stage and the `net.failover_reroute_ns` latency histogram.
+struct Bounce {
+    route: Route,
+    msg: Message,
+    from: NodeId,
+    at_nanos: u64,
+}
+
 /// Messages awaiting re-resolution after their destination node died.
 /// Drained asynchronously by the service thread — never synchronously at
 /// the point of failure, which may sit inside a registry lock.
-type BounceQueue = Arc<Mutex<VecDeque<(Route, Message)>>>;
+type BounceQueue = Arc<Mutex<VecDeque<Bounce>>>;
 
 /// A simulated multi-node ActorSpace deployment (Figure 3) with node-crash
 /// fault injection.
 pub struct Cluster {
     config: ClusterConfig,
+    obs: Arc<Obs>,
     nodes: Vec<NodeHandle>,
     slots: Vec<Arc<NodeSlot>>,
     bus: Arc<dyn OrderedBroadcast>,
@@ -298,15 +331,22 @@ impl Cluster {
     /// failure detector.
     pub fn new(config: ClusterConfig) -> Cluster {
         let n = config.nodes.max(1);
+        let obs = config
+            .obs
+            .clone()
+            .unwrap_or_else(|| Obs::shared(ObsConfig::default()));
 
         // 1. Node systems with disjoint id ranges, plus their appliers and
-        // the slots that hold each node's current incarnation.
+        // the slots that hold each node's current incarnation. Every node
+        // reports into the one shared observer under its own label.
         let systems: Vec<Arc<ActorSystem>> = (0..n)
             .map(|i| {
                 Arc::new(ActorSystem::new(Config {
                     workers: config.workers_per_node,
                     policy: config.policy.clone(),
                     id_base: id_base(NodeId(i as u16)),
+                    obs: Some(obs.clone()),
+                    node: i as u16,
                     ..Config::default()
                 }))
             })
@@ -333,8 +373,9 @@ impl Cluster {
         // the slot's system lock so `kill_node` (which drains mailboxes
         // under the write lock) cannot race a packet into a mailbox it has
         // already harvested.
-        let decode_failures: Vec<Arc<AtomicU64>> =
-            (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let decode_failures: Vec<Arc<Counter>> = (0..n)
+            .map(|i| obs.metrics.counter(names::NET_DECODE_FAILURES, i as u16))
+            .collect();
         let mut data_pipes: PipeGrid = (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for (src, row) in data_pipes.iter_mut().enumerate() {
             for (dst, pipe_slot) in row.iter_mut().enumerate() {
@@ -363,7 +404,7 @@ impl Cluster {
                                 system.deliver_remote_routed(pkt.to, msg, pkt.route.clone());
                             }
                             Err(_) => {
-                                fails.fetch_add(1, Ordering::Relaxed);
+                                fails.inc();
                             }
                         }
                         true // consumed either way; retransmitting garbage cannot help
@@ -428,13 +469,16 @@ impl Cluster {
         // 6. Hooks (bus rerouting), uplinks (data forwarding + failover
         // bouncing), and node handles.
         let requeue: BounceQueue = Arc::new(Mutex::new(VecDeque::new()));
-        let forwarded: Vec<Arc<AtomicU64>> = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        let forwarded: Vec<Arc<Counter>> = (0..n)
+            .map(|i| obs.metrics.counter(names::NET_FORWARDED, i as u16))
+            .collect();
         let mut nodes = Vec::with_capacity(n);
         for i in 0..n {
             let me = NodeId(i as u16);
             install_plumbing(
                 &systems[i],
                 me,
+                &obs,
                 &bus,
                 &data_pipes[i],
                 &forwarded[i],
@@ -445,6 +489,7 @@ impl Cluster {
                 inner: Arc::new(NodeInner {
                     id: me,
                     slot: slots[i].clone(),
+                    obs: obs.clone(),
                     forwarded: forwarded[i].clone(),
                     decode_failures: decode_failures[i].clone(),
                 }),
@@ -461,12 +506,26 @@ impl Cluster {
             bus: bus.clone(),
             pipes: data_pipes.clone(),
             requeue: requeue.clone(),
+            obs: obs.clone(),
+            heartbeats: (0..n)
+                .map(|i| obs.metrics.counter(names::NET_HEARTBEATS, i as u16))
+                .collect(),
+            retransmits: (0..n)
+                .map(|i| obs.metrics.counter(names::NET_RETRANSMITS, i as u16))
+                .collect(),
+            reroute_ns: (0..n)
+                .map(|i| {
+                    obs.metrics
+                        .histogram(names::NET_FAILOVER_REROUTE_NS, i as u16)
+                })
+                .collect(),
             stop: service_stop.clone(),
             tick: (config.failure.heartbeat_every / 2).max(Duration::from_millis(1)),
         });
 
         Cluster {
             config,
+            obs,
             nodes,
             slots,
             bus,
@@ -499,6 +558,12 @@ impl Cluster {
         &self.detector
     }
 
+    /// The cluster-wide observer: one metrics registry, message tracer,
+    /// and dead-letter ring shared by every node and every incarnation.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
     /// Crashes node `i` mid-flight: its workers stop, inbound packets are
     /// rejected (and stay journalled on their senders), and its heartbeats
     /// cease, so peers suspect it after the detector threshold and purge
@@ -516,13 +581,27 @@ impl Cluster {
             system.shutdown();
             system.drain_unprocessed()
         };
+        let at_nanos = self.obs.tracer.now_nanos();
+        let from = NodeId(i as u16);
         let mut q = self.requeue.lock();
         for (route, msg) in harvested {
             match route {
-                Some(r) if r.kind == DeliveryKind::Send => q.push_back((r, msg)),
+                Some(route) if route.kind == DeliveryKind::Send => q.push_back(Bounce {
+                    route,
+                    msg,
+                    from,
+                    at_nanos,
+                }),
                 // Broadcast copies already reached the other recipients;
                 // unrouted (point-to-point) messages die with the node.
-                _ => self.slots[i].system().note_dead_letter(),
+                route => {
+                    let trace = route.map(|r| r.trace).unwrap_or(TraceId::NONE);
+                    self.slots[i].system().note_dead_letter_traced(
+                        DeadLetterReason::NodeCrash,
+                        None,
+                        trace,
+                    );
+                }
             }
         }
         true
@@ -544,6 +623,8 @@ impl Cluster {
             workers: self.config.workers_per_node,
             policy: self.config.policy.clone(),
             id_base: id_base(me),
+            obs: Some(self.obs.clone()),
+            node: me.0,
             ..Config::default()
         }));
         let errors = Arc::new(AtomicU64::new(0));
@@ -551,12 +632,14 @@ impl Cluster {
         install_plumbing(
             &fresh,
             me,
+            &self.obs,
             &self.bus,
             &self.data_pipes[i],
             &self.nodes[i].inner.forwarded,
             &self.detector,
             &self.requeue,
         );
+        self.obs.metrics.counter(names::NET_RESTARTS, me.0).inc();
         {
             let mut system = slot.system.write();
             *system = fresh;
@@ -662,12 +745,14 @@ fn make_applier(system: Arc<ActorSystem>, me: NodeId, errors: Arc<AtomicU64>) ->
 /// Wires one system (initial boot or restart) into the cluster: the
 /// coordinator hook rerouting primitives onto the bus, and the uplink
 /// forwarding resolved messages across the data plane.
+#[allow(clippy::too_many_arguments)]
 fn install_plumbing(
     system: &Arc<ActorSystem>,
     me: NodeId,
+    obs: &Arc<Obs>,
     bus: &Arc<dyn OrderedBroadcast>,
     pipes: &[Option<Arc<ReliablePipe<WirePacket>>>],
-    forwarded: &Arc<AtomicU64>,
+    forwarded: &Arc<Counter>,
     detector: &Arc<FailureDetector>,
     requeue: &BounceQueue,
 ) {
@@ -678,6 +763,7 @@ fn install_plumbing(
     }));
     system.set_uplink(Arc::new(NodeUplink {
         me,
+        obs: obs.clone(),
         pipes: pipes.to_vec(),
         forwarded: forwarded.clone(),
         detector: detector.clone(),
@@ -693,6 +779,12 @@ struct ServiceCtx {
     bus: Arc<dyn OrderedBroadcast>,
     pipes: Arc<PipeGrid>,
     requeue: BounceQueue,
+    obs: Arc<Obs>,
+    /// `net.heartbeats` / `net.retransmits` handles, indexed by node.
+    heartbeats: Vec<Arc<Counter>>,
+    retransmits: Vec<Arc<Counter>>,
+    /// Bounce-to-resend latency, recorded on the surviving node's label.
+    reroute_ns: Vec<Arc<Histogram>>,
     stop: Arc<AtomicBool>,
     tick: Duration,
 }
@@ -709,6 +801,7 @@ fn spawn_service(ctx: ServiceCtx) -> JoinHandle<()> {
         .name("actorspace-cluster-svc".into())
         .spawn(move || {
             let n = ctx.slots.len();
+            let mut seen_retx = vec![vec![0u64; n]; n];
             while !ctx.stop.load(Ordering::Acquire) {
                 // (1) Heartbeats: live nodes beat to every peer.
                 for (i, slot) in ctx.slots.iter().enumerate() {
@@ -718,6 +811,22 @@ fn spawn_service(ctx: ServiceCtx) -> JoinHandle<()> {
                     for (j, hb) in ctx.hb_links.iter().enumerate() {
                         if i != j {
                             hb.send(NodeId(i as u16));
+                            ctx.heartbeats[i].inc();
+                        }
+                    }
+                }
+
+                // Fold the pipes' monotone retransmission totals into the
+                // sending node's `net.retransmits` counter.
+                for (i, row) in ctx.pipes.iter().enumerate() {
+                    for (j, pipe) in row.iter().enumerate() {
+                        if let Some(pipe) = pipe {
+                            let total = pipe.retransmits();
+                            let seen = &mut seen_retx[i][j];
+                            if total > *seen {
+                                ctx.retransmits[i].add(total - *seen);
+                                *seen = total;
+                            }
                         }
                     }
                 }
@@ -748,12 +857,24 @@ fn spawn_service(ctx: ServiceCtx) -> JoinHandle<()> {
                             let decoded = actorspace_runtime::codec::decode_message(&pkt.bytes);
                             match (pkt.route, decoded) {
                                 (Some(route), Ok(msg)) if route.kind == DeliveryKind::Send => {
-                                    ctx.requeue.lock().push_back((route, msg));
+                                    ctx.requeue.lock().push_back(Bounce {
+                                        route,
+                                        msg,
+                                        from: NodeId(j as u16),
+                                        at_nanos: ctx.obs.tracer.now_nanos(),
+                                    });
                                 }
                                 // Broadcast copies already fanned out to the
                                 // survivors; unrouted messages have no
                                 // pattern to re-resolve.
-                                _ => system.note_dead_letter(),
+                                (route, _) => {
+                                    let trace = route.map(|r| r.trace).unwrap_or(TraceId::NONE);
+                                    system.note_dead_letter_traced(
+                                        DeadLetterReason::NodeCrash,
+                                        Some(pkt.to),
+                                        trace,
+                                    );
+                                }
                             }
                         }
                     }
@@ -764,14 +885,22 @@ fn spawn_service(ctx: ServiceCtx) -> JoinHandle<()> {
                 // take the registry lock and may bounce again (e.g. while a
                 // stale visibility entry is still being purged), which
                 // pushes back onto this queue.
-                let batch: Vec<(Route, Message)> = ctx.requeue.lock().drain(..).collect();
+                let batch: Vec<Bounce> = ctx.requeue.lock().drain(..).collect();
                 if !batch.is_empty() {
-                    match ctx.slots.iter().find(|s| s.is_up()) {
-                        Some(slot) => {
-                            let system = slot.system();
-                            for (route, msg) in batch {
+                    match ctx.slots.iter().position(|s| s.is_up()) {
+                        Some(si) => {
+                            let system = ctx.slots[si].system();
+                            let to = si as u16;
+                            for b in batch {
                                 system.note_failover();
-                                let _ = system.resend_routed(&route, msg);
+                                ctx.obs.tracer.record(
+                                    b.route.trace,
+                                    to,
+                                    Stage::FailedOver { from: b.from.0, to },
+                                );
+                                ctx.reroute_ns[si]
+                                    .record(ctx.obs.tracer.now_nanos().saturating_sub(b.at_nanos));
+                                let _ = system.resend_routed(&b.route, b.msg);
                             }
                         }
                         None => ctx.requeue.lock().extend(batch),
@@ -971,17 +1100,23 @@ impl CoordinatorHook for ClusterHook {
 /// here would deadlock.
 struct NodeUplink {
     me: NodeId,
+    obs: Arc<Obs>,
     pipes: Vec<Option<Arc<ReliablePipe<WirePacket>>>>,
-    forwarded: Arc<AtomicU64>,
+    forwarded: Arc<Counter>,
     detector: Arc<FailureDetector>,
     requeue: BounceQueue,
 }
 
 impl NodeUplink {
-    fn bounce(&self, route: Option<&Route>, msg: Message) -> bool {
+    fn bounce(&self, from: NodeId, route: Option<&Route>, msg: Message) -> bool {
         match route {
             Some(r) if r.kind == DeliveryKind::Send => {
-                self.requeue.lock().push_back((r.clone(), msg));
+                self.requeue.lock().push_back(Bounce {
+                    route: r.clone(),
+                    msg,
+                    from,
+                    at_nanos: self.obs.tracer.now_nanos(),
+                });
                 true
             }
             // Broadcast copies already reached the surviving recipients;
@@ -1004,24 +1139,29 @@ impl Transport for NodeUplink {
             // Local address but no local cell: the actor is dead — possibly
             // purged with a failed incarnation while still visible in a
             // not-yet-purged table entry.
-            return self.bounce(route, msg);
+            return self.bounce(target, route, msg);
         }
         if self
             .detector
             .is_suspected(self.me.0 as usize, target.0 as usize)
         {
-            return self.bounce(route, msg);
+            return self.bounce(target, route, msg);
         }
         let Some(Some(pipe)) = self.pipes.get(target.0 as usize) else {
             return false;
         };
+        if let Some(r) = route {
+            self.obs
+                .tracer
+                .record(r.trace, self.me.0, Stage::Routed { node: target.0 });
+        }
         let bytes = actorspace_runtime::codec::message_to_bytes(&msg);
         pipe.send(WirePacket {
             to,
             bytes: Arc::new(bytes),
             route: route.cloned(),
         });
-        self.forwarded.fetch_add(1, Ordering::Relaxed);
+        self.forwarded.inc();
         true
     }
 }

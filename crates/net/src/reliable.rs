@@ -18,6 +18,7 @@
 //! ever duplicating one that did land.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -60,6 +61,7 @@ pub struct ReliableSender<T: Clone + Send + 'static> {
     state: Arc<Mutex<SenderState<T>>>,
     link: Arc<Link<Packet<T>>>,
     stop: Arc<StopFlag>,
+    retransmits: Arc<AtomicU64>,
     retx: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -84,9 +86,11 @@ impl<T: Clone + Send + 'static> ReliableSender<T> {
             stopped: Mutex::new(false),
             cv: Condvar::new(),
         });
+        let retransmits = Arc::new(AtomicU64::new(0));
         let s2 = state.clone();
         let l2 = link.clone();
         let stop2 = stop.clone();
+        let rtx2 = retransmits.clone();
         let retx = std::thread::Builder::new()
             .name("actorspace-retx".into())
             .spawn(move || loop {
@@ -109,6 +113,7 @@ impl<T: Clone + Send + 'static> ReliableSender<T> {
                     if !l2.send(Packet::Data { seq, payload }) {
                         return; // link down
                     }
+                    rtx2.fetch_add(1, Ordering::Relaxed);
                 }
             })
             .expect("spawn retx thread");
@@ -116,6 +121,7 @@ impl<T: Clone + Send + 'static> ReliableSender<T> {
             state,
             link,
             stop,
+            retransmits,
             retx: Some(retx),
         }
     }
@@ -140,6 +146,13 @@ impl<T: Clone + Send + 'static> ReliableSender<T> {
     /// Packets not yet acknowledged (for tests/metrics).
     pub fn unacked(&self) -> usize {
         self.state.lock().unacked.len()
+    }
+
+    /// Total packet retransmissions performed by the timer thread —
+    /// monotone, never reset. The cluster's observability layer polls this
+    /// and folds the delta into its `net.retransmits` counter.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
     }
 }
 
@@ -264,6 +277,11 @@ impl<T: Clone + Send + 'static> ReliablePipe<T> {
     /// Outstanding unacknowledged packets.
     pub fn unacked(&self) -> usize {
         self.sender.unacked()
+    }
+
+    /// Total retransmissions on the forward path.
+    pub fn retransmits(&self) -> u64 {
+        self.sender.retransmits()
     }
 
     /// Removes and returns every journalled packet the receiver has

@@ -1,0 +1,174 @@
+//! Observability under node crashes: the acceptance checks for the obs
+//! layer. A kill-mid-run failover must be reconstructible from the JSON
+//! lines trace export *alone* (`submitted → routed → failed_over →
+//! delivered`, timestamps monotone), and node counters must be cumulative
+//! across `restart_node` rather than per-incarnation.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use actorspace_atoms::path;
+use actorspace_core::ActorId;
+use actorspace_net::{Cluster, ClusterConfig, FailureConfig};
+use actorspace_obs::{DeadLetterReason, Obs, ObsConfig, TraceEvent};
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, Value};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn traced_cluster(nodes: usize) -> Cluster {
+    Cluster::new(ClusterConfig {
+        nodes,
+        failure: FailureConfig::fast(),
+        obs: Some(Obs::shared(ObsConfig::all())),
+        ..ClusterConfig::default()
+    })
+}
+
+/// Returns true when `stages` contains `want` as a (not necessarily
+/// contiguous) subsequence.
+fn has_subsequence(stages: &[String], want: &[&str]) -> bool {
+    let mut it = stages.iter();
+    want.iter().all(|w| it.any(|s| s == w))
+}
+
+#[test]
+fn failover_lifecycle_reconstructs_from_trace_export_alone() {
+    let c = traced_cluster(3);
+    let (inbox, rx) = c.node(0).system().inbox();
+    let space = c.node(0).create_space(None);
+
+    // A slow worker on node 2 accumulates a backlog, then the node dies
+    // with most of it unprocessed; a fallback on node 1 picks it all up.
+    let slow = c.node(2).spawn(from_fn(move |ctx, msg| {
+        std::thread::sleep(Duration::from_millis(5));
+        ctx.send_addr(inbox, msg.body);
+    }));
+    c.node(2)
+        .make_visible(slow, &path("svc"), space, None)
+        .unwrap();
+    assert!(c.await_coherence(TIMEOUT));
+
+    let n = 30;
+    for i in 0..n {
+        c.node(0)
+            .send_pattern(&pattern("svc"), space, Value::int(i))
+            .unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(20));
+    assert!(c.kill_node(2));
+    let fallback = c.node(1).spawn(from_fn(move |ctx, msg| {
+        ctx.send_addr(inbox, msg.body);
+    }));
+    c.node(1)
+        .make_visible(fallback, &path("svc"), space, None)
+        .unwrap();
+    for _ in 0..n {
+        rx.recv_timeout(TIMEOUT).unwrap();
+    }
+
+    // Reconstruct every lifecycle from the export string alone — no
+    // access to the in-memory ring.
+    let export = c.obs().tracer.export_json_lines();
+    c.shutdown();
+    let mut by_trace: BTreeMap<u64, Vec<TraceEvent>> = BTreeMap::new();
+    for line in export.lines() {
+        let ev = TraceEvent::parse_json_line(line)
+            .unwrap_or_else(|| panic!("unparseable export line: {line}"));
+        by_trace.entry(ev.trace.0).or_default().push(ev);
+    }
+    assert!(!by_trace.is_empty(), "export is empty");
+
+    let mut failed_over_and_delivered = 0;
+    for (id, events) in &by_trace {
+        let mut last = 0u64;
+        for e in events {
+            assert!(
+                e.at_nanos >= last,
+                "trace {id}: timestamps ran backwards in export order"
+            );
+            last = e.at_nanos;
+        }
+        let terminals = events.iter().filter(|e| e.stage.is_terminal()).count();
+        assert!(
+            terminals <= 1,
+            "trace {id}: {terminals} terminal events in one lifecycle"
+        );
+        let stages: Vec<String> = events.iter().map(|e| e.stage.name().to_string()).collect();
+        if has_subsequence(
+            &stages,
+            &["submitted", "routed", "failed_over", "delivered"],
+        ) {
+            failed_over_and_delivered += 1;
+        }
+    }
+    assert!(
+        failed_over_and_delivered >= 1,
+        "no trace shows the full submitted → routed → failed_over → delivered lifecycle"
+    );
+}
+
+#[test]
+fn node_stats_counters_survive_restart() {
+    let c = traced_cluster(3);
+    let space = c.node(0).create_space(None);
+    assert!(c.await_coherence(TIMEOUT));
+
+    // Provoke dead letters ON node 1: point-to-point sends to an address
+    // in node 1's id range that no actor owns. The packet forwards, node 1
+    // finds no cell and no route to re-resolve, and records the drop.
+    let real = c.node(1).spawn(from_fn(|_ctx, _msg| {}));
+    c.node(1)
+        .make_visible(real, &path("svc"), space, None)
+        .unwrap();
+    let ghost = ActorId(real.0 + 999_983);
+    for _ in 0..5 {
+        c.node(0).send_to(ghost, Value::int(1));
+    }
+    let deadline = Instant::now() + TIMEOUT;
+    while c.node(1).stats().dead_letters < 5 {
+        assert!(
+            Instant::now() < deadline,
+            "node 1 never recorded the dead letters: {:?}",
+            c.node(1).stats()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let pre = c.node(1).stats();
+    assert!(pre.dead_letters >= 5);
+    assert!(
+        pre.recent_dead_letters
+            .iter()
+            .any(|d| matches!(d.reason, DeadLetterReason::NoRecipient)),
+        "the ring must retain the drop reason"
+    );
+
+    assert!(c.kill_node(1));
+    assert!(c.restart_node(1));
+    assert!(c.await_coherence(TIMEOUT));
+
+    // Regression: these were per-incarnation before the shared observer —
+    // a restart silently zeroed them.
+    let post = c.node(1).stats();
+    assert!(
+        post.dead_letters >= pre.dead_letters,
+        "dead_letters reset across restart: {} -> {}",
+        pre.dead_letters,
+        post.dead_letters
+    );
+    assert!(
+        post.system.dead_letters >= pre.dead_letters as usize,
+        "runtime Stats reset across restart"
+    );
+    assert!(
+        !post.recent_dead_letters.is_empty(),
+        "dead-letter ring reset across restart"
+    );
+    let snap = c.obs().snapshot();
+    assert_eq!(
+        snap.counter("net.restarts", 1),
+        Some(1),
+        "restart_node must count into net.restarts"
+    );
+    c.shutdown();
+}

@@ -1,0 +1,158 @@
+//! A bounded ring of recent dead letters plus a cumulative total, so
+//! "message silently vanished" always leaves a visible residue: the
+//! counter survives restarts (it lives in the shared observer) and the
+//! ring holds the last N drops with reason, destination, and trace id.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::trace::TraceId;
+
+/// Why a message was dead-lettered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadLetterReason {
+    /// The destination actor no longer exists (or never did).
+    NoRecipient,
+    /// The destination actor had already stopped when the message arrived.
+    StoppedActor,
+    /// The destination's behavior panicked while the message was queued.
+    BehaviorPanic,
+    /// No match and the space policy discards unmatched sends.
+    Discarded,
+    /// A send failed with no match under an erroring policy.
+    NoMatch,
+    /// The owning node crashed and the message could not be failed over
+    /// (e.g. an already-delivered broadcast copy).
+    NodeCrash,
+    /// The transport could not deliver and gave up.
+    Undeliverable,
+}
+
+impl DeadLetterReason {
+    /// Canonical lowercase name (stable; used in exports and tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeadLetterReason::NoRecipient => "no_recipient",
+            DeadLetterReason::StoppedActor => "stopped_actor",
+            DeadLetterReason::BehaviorPanic => "behavior_panic",
+            DeadLetterReason::Discarded => "discarded",
+            DeadLetterReason::NoMatch => "no_match",
+            DeadLetterReason::NodeCrash => "node_crash",
+            DeadLetterReason::Undeliverable => "undeliverable",
+        }
+    }
+}
+
+/// One recorded dead letter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// Monotonic nanoseconds since the observer epoch.
+    pub at_nanos: u64,
+    /// Node that dropped the message.
+    pub node: u16,
+    /// Raw destination actor id, when one was known.
+    pub to: Option<u64>,
+    /// Trace of the dropped message ([`TraceId::NONE`] if unsampled).
+    pub trace: TraceId,
+    /// Why it was dropped.
+    pub reason: DeadLetterReason,
+}
+
+/// Last-N dead letters plus a cumulative total.
+pub struct DeadLetterRing {
+    capacity: usize,
+    total: AtomicU64,
+    ring: Mutex<VecDeque<DeadLetter>>,
+}
+
+impl DeadLetterRing {
+    /// A ring holding at most `capacity` recent dead letters.
+    pub fn new(capacity: usize) -> DeadLetterRing {
+        DeadLetterRing {
+            capacity,
+            total: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records one dead letter (always counts; the ring may evict).
+    pub fn record(&self, dl: DeadLetter) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(dl);
+    }
+
+    /// Cumulative dead letters recorded since the observer was created
+    /// (survives component restarts).
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// The last-N dead letters, oldest first.
+    pub fn recent(&self) -> Vec<DeadLetter> {
+        self.ring.lock().iter().copied().collect()
+    }
+
+    /// The last-N dead letters dropped by `node`, oldest first.
+    pub fn recent_for_node(&self, node: u16) -> Vec<DeadLetter> {
+        self.ring
+            .lock()
+            .iter()
+            .filter(|d| d.node == node)
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dl(node: u16, reason: DeadLetterReason) -> DeadLetter {
+        DeadLetter {
+            at_nanos: 0,
+            node,
+            to: Some(7),
+            trace: TraceId::NONE,
+            reason,
+        }
+    }
+
+    #[test]
+    fn counts_and_bounds() {
+        let ring = DeadLetterRing::new(2);
+        for _ in 0..5 {
+            ring.record(dl(0, DeadLetterReason::NoRecipient));
+        }
+        assert_eq!(ring.total(), 5);
+        assert_eq!(ring.recent().len(), 2);
+    }
+
+    #[test]
+    fn per_node_filter() {
+        let ring = DeadLetterRing::new(8);
+        ring.record(dl(0, DeadLetterReason::NodeCrash));
+        ring.record(dl(1, DeadLetterReason::StoppedActor));
+        ring.record(dl(0, DeadLetterReason::BehaviorPanic));
+        assert_eq!(ring.recent_for_node(0).len(), 2);
+        assert_eq!(ring.recent_for_node(1).len(), 1);
+        assert_eq!(ring.recent_for_node(2).len(), 0);
+        assert_eq!(DeadLetterReason::NodeCrash.name(), "node_crash");
+    }
+
+    #[test]
+    fn zero_capacity_still_counts() {
+        let ring = DeadLetterRing::new(0);
+        ring.record(dl(0, DeadLetterReason::Discarded));
+        assert_eq!(ring.total(), 1);
+        assert!(ring.recent().is_empty());
+    }
+}

@@ -1,0 +1,209 @@
+//! Observability for the ActorSpace runtime: a unified, lock-light
+//! [`MetricsRegistry`] (counters / gauges / log2 histograms, labeled by
+//! node) and end-to-end message-lifecycle [tracing](crate::trace) with a
+//! bounded event ring, plus a [dead-letter ring](crate::dead_letter).
+//!
+//! One [`Obs`] instance is shared by every layer of a node — or by every
+//! node of an in-process cluster — so counters survive node restarts and
+//! timestamps from different nodes share a single monotonic epoch. Hot
+//! paths hold pre-resolved `Arc` handles; the registry mutex is only
+//! touched when resolving names.
+
+pub mod dead_letter;
+pub mod metrics;
+pub mod trace;
+
+use std::sync::Arc;
+
+pub use dead_letter::{DeadLetter, DeadLetterReason, DeadLetterRing};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry,
+    Snapshot,
+};
+pub use trace::{Stage, TraceEvent, TraceId, Tracer};
+
+/// Canonical metric names registered by the in-tree layers, labeled by
+/// node id (0 for standalone systems). See the README's Observability
+/// section for the full table.
+pub mod names {
+    /// Pattern-directed sends submitted (counter).
+    pub const CORE_SENDS: &str = "core.sends";
+    /// Pattern-directed broadcasts submitted (counter).
+    pub const CORE_BROADCASTS: &str = "core.broadcasts";
+    /// Candidate deliveries produced by matching (counter; a broadcast to
+    /// n actors counts n).
+    pub const CORE_MATCHED: &str = "core.matched";
+    /// Sends/broadcasts parked on no match, §5.6 (counter).
+    pub const CORE_SUSPENDED: &str = "core.suspended";
+    /// Suspended messages woken by a visibility change (counter).
+    pub const CORE_WOKEN: &str = "core.woken";
+    /// Unmatched sends dropped by a discarding policy (counter).
+    pub const CORE_DISCARDED: &str = "core.discarded";
+    /// Pattern-resolution latency of sampled sends, nanoseconds (histogram).
+    pub const CORE_MATCH_NS: &str = "core.match_ns";
+    /// Suspension dwell time of sampled sends, nanoseconds (histogram).
+    pub const CORE_DWELL_NS: &str = "core.suspension_dwell_ns";
+    /// Messages dropped with no recipient (counter; cumulative across
+    /// node restarts).
+    pub const RT_DEAD_LETTERS: &str = "runtime.dead_letters";
+    /// Failure suspicions observed by the local system (counter).
+    pub const RT_SUSPICIONS: &str = "runtime.suspicions";
+    /// Routed messages re-resolved after a node failure (counter).
+    pub const RT_FAILOVERS: &str = "runtime.failovers";
+    /// Remote visibility (re-)registrations applied (counter; includes
+    /// bus replay after a restart).
+    pub const RT_REREGISTRATIONS: &str = "runtime.re_registrations";
+    /// Envelopes accepted into local mailboxes (counter).
+    pub const RT_DELIVERIES: &str = "runtime.deliveries";
+    /// Envelopes forwarded to remote nodes (counter).
+    pub const NET_FORWARDED: &str = "net.forwarded";
+    /// Inbound wire packets that failed to decode (counter).
+    pub const NET_DECODE_FAILURES: &str = "net.decode_failures";
+    /// Reliable-pipe retransmissions sent (counter).
+    pub const NET_RETRANSMITS: &str = "net.retransmits";
+    /// Heartbeats emitted by the node's failure detector (counter).
+    pub const NET_HEARTBEATS: &str = "net.heartbeats";
+    /// Times this node was restarted via `restart_node` (counter).
+    pub const NET_RESTARTS: &str = "net.restarts";
+    /// Crash-to-redelivery reroute latency, nanoseconds (histogram,
+    /// labeled by the node that performed the re-resolution).
+    pub const NET_FAILOVER_REROUTE_NS: &str = "net.failover_reroute_ns";
+}
+
+/// Tuning for one [`Obs`] instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Trace one in `sample_every` sends; `1` traces everything, `0`
+    /// disables tracing (metrics stay on).
+    pub sample_every: u64,
+    /// Maximum buffered trace events before the oldest are evicted.
+    pub ring_capacity: usize,
+    /// Maximum dead letters kept in the last-N ring (the total counter is
+    /// unbounded).
+    pub dead_letter_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            sample_every: 64,
+            ring_capacity: 65_536,
+            dead_letter_capacity: 256,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Trace every message (tests, examples, offline inspection).
+    pub fn all() -> ObsConfig {
+        ObsConfig {
+            sample_every: 1,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Metrics only, no tracing (overhead baselines).
+    pub fn off() -> ObsConfig {
+        ObsConfig {
+            sample_every: 0,
+            ..ObsConfig::default()
+        }
+    }
+}
+
+/// The observability bundle shared across a node (or a whole in-process
+/// cluster): metrics registry + tracer + dead-letter ring.
+pub struct Obs {
+    config: ObsConfig,
+    /// Named, node-labeled metrics.
+    pub metrics: MetricsRegistry,
+    /// Message-lifecycle tracer.
+    pub tracer: Tracer,
+    /// Recent dead letters and their cumulative total.
+    pub dead_letters: DeadLetterRing,
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::new(ObsConfig::default())
+    }
+}
+
+impl Obs {
+    /// A fresh observer with the given tuning.
+    pub fn new(config: ObsConfig) -> Obs {
+        Obs {
+            config,
+            metrics: MetricsRegistry::new(),
+            tracer: Tracer::new(config.sample_every, config.ring_capacity),
+            dead_letters: DeadLetterRing::new(config.dead_letter_capacity),
+        }
+    }
+
+    /// `Arc`-wrapped constructor, for sharing across layers and nodes.
+    pub fn shared(config: ObsConfig) -> Arc<Obs> {
+        Arc::new(Obs::new(config))
+    }
+
+    /// The tuning this observer was built with.
+    pub fn config(&self) -> ObsConfig {
+        self.config
+    }
+
+    /// A point-in-time metrics report stamped with the tracer's clock.
+    pub fn snapshot(&self) -> Snapshot {
+        self.metrics.snapshot(self.tracer.now_nanos())
+    }
+
+    /// Records a dead letter: bumps the node's `runtime.dead_letters`
+    /// counter, appends to the last-N ring, and terminates the trace.
+    pub fn dead_letter(
+        &self,
+        node: u16,
+        to: Option<u64>,
+        trace: TraceId,
+        reason: DeadLetterReason,
+    ) {
+        self.metrics.counter(names::RT_DEAD_LETTERS, node).inc();
+        self.dead_letters.record(DeadLetter {
+            at_nanos: self.tracer.now_nanos(),
+            node,
+            to,
+            trace,
+            reason,
+        });
+        self.tracer.record(trace, node, Stage::DeadLettered);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obs_bundle_defaults() {
+        let obs = Obs::default();
+        assert_eq!(obs.config().sample_every, 64);
+        assert!(obs.snapshot().is_empty());
+    }
+
+    #[test]
+    fn dead_letter_helper_wires_all_three() {
+        let obs = Obs::new(ObsConfig::all());
+        let id = obs.tracer.begin();
+        obs.dead_letter(2, Some(9), id, DeadLetterReason::StoppedActor);
+        assert_eq!(obs.dead_letters.total(), 1);
+        assert_eq!(obs.snapshot().counter(names::RT_DEAD_LETTERS, 2), Some(1));
+        let evs = obs.tracer.events_for(id);
+        assert_eq!(evs.len(), 1);
+        assert!(evs[0].stage.is_terminal());
+    }
+
+    #[test]
+    fn config_presets() {
+        assert_eq!(ObsConfig::all().sample_every, 1);
+        assert_eq!(ObsConfig::off().sample_every, 0);
+        let obs = Obs::new(ObsConfig::off());
+        assert!(obs.tracer.begin().is_none());
+    }
+}

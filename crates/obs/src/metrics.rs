@@ -1,0 +1,533 @@
+//! Lock-light metrics: counters, gauges, and log2-bucketed histograms,
+//! owned by a [`MetricsRegistry`] keyed on `(name, node)`.
+//!
+//! The registry mutex is touched only at handle-resolution time; hot paths
+//! hold pre-resolved `Arc` handles and update them with relaxed atomics.
+//! `snapshot()` reads every atom with a single load each, so totals are
+//! never torn and are monotone across successive snapshots (counters and
+//! histogram counts only ever increase).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter (unregistered; prefer
+    /// [`MetricsRegistry::counter`] for anything that should be reported).
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket `i > 0` covers `[2^(i-1), 2^i)`,
+/// bucket 0 covers exactly `0`, and the last bucket absorbs the tail.
+pub const N_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (typically nanoseconds).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile: the upper bound of the bucket containing the
+    /// `q`-th sample (`0.0 ..= 1.0`). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(N_BUCKETS - 1)
+    }
+
+    /// A point-in-time summary of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let q = |frac: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((frac * total as f64).ceil() as u64).max(1);
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(N_BUCKETS - 1)
+        };
+        let max = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_upper)
+            .unwrap_or(0);
+        HistogramSnapshot {
+            count: total,
+            sum: self.sum.load(Ordering::Relaxed),
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+            max,
+        }
+    }
+}
+
+/// Point-in-time histogram summary; quantiles are log2-bucket upper bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 90th percentile (bucket upper bound).
+    pub p90: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+    /// Upper bound of the highest occupied bucket.
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// Registry of named, node-labeled metrics. Resolving the same
+/// `(name, node)` pair always returns the same underlying atom, so metrics
+/// survive component restarts for as long as the registry lives.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<(String, u16), Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Resolves (creating on first use) the counter `name` for `node`.
+    ///
+    /// # Panics
+    /// If `(name, node)` was previously registered as a different kind.
+    pub fn counter(&self, name: &str, node: u16) -> Arc<Counter> {
+        let mut map = self.inner.lock();
+        match map
+            .entry((name.to_string(), node))
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name}@{node} is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Resolves (creating on first use) the gauge `name` for `node`.
+    ///
+    /// # Panics
+    /// If `(name, node)` was previously registered as a different kind.
+    pub fn gauge(&self, name: &str, node: u16) -> Arc<Gauge> {
+        let mut map = self.inner.lock();
+        match map
+            .entry((name.to_string(), node))
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name}@{node} is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Resolves (creating on first use) the histogram `name` for `node`.
+    ///
+    /// # Panics
+    /// If `(name, node)` was previously registered as a different kind.
+    pub fn histogram(&self, name: &str, node: u16) -> Arc<Histogram> {
+        let mut map = self.inner.lock();
+        match map
+            .entry((name.to_string(), node))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!(
+                "metric {name}@{node} is a {}, not a histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// A consistent point-in-time report of every registered metric.
+    /// `at_nanos` stamps the snapshot (monotonic, caller-supplied).
+    pub fn snapshot(&self, at_nanos: u64) -> Snapshot {
+        let map = self.inner.lock();
+        let entries = map
+            .iter()
+            .map(|((name, node), m)| MetricSnapshot {
+                name: name.clone(),
+                node: *node,
+                value: match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { at_nanos, entries }
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(name, node)` entry in a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSnapshot {
+    /// Metric name (see [`crate::names`]).
+    pub name: String,
+    /// Node label (0 for single-node systems).
+    pub node: u16,
+    /// The value.
+    pub value: MetricValue,
+}
+
+/// A serializable point-in-time report of all metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Monotonic timestamp (nanoseconds since the observer's epoch).
+    pub at_nanos: u64,
+    /// All metrics, ordered by `(name, node)`.
+    pub entries: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// True when no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The counter `name` for `node`, if registered.
+    pub fn counter(&self, name: &str, node: u16) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            MetricValue::Counter(v) if e.name == name && e.node == node => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// Sum of the counter `name` across all nodes.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.name == name)
+            .filter_map(|e| match &e.value {
+                MetricValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// The histogram `name` for `node`, if registered.
+    pub fn histogram(&self, name: &str, node: u16) -> Option<HistogramSnapshot> {
+        self.entries.iter().find_map(|e| match &e.value {
+            MetricValue::Histogram(h) if e.name == name && e.node == node => Some(*h),
+            _ => None,
+        })
+    }
+
+    /// Histogram summaries for `name` merged across nodes (count/sum added,
+    /// quantiles taken as the max over nodes — an upper bound).
+    pub fn histogram_total(&self, name: &str) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            max: 0,
+        };
+        for e in self.entries.iter().filter(|e| e.name == name) {
+            if let MetricValue::Histogram(h) = &e.value {
+                out.count += h.count;
+                out.sum += h.sum;
+                out.p50 = out.p50.max(h.p50);
+                out.p90 = out.p90.max(h.p90);
+                out.p99 = out.p99.max(h.p99);
+                out.max = out.max.max(h.max);
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object:
+    /// `{"at_nanos":..,"metrics":[{"name":..,"node":..,"kind":..,...},..]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.entries.len() * 64);
+        out.push_str("{\"at_nanos\":");
+        out.push_str(&self.at_nanos.to_string());
+        out.push_str(",\"metrics\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":\"");
+            // Metric names are code-controlled identifiers; escape anyway.
+            for ch in e.name.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\",\"node\":");
+            out.push_str(&e.node.to_string());
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    out.push_str(",\"kind\":\"counter\",\"value\":");
+                    out.push_str(&v.to_string());
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(",\"kind\":\"gauge\",\"value\":");
+                    out.push_str(&v.to_string());
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!(
+                        ",\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}",
+                        h.count, h.sum, h.p50, h.p90, h.p99, h.max
+                    ));
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [0u64, 1, 2, 3, 4, 1000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1_001_010);
+        // Median of 7 samples is the 4th (value 3) → bucket [2,4) → upper 3.
+        assert_eq!(h.quantile(0.5), 3);
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert!(s.max >= 1_000_000);
+        assert!(s.p99 >= s.p50);
+        assert_eq!(s.mean(), 1_001_010 / 7);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn registry_resolves_same_atom() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x", 1);
+        let b = r.counter("x", 1);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.counter("x", 2).get(), 0); // different node label
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn registry_rejects_kind_mismatch() {
+        let r = MetricsRegistry::new();
+        let _ = r.counter("x", 0);
+        let _ = r.gauge("x", 0);
+    }
+
+    #[test]
+    fn snapshot_reports_and_serializes() {
+        let r = MetricsRegistry::new();
+        r.counter("sends", 0).add(3);
+        r.gauge("depth", 1).set(-2);
+        r.histogram("lat", 0).record(5);
+        let s = r.snapshot(42);
+        assert!(!s.is_empty());
+        assert_eq!(s.counter("sends", 0), Some(3));
+        assert_eq!(s.counter("sends", 1), None);
+        assert_eq!(s.counter_total("sends"), 3);
+        assert_eq!(s.histogram("lat", 0).unwrap().count, 1);
+        let json = s.to_json();
+        assert!(json.starts_with("{\"at_nanos\":42,\"metrics\":["));
+        assert!(json.contains("\"kind\":\"gauge\",\"value\":-2"));
+        assert!(json.contains("\"kind\":\"histogram\",\"count\":1"));
+    }
+}

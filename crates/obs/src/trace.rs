@@ -1,0 +1,458 @@
+//! Message-lifecycle tracing: every (sampled) send/broadcast gets a
+//! [`TraceId`] and emits ring-buffered [`TraceEvent`]s at each delivery
+//! stage, with monotonic per-stage timestamps taken from a single shared
+//! epoch so events from different nodes of one in-process cluster are
+//! directly comparable.
+//!
+//! The ring is bounded: once `capacity` events are held, the oldest are
+//! evicted (counted in [`Tracer::dropped`]). Unsampled messages carry
+//! [`TraceId::NONE`] and every tracing call on them is a no-op.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Identifier correlating all lifecycle events of one send/broadcast.
+/// `TraceId::NONE` (0) marks an unsampled message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The null id: the message is not being traced.
+    pub const NONE: TraceId = TraceId(0);
+
+    /// True for [`TraceId::NONE`].
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True for a real (sampled) trace id.
+    #[inline]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A lifecycle stage of a pattern-directed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The send/broadcast entered the registry.
+    Submitted {
+        /// True for broadcast, false for single-destination send.
+        broadcast: bool,
+    },
+    /// Pattern resolution found candidates.
+    Matched {
+        /// Number of matching visible actors.
+        candidates: u32,
+    },
+    /// The message was handed to the uplink toward a remote node.
+    Routed {
+        /// Destination node.
+        node: u16,
+    },
+    /// No match; the message was parked pending a visibility change (§5.6).
+    Suspended,
+    /// A visibility change woke the suspended message for re-resolution.
+    Woken,
+    /// A node failure re-resolved the message away from its old home.
+    FailedOver {
+        /// Node the message was originally headed to (or held on).
+        from: u16,
+        /// Node that performed the re-resolution.
+        to: u16,
+    },
+    /// The recipient processed the message. Emitted at processing time —
+    /// not at mailbox accept — because an accepted-but-unprocessed message
+    /// can still be harvested and failed over when its node crashes.
+    Delivered,
+    /// The message was dropped with no recipient.
+    DeadLettered,
+}
+
+impl Stage {
+    /// Canonical lowercase stage name (stable; used in exports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Submitted { .. } => "submitted",
+            Stage::Matched { .. } => "matched",
+            Stage::Routed { .. } => "routed",
+            Stage::Suspended => "suspended",
+            Stage::Woken => "woken",
+            Stage::FailedOver { .. } => "failed_over",
+            Stage::Delivered => "delivered",
+            Stage::DeadLettered => "dead_lettered",
+        }
+    }
+
+    /// True for the two terminal stages (`delivered`, `dead_lettered`).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, Stage::Delivered | Stage::DeadLettered)
+    }
+
+    /// Parses the export form back into a stage (arguments included).
+    /// Used by tests that reconstruct lifecycles from exports alone.
+    pub fn parse(name: &str, args: &[(&str, u64)]) -> Option<Stage> {
+        let arg = |k: &str| args.iter().find(|(n, _)| *n == k).map(|(_, v)| *v);
+        Some(match name {
+            "submitted" => Stage::Submitted {
+                broadcast: arg("broadcast")? != 0,
+            },
+            "matched" => Stage::Matched {
+                candidates: arg("candidates")? as u32,
+            },
+            "routed" => Stage::Routed {
+                node: arg("target")? as u16,
+            },
+            "suspended" => Stage::Suspended,
+            "woken" => Stage::Woken,
+            "failed_over" => Stage::FailedOver {
+                from: arg("from")? as u16,
+                to: arg("to")? as u16,
+            },
+            "delivered" => Stage::Delivered,
+            "dead_lettered" => Stage::DeadLettered,
+            _ => return None,
+        })
+    }
+}
+
+/// One ring-buffered lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The trace this event belongs to.
+    pub trace: TraceId,
+    /// Monotonic nanoseconds since the tracer's epoch.
+    pub at_nanos: u64,
+    /// Node that emitted the event.
+    pub node: u16,
+    /// The lifecycle stage.
+    pub stage: Stage,
+}
+
+impl TraceEvent {
+    /// One JSON object (no trailing newline), e.g.
+    /// `{"trace":3,"at_nanos":120,"node":1,"stage":"routed","target":2}`.
+    pub fn to_json_line(&self) -> String {
+        let mut out = format!(
+            "{{\"trace\":{},\"at_nanos\":{},\"node\":{},\"stage\":\"{}\"",
+            self.trace.0,
+            self.at_nanos,
+            self.node,
+            self.stage.name()
+        );
+        match self.stage {
+            Stage::Submitted { broadcast } => {
+                out.push_str(&format!(",\"broadcast\":{}", broadcast as u8));
+            }
+            Stage::Matched { candidates } => {
+                out.push_str(&format!(",\"candidates\":{candidates}"));
+            }
+            Stage::Routed { node } => {
+                out.push_str(&format!(",\"target\":{node}"));
+            }
+            Stage::FailedOver { from, to } => {
+                out.push_str(&format!(",\"from\":{from},\"to\":{to}"));
+            }
+            Stage::Suspended | Stage::Woken | Stage::Delivered | Stage::DeadLettered => {}
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses a line produced by [`TraceEvent::to_json_line`]. Only the
+    /// export's own flat shape is understood — this is a test/offline
+    /// convenience, not a general JSON parser.
+    pub fn parse_json_line(line: &str) -> Option<TraceEvent> {
+        let line = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+        let mut trace = None;
+        let mut at = None;
+        let mut node = None;
+        let mut stage_name = None;
+        let mut args: Vec<(String, u64)> = Vec::new();
+        for field in line.split(',') {
+            let (k, v) = field.split_once(':')?;
+            let k = k.trim().trim_matches('"');
+            let v = v.trim();
+            match k {
+                "trace" => trace = v.parse().ok().map(TraceId),
+                "at_nanos" => at = v.parse().ok(),
+                "node" => node = v.parse().ok(),
+                "stage" => stage_name = Some(v.trim_matches('"').to_string()),
+                other => {
+                    if let Ok(n) = v.parse::<u64>() {
+                        args.push((other.to_string(), n));
+                    }
+                }
+            }
+        }
+        let borrowed: Vec<(&str, u64)> = args.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        Some(TraceEvent {
+            trace: trace?,
+            at_nanos: at?,
+            node: node?,
+            stage: Stage::parse(&stage_name?, &borrowed)?,
+        })
+    }
+}
+
+/// Allocates trace ids (with sampling) and buffers lifecycle events.
+pub struct Tracer {
+    epoch: Instant,
+    next_id: AtomicU64,
+    sample_every: u64,
+    tick: AtomicU64,
+    capacity: usize,
+    dropped: AtomicU64,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl Tracer {
+    /// A tracer sampling one in `sample_every` sends (0 disables tracing
+    /// entirely) into a ring of at most `capacity` events.
+    pub fn new(sample_every: u64, capacity: usize) -> Tracer {
+        Tracer {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            sample_every,
+            tick: AtomicU64::new(0),
+            capacity,
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Monotonic nanoseconds since this tracer's epoch.
+    #[inline]
+    pub fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Starts a trace for a new send/broadcast, subject to sampling.
+    /// Returns [`TraceId::NONE`] when this message is not sampled.
+    #[inline]
+    pub fn begin(&self) -> TraceId {
+        if self.sample_every == 0 {
+            return TraceId::NONE;
+        }
+        if self.sample_every > 1 {
+            let t = self.tick.fetch_add(1, Ordering::Relaxed);
+            if !t.is_multiple_of(self.sample_every) {
+                return TraceId::NONE;
+            }
+        }
+        TraceId(self.next_id.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Appends one lifecycle event; no-op for [`TraceId::NONE`].
+    pub fn record(&self, trace: TraceId, node: u16, stage: Stage) {
+        if trace.is_none() || self.capacity == 0 {
+            return;
+        }
+        let ev = TraceEvent {
+            trace,
+            at_nanos: self.now_nanos(),
+            node,
+            stage,
+        };
+        let mut ring = self.ring.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    /// True when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().iter().copied().collect()
+    }
+
+    /// All buffered events of one trace, oldest first.
+    pub fn events_for(&self, trace: TraceId) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .iter()
+            .filter(|e| e.trace == trace)
+            .copied()
+            .collect()
+    }
+
+    /// Ids of buffered traces that have reached a terminal stage.
+    pub fn complete_traces(&self) -> Vec<TraceId> {
+        let ring = self.ring.lock();
+        let mut done: Vec<TraceId> = ring
+            .iter()
+            .filter(|e| e.stage.is_terminal())
+            .map(|e| e.trace)
+            .collect();
+        done.sort_unstable();
+        done.dedup();
+        done
+    }
+
+    /// The whole ring as JSON lines (one event per line).
+    pub fn export_json_lines(&self) -> String {
+        let ring = self.ring.lock();
+        let mut out = String::with_capacity(ring.len() * 80);
+        for e in ring.iter() {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The whole ring in Chrome `trace_event` format (load via
+    /// `chrome://tracing` or Perfetto): instant events, `pid` = node,
+    /// `tid` = trace id, `ts` in microseconds.
+    pub fn export_chrome_trace(&self) -> String {
+        let ring = self.ring.lock();
+        let mut out = String::from("[");
+        for (i, e) in ring.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{}}}",
+                e.stage.name(),
+                e.at_nanos / 1_000,
+                e.node,
+                e.trace.0,
+                chrome_args(&e.stage),
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+fn chrome_args(stage: &Stage) -> String {
+    match stage {
+        Stage::Submitted { broadcast } => format!("{{\"broadcast\":{broadcast}}}"),
+        Stage::Matched { candidates } => format!("{{\"candidates\":{candidates}}}"),
+        Stage::Routed { node } => format!("{{\"target\":{node}}}"),
+        Stage::FailedOver { from, to } => format!("{{\"from\":{from},\"to\":{to}}}"),
+        _ => "{}".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_id_is_noop() {
+        let t = Tracer::new(1, 16);
+        t.record(TraceId::NONE, 0, Stage::Delivered);
+        assert!(t.is_empty());
+        assert!(TraceId::NONE.is_none());
+        assert!(TraceId(3).is_some());
+    }
+
+    #[test]
+    fn sampling_rates() {
+        let off = Tracer::new(0, 16);
+        assert_eq!(off.begin(), TraceId::NONE);
+        let all = Tracer::new(1, 16);
+        assert!(all.begin().is_some());
+        assert!(all.begin().is_some());
+        let every4 = Tracer::new(4, 16);
+        let sampled = (0..100).filter(|_| every4.begin().is_some()).count();
+        assert_eq!(sampled, 25);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let t = Tracer::new(1, 3);
+        for _ in 0..5 {
+            let id = t.begin();
+            t.record(id, 0, Stage::Delivered);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let evs = t.events();
+        assert_eq!(evs.first().unwrap().trace, TraceId(3));
+    }
+
+    #[test]
+    fn events_query_and_completion() {
+        let t = Tracer::new(1, 64);
+        let a = t.begin();
+        let b = t.begin();
+        t.record(a, 0, Stage::Submitted { broadcast: false });
+        t.record(b, 0, Stage::Submitted { broadcast: true });
+        t.record(a, 1, Stage::Delivered);
+        assert_eq!(t.events_for(a).len(), 2);
+        assert_eq!(t.events_for(b).len(), 1);
+        assert_eq!(t.complete_traces(), vec![a]);
+        let evs = t.events_for(a);
+        assert!(evs[0].at_nanos <= evs[1].at_nanos);
+    }
+
+    #[test]
+    fn json_lines_roundtrip() {
+        let t = Tracer::new(1, 64);
+        let id = t.begin();
+        t.record(id, 0, Stage::Submitted { broadcast: false });
+        t.record(id, 0, Stage::Matched { candidates: 2 });
+        t.record(id, 0, Stage::Routed { node: 3 });
+        t.record(id, 3, Stage::FailedOver { from: 3, to: 1 });
+        t.record(id, 1, Stage::Delivered);
+        let export = t.export_json_lines();
+        let parsed: Vec<TraceEvent> = export
+            .lines()
+            .map(|l| TraceEvent::parse_json_line(l).expect("parse"))
+            .collect();
+        assert_eq!(parsed, t.events());
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let t = Tracer::new(1, 8);
+        let id = t.begin();
+        t.record(id, 2, Stage::Matched { candidates: 1 });
+        let json = t.export_chrome_trace();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"name\":\"matched\""));
+        assert!(json.contains("\"pid\":2"));
+        assert!(json.contains("\"args\":{\"candidates\":1}"));
+    }
+
+    #[test]
+    fn stage_names_and_terminality() {
+        assert!(Stage::Delivered.is_terminal());
+        assert!(Stage::DeadLettered.is_terminal());
+        assert!(!Stage::Woken.is_terminal());
+        assert_eq!(Stage::FailedOver { from: 1, to: 2 }.name(), "failed_over");
+        assert_eq!(
+            Stage::parse("failed_over", &[("from", 1), ("to", 2)]),
+            Some(Stage::FailedOver { from: 1, to: 2 })
+        );
+        assert_eq!(Stage::parse("bogus", &[]), None);
+    }
+}

@@ -12,6 +12,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
+use actorspace_obs::{DeadLetterReason, TraceId};
 use crossbeam::deque::Steal;
 
 use crate::actor::ActorCell;
@@ -52,16 +53,21 @@ fn process_batch(shared: &Arc<Shared>, cell: Arc<ActorCell>) {
     let mut stopped = behavior.is_none();
 
     for _ in 0..shared.batch {
-        let Some((payload, _route)) = cell.mailbox.pop() else {
+        let Some((payload, route)) = cell.mailbox.pop() else {
             break;
         };
+        let trace = route.map(|r| r.trace).unwrap_or(TraceId::NONE);
         match payload {
             Payload::Start => {
                 if let Some(b) = behavior.as_mut() {
                     let mut ctx = Ctx::new(shared, cell.id, None);
                     let unwound = catch_unwind(AssertUnwindSafe(|| b.on_start(&mut ctx)));
                     if unwound.is_err() {
-                        shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                        shared.note_dead_letter(
+                            DeadLetterReason::BehaviorPanic,
+                            Some(cell.id),
+                            trace,
+                        );
                     }
                     apply_ctx(shared, &cell, &mut behavior, ctx, &mut stopped);
                 }
@@ -79,21 +85,41 @@ fn process_batch(shared: &Arc<Shared>, cell: Arc<ActorCell>) {
                     if unwound.is_err() {
                         // A panicking behavior drops the message; the actor
                         // survives with its current state (fail-soft).
-                        shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                        shared.note_dead_letter(
+                            DeadLetterReason::BehaviorPanic,
+                            Some(cell.id),
+                            trace,
+                        );
+                    } else {
+                        // `delivered` is emitted at processing time, not
+                        // mailbox-accept time: an accepted-but-unprocessed
+                        // message can still be harvested and failed over
+                        // when its node crashes, and each trace must end
+                        // in exactly one terminal stage.
+                        shared.deliveries.inc();
+                        shared.obs.tracer.record(
+                            trace,
+                            shared.node,
+                            actorspace_obs::Stage::Delivered,
+                        );
                     }
                     apply_ctx(shared, &cell, &mut behavior, ctx, &mut stopped);
                 } else {
                     // Messages to a stopped actor are dead letters.
-                    shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                    shared.note_dead_letter(DeadLetterReason::StoppedActor, Some(cell.id), trace);
                 }
             }
         }
         shared.dec_pending();
         if stopped {
             // Drain whatever remains as dead letters.
-            while let Some((p, _)) = cell.mailbox.pop() {
+            while let Some((p, r)) = cell.mailbox.pop() {
                 if matches!(p, Payload::User(_)) {
-                    shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+                    shared.note_dead_letter(
+                        DeadLetterReason::StoppedActor,
+                        Some(cell.id),
+                        r.map(|r| r.trace).unwrap_or(TraceId::NONE),
+                    );
                 }
                 shared.dec_pending();
             }

@@ -18,6 +18,7 @@ use actorspace_core::{
     ActorId, Disposition, GcReport, ManagerPolicy, MemberId, Pattern, Registry, Result, Route,
     SpaceId,
 };
+use actorspace_obs::{names, Counter, DeadLetter, DeadLetterReason, Obs, Stage, TraceId};
 
 use crate::actor::{ActorCell, Behavior};
 use crate::message::{Envelope, Message, Payload};
@@ -37,6 +38,14 @@ pub struct Config {
     /// First raw id this node allocates — cluster nodes use disjoint
     /// ranges (`node << 48`).
     pub id_base: u64,
+    /// The observer receiving this node's metrics, traces, and dead
+    /// letters. `None` creates a private default
+    /// ([`ObsConfig::default`](actorspace_obs::ObsConfig::default)); the
+    /// cluster layer shares one observer across all nodes so counters
+    /// survive restarts and timestamps share an epoch.
+    pub obs: Option<Arc<Obs>>,
+    /// Node label stamped on this system's telemetry (0 standalone).
+    pub node: u16,
 }
 
 impl Default for Config {
@@ -50,6 +59,8 @@ impl Default for Config {
             batch: 16,
             policy: ManagerPolicy::default(),
             id_base: 1,
+            obs: None,
+            node: 0,
         }
     }
 }
@@ -87,11 +98,18 @@ pub(crate) struct Shared {
     pub sleep_lock: Mutex<usize>,
     pub sleep_cv: Condvar,
     pub shutdown: AtomicBool,
-    pub dead_letters: AtomicUsize,
+    /// The shared observer and this node's label on it.
+    pub obs: Arc<Obs>,
+    pub node: u16,
+    /// Pre-resolved counter handles (`runtime.*` metrics, labeled by
+    /// node). Resolved from `obs` by `(name, node)`, so a restarted
+    /// incarnation picks up the *same* atoms — totals are cumulative.
+    pub dead_letters: Arc<Counter>,
     /// Failure-detector events, counted on the node that observed them.
-    pub suspicions: AtomicUsize,
-    pub failovers: AtomicUsize,
-    pub re_registrations: AtomicUsize,
+    pub suspicions: Arc<Counter>,
+    pub failovers: Arc<Counter>,
+    pub re_registrations: Arc<Counter>,
+    pub deliveries: Arc<Counter>,
     /// Delivery fallback for non-local actors (§7.2 transport objects).
     pub uplink: RwLock<Option<Arc<dyn Transport>>>,
     /// Reroutes state-changing primitives through an external coordinator
@@ -109,6 +127,11 @@ impl Shared {
         let Envelope { to, payload, route } = env;
         match cell {
             Some(cell) => {
+                if let Some(r) = route.as_ref() {
+                    self.obs
+                        .tracer
+                        .record(r.trace, self.node, Stage::Routed { node: self.node });
+                }
                 self.pending.fetch_add(1, Ordering::AcqRel);
                 if cell.mailbox.push(port, payload, route) {
                     self.injector.push(cell);
@@ -117,6 +140,7 @@ impl Shared {
                 true
             }
             None => {
+                let trace = route.as_ref().map(|r| r.trace).unwrap_or(TraceId::NONE);
                 if let Payload::User(msg) = payload {
                     if let Some(up) = self.uplink.read().clone() {
                         if up.deliver_routed(to, msg, route.as_ref()) {
@@ -124,10 +148,26 @@ impl Shared {
                         }
                     }
                 }
-                self.dead_letters.fetch_add(1, Ordering::Relaxed);
+                self.note_dead_letter(DeadLetterReason::NoRecipient, Some(to), trace);
                 false
             }
         }
+    }
+
+    /// Records a dead letter: counter, last-N ring, and terminal trace
+    /// stage, all on this node's label.
+    pub fn note_dead_letter(&self, reason: DeadLetterReason, to: Option<ActorId>, trace: TraceId) {
+        self.dead_letters.inc();
+        self.obs.dead_letters.record(DeadLetter {
+            at_nanos: self.obs.tracer.now_nanos(),
+            node: self.node,
+            to: to.map(|a| a.0),
+            trace,
+            reason,
+        });
+        self.obs
+            .tracer
+            .record(trace, self.node, Stage::DeadLettered);
     }
 
     pub fn notify_worker(&self) {
@@ -273,13 +313,16 @@ impl ActorSystem {
     /// Boots a node: registry with its root space, plus `config.workers`
     /// scheduler threads.
     pub fn new(config: Config) -> ActorSystem {
+        let obs = config
+            .obs
+            .unwrap_or_else(|| Obs::shared(actorspace_obs::ObsConfig::default()));
+        let node = config.node;
+        let mut registry = Registry::with_id_base(config.policy.clone(), config.id_base);
+        registry.set_obs(obs.clone(), node);
         let shared = Arc::new(Shared {
             actors: RwLock::new(HashMap::new()),
             injector: Injector::new(),
-            registry: Mutex::new(Registry::with_id_base(
-                config.policy.clone(),
-                config.id_base,
-            )),
+            registry: Mutex::new(registry),
             minter: CapMinter::new(),
             pending: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
@@ -287,10 +330,13 @@ impl ActorSystem {
             sleep_lock: Mutex::new(0),
             sleep_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            dead_letters: AtomicUsize::new(0),
-            suspicions: AtomicUsize::new(0),
-            failovers: AtomicUsize::new(0),
-            re_registrations: AtomicUsize::new(0),
+            dead_letters: obs.metrics.counter(names::RT_DEAD_LETTERS, node),
+            suspicions: obs.metrics.counter(names::RT_SUSPICIONS, node),
+            failovers: obs.metrics.counter(names::RT_FAILOVERS, node),
+            re_registrations: obs.metrics.counter(names::RT_REREGISTRATIONS, node),
+            deliveries: obs.metrics.counter(names::RT_DELIVERIES, node),
+            obs,
+            node,
             uplink: RwLock::new(None),
             hook: RwLock::new(None),
             batch: config.batch.max(1),
@@ -576,38 +622,65 @@ impl ActorSystem {
         true
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot. Counter values come from the node's observer, so
+    /// under a shared cluster observer they are cumulative across restarts
+    /// of this node (the registry-derived `actors`/`spaces` and the queue
+    /// gauge `pending` remain per-incarnation by nature).
     pub fn stats(&self) -> Stats {
         let reg = self.shared.registry.lock();
         Stats {
             pending: self.shared.pending.load(Ordering::Acquire),
-            dead_letters: self.shared.dead_letters.load(Ordering::Relaxed),
+            dead_letters: self.shared.dead_letters.get() as usize,
             actors: reg.actor_count(),
             spaces: reg.space_count(),
-            suspicions: self.shared.suspicions.load(Ordering::Relaxed),
-            failovers: self.shared.failovers.load(Ordering::Relaxed),
-            re_registrations: self.shared.re_registrations.load(Ordering::Relaxed),
+            suspicions: self.shared.suspicions.get() as usize,
+            failovers: self.shared.failovers.get() as usize,
+            re_registrations: self.shared.re_registrations.get() as usize,
         }
+    }
+
+    /// The observer receiving this system's metrics, traces, and dead
+    /// letters.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
+    }
+
+    /// The node label stamped on this system's telemetry.
+    pub fn node_label(&self) -> u16 {
+        self.shared.node
     }
 
     /// Records that this node's failure detector declared a peer failed.
     pub fn note_suspicion(&self) {
-        self.shared.suspicions.fetch_add(1, Ordering::Relaxed);
+        self.shared.suspicions.inc();
     }
 
     /// Records one message re-routed to a survivor after a node failure.
     pub fn note_failover(&self) {
-        self.shared.failovers.fetch_add(1, Ordering::Relaxed);
+        self.shared.failovers.inc();
     }
 
     /// Records a node re-registration (restart) observed via the directory.
     pub fn note_reregistration(&self) {
-        self.shared.re_registrations.fetch_add(1, Ordering::Relaxed);
+        self.shared.re_registrations.inc();
     }
 
     /// Records a message that could not be failed over (no route).
     pub fn note_dead_letter(&self) {
-        self.shared.dead_letters.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .note_dead_letter(DeadLetterReason::Undeliverable, None, TraceId::NONE);
+    }
+
+    /// Records a dead letter with its reason, destination, and trace —
+    /// the cluster layer's crash/harvest paths use this so the drop shows
+    /// up in the last-N ring and terminates the message's trace.
+    pub fn note_dead_letter_traced(
+        &self,
+        reason: DeadLetterReason,
+        to: Option<ActorId>,
+        trace: TraceId,
+    ) {
+        self.shared.note_dead_letter(reason, to, trace);
     }
 
     /// Installs the non-local delivery fallback (§7.2 transport selection).
@@ -652,10 +725,12 @@ impl ActorSystem {
 
     /// Re-resolves a previously routed message against the current registry
     /// state — the failover path after its original recipient died. The
-    /// space's unmatched policy applies as for a fresh `send`.
+    /// space's unmatched policy applies as for a fresh `send`, but the
+    /// message's existing lifecycle trace is continued rather than a new
+    /// one being started.
     pub fn resend_routed(&self, route: &Route, msg: Message) -> Result<Disposition> {
         self.shared
-            .with_registry(|reg, sink| reg.send(&route.pattern, route.space, msg, sink))
+            .with_registry(|reg, sink| reg.resend(route, msg, sink))
     }
 
     /// Whether this node currently hosts a behavior cell for `id`.

@@ -1,0 +1,112 @@
+//! Trace lifecycle properties: with full sampling, every message the
+//! system delivers leaves a trace that ends in exactly one terminal event
+//! (`delivered` or `dead_lettered`), with per-stage timestamps that never
+//! run backwards.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use actorspace_atoms::path;
+use actorspace_obs::{Obs, ObsConfig, Stage};
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, ActorSystem, Config, Value};
+use proptest::prelude::*;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn traced_system() -> (ActorSystem, Arc<Obs>) {
+    let obs = Obs::shared(ObsConfig::all());
+    let sys = ActorSystem::new(Config {
+        obs: Some(obs.clone()),
+        ..Config::default()
+    });
+    (sys, obs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random mixes of matched sends, unmatched-then-woken sends, and
+    /// discarded sends: every trace with a terminal event has EXACTLY one,
+    /// every processed message's trace ends in `delivered`, and stage
+    /// timestamps are monotone within each trace.
+    #[test]
+    fn every_trace_ends_in_exactly_one_terminal_event(
+        n_matched in 1usize..40,
+        n_suspended in 0usize..10,
+    ) {
+        let (sys, obs) = traced_system();
+        let space = sys.create_space(None).unwrap();
+        let processed = Arc::new(AtomicUsize::new(0));
+
+        let p = processed.clone();
+        let worker = sys.spawn(from_fn(move |_ctx, _msg| {
+            p.fetch_add(1, Ordering::Relaxed);
+        }));
+        sys.make_visible(worker.id(), &path("svc/a"), space, None).unwrap();
+
+        for i in 0..n_matched {
+            sys.send_pattern(&pattern("svc/*"), space, Value::int(i as i64), None).unwrap();
+        }
+        // Unmatched sends suspend (§5.6 default) and wake when a match
+        // appears.
+        for i in 0..n_suspended {
+            sys.send_pattern(&pattern("late/*"), space, Value::int(i as i64), None).unwrap();
+        }
+        let late = sys.spawn(from_fn(|_ctx, _msg| {}));
+        sys.make_visible(late.id(), &path("late/x"), space, None).unwrap();
+
+        prop_assert!(sys.await_idle(TIMEOUT));
+        let expected = n_matched + n_suspended;
+        prop_assert_eq!(obs.tracer.complete_traces().len(), expected);
+
+        for t in obs.tracer.complete_traces() {
+            let events = obs.tracer.events_for(t);
+            let terminals = events.iter().filter(|e| e.stage.is_terminal()).count();
+            prop_assert_eq!(terminals, 1, "trace {} has {} terminal events", t, terminals);
+            prop_assert!(
+                matches!(events.first().map(|e| e.stage), Some(Stage::Submitted { .. })),
+                "trace {} does not start with submitted", t
+            );
+            prop_assert!(
+                events.last().unwrap().stage.is_terminal(),
+                "trace {} does not end with its terminal event", t
+            );
+            let mut last = 0u64;
+            for e in &events {
+                prop_assert!(e.at_nanos >= last, "timestamps ran backwards in trace {}", t);
+                last = e.at_nanos;
+            }
+        }
+        sys.shutdown();
+    }
+}
+
+#[test]
+fn suspended_sends_trace_through_suspension_and_wake() {
+    let (sys, obs) = traced_system();
+    let space = sys.create_space(None).unwrap();
+    sys.send_pattern(&pattern("svc/*"), space, Value::int(1), None)
+        .unwrap();
+    let worker = sys.spawn(from_fn(|_ctx, _msg| {}));
+    sys.make_visible(worker.id(), &path("svc/a"), space, None)
+        .unwrap();
+    assert!(sys.await_idle(TIMEOUT));
+
+    let traces = obs.tracer.complete_traces();
+    assert_eq!(traces.len(), 1);
+    let stages: Vec<&'static str> = obs
+        .tracer
+        .events_for(traces[0])
+        .iter()
+        .map(|e| e.stage.name())
+        .collect();
+    // The wake-time re-resolution folds matching into `woken`, so no
+    // separate `matched` stage appears on the retry path.
+    assert_eq!(
+        stages,
+        vec!["submitted", "suspended", "woken", "routed", "delivered"]
+    );
+    sys.shutdown();
+}

@@ -26,4 +26,10 @@ cargo test --workspace -q
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 
+echo "==> obs smoke (observe example under churn must self-check)"
+# The example asserts a non-empty metric snapshot and at least one
+# complete traced lifecycle, then prints the marker we grep for.
+OBSERVE_MS=1500 cargo run --release --example observe | tee /tmp/observe.out
+grep -q "OBS SMOKE OK" /tmp/observe.out
+
 echo "CI gate passed."

@@ -17,6 +17,8 @@
 //! * [`interp`] — the prototype's small behavior interpreter.
 //! * [`net`] — the inter-node design: a simulated cluster connected by a
 //!   coordinator bus with globally ordered broadcasts.
+//! * [`obs`] — the shared observer: a lock-light metrics registry plus
+//!   sampled message-lifecycle tracing (see README "Observability").
 //! * [`baselines`] — the systems the paper compares against: a Linda tuple
 //!   space, a global name server, and explicit process groups.
 //!
@@ -52,6 +54,7 @@ pub use actorspace_capability as capability;
 pub use actorspace_core as core;
 pub use actorspace_interp as interp;
 pub use actorspace_net as net;
+pub use actorspace_obs as obs;
 pub use actorspace_pattern as pattern;
 pub use actorspace_runtime as runtime;
 
