@@ -16,7 +16,7 @@ use actorspace_bench::report::{fmt_dur, time_it, Table};
 use actorspace_bench::workloads::{pool, repo, tsp};
 use actorspace_core::{
     policy::{ManagerPolicy, SelectionPolicy, UnmatchedPolicy},
-    ActorId, Registry, SpaceId, ROOT_SPACE,
+    ActorId, Registry, ShardedRegistry, SpaceId, ROOT_SPACE,
 };
 use actorspace_net::{Cluster, ClusterConfig, FailureConfig, LinkConfig, OrderingProtocol};
 use actorspace_obs::{names, Obs, ObsConfig};
@@ -66,6 +66,9 @@ fn main() {
     }
     if run("e13") {
         e13_tracing_overhead();
+    }
+    if run("e14") {
+        e14_shard_contention();
     }
 }
 
@@ -1007,6 +1010,155 @@ fn e13_tracing_overhead() {
         reroute.count,
         reroute.p50 as f64 / 1e6,
         cluster_obs.snapshot().counter_total(names::NET_RETRANSMITS),
+    );
+    println!("json: {}", t.to_json());
+}
+
+// ---------------------------------------------------------------- E14
+
+fn e14_shard_contention() {
+    // The sharded coordinator's reason to exist: under the seed design
+    // every send serialises on one registry-wide mutex; per-space shards
+    // let sends into disjoint spaces proceed concurrently. Each thread
+    // hammers its own private space and sends every 16th message through
+    // one shared space (the cross-shard path), against (a) the single-lock
+    // reference behind a `Mutex` — the seed coordinator shape — and
+    // (b) `ShardedRegistry` called through `&self`.
+    //
+    // E14_QUICK=1 shrinks the run for CI. On a 1-core runner the two
+    // variants should be ~at parity (no parallelism to win); the sharded
+    // column must simply not be meaningfully slower.
+    let quick = std::env::var("E14_QUICK").is_ok();
+    let per_thread: u64 = if quick { 4_000 } else { 40_000 };
+    let mut t = Table::new(
+        "E14 (sharding): send throughput, global lock vs per-space shards",
+        &[
+            "threads",
+            "ops/thread",
+            "global lock",
+            "sharded",
+            "sharded/global",
+        ],
+    );
+
+    let policy = ManagerPolicy {
+        unmatched_send: UnmatchedPolicy::Discard,
+        unmatched_broadcast: UnmatchedPolicy::Discard,
+        selection_seed: Some(7),
+        ..ManagerPolicy::default()
+    };
+
+    for threads in [1usize, 2, 4, 8] {
+        // -- (a) the seed shape: one mutex around the whole registry.
+        let d_global = {
+            let reg = Arc::new(parking_lot::Mutex::new(Registry::<u64>::new(
+                policy.clone(),
+            )));
+            let (privates, shared) = {
+                let mut r = reg.lock();
+                let shared = r.create_space(None);
+                let mut privates = Vec::new();
+                let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
+                for _ in 0..threads {
+                    let s = r.create_space(None);
+                    let a = r.create_actor(s, None).unwrap();
+                    r.make_visible(a.into(), vec![path("worker")], s, None, &mut sink)
+                        .unwrap();
+                    r.make_visible(
+                        a.into(),
+                        vec![path("shared/worker")],
+                        shared,
+                        None,
+                        &mut sink,
+                    )
+                    .unwrap();
+                    privates.push(s);
+                }
+                (privates, shared)
+            };
+            let own = pattern("worker");
+            let cross = pattern("shared/*");
+            let (_, d) = time_it(|| {
+                std::thread::scope(|scope| {
+                    for &space in privates.iter().take(threads) {
+                        let reg = Arc::clone(&reg);
+                        let (own, cross) = (own.clone(), cross.clone());
+                        scope.spawn(move || {
+                            let mut sink =
+                                |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
+                            for i in 0..per_thread {
+                                let mut r = reg.lock();
+                                if i % 16 == 0 {
+                                    r.send(&cross, shared, i, &mut sink).unwrap();
+                                } else {
+                                    r.send(&own, space, i, &mut sink).unwrap();
+                                }
+                            }
+                        });
+                    }
+                });
+            });
+            d
+        };
+
+        // -- (b) per-space shards, no outer lock.
+        let d_sharded = {
+            let reg = Arc::new(ShardedRegistry::<u64>::new(policy.clone()));
+            let shared = reg.create_space(None);
+            let mut privates = Vec::new();
+            let mut sink = |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
+            for _ in 0..threads {
+                let s = reg.create_space(None);
+                let a = reg.create_actor(s, None).unwrap();
+                reg.make_visible(a.into(), vec![path("worker")], s, None, &mut sink)
+                    .unwrap();
+                reg.make_visible(
+                    a.into(),
+                    vec![path("shared/worker")],
+                    shared,
+                    None,
+                    &mut sink,
+                )
+                .unwrap();
+                privates.push(s);
+            }
+            let own = pattern("worker");
+            let cross = pattern("shared/*");
+            let (_, d) = time_it(|| {
+                std::thread::scope(|scope| {
+                    for &space in privates.iter().take(threads) {
+                        let reg = Arc::clone(&reg);
+                        let (own, cross) = (own.clone(), cross.clone());
+                        scope.spawn(move || {
+                            let mut sink =
+                                |_: ActorId, _: u64, _: Option<&actorspace_core::Route>| {};
+                            for i in 0..per_thread {
+                                if i % 16 == 0 {
+                                    reg.send(&cross, shared, i, &mut sink).unwrap();
+                                } else {
+                                    reg.send(&own, space, i, &mut sink).unwrap();
+                                }
+                            }
+                        });
+                    }
+                });
+            });
+            d
+        };
+
+        t.row(&[
+            threads.to_string(),
+            per_thread.to_string(),
+            fmt_dur(d_global),
+            fmt_dur(d_sharded),
+            format!("{:.2}x", d_sharded.as_secs_f64() / d_global.as_secs_f64()),
+        ]);
+    }
+    t.print();
+    println!(
+        "(cores available: {}; on a 1-core runner expect ~parity — the sharded win \
+         needs real parallelism, the invariant is that sharding is never meaningfully slower)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
     );
     println!("json: {}", t.to_json());
 }

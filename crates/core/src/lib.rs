@@ -57,6 +57,7 @@ pub mod managers;
 pub mod matching;
 pub mod policy;
 pub mod registry;
+pub mod shard;
 pub mod space;
 pub mod visibility;
 
@@ -71,4 +72,5 @@ pub use ids::{ActorId, IdGen, MemberId, SpaceId, ROOT_SPACE};
 pub use manager::{DefaultManager, Manager};
 pub use policy::{CyclePolicy, ManagerPolicy, SelectionPolicy, Selector, UnmatchedPolicy};
 pub use registry::{ActorRecord, Registry, Sink, SpaceInfo};
+pub use shard::ShardedRegistry;
 pub use space::{DeliveryKind, MatchFilter, Pending, PersistentBroadcast, Space};

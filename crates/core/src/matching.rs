@@ -22,6 +22,285 @@ use actorspace_pattern::{Pattern, StateSet};
 use crate::error::{Error, Result};
 use crate::ids::{ActorId, MemberId, SpaceId};
 use crate::registry::Registry;
+use crate::space::Space;
+
+/// Read access to spaces during a resolution walk. Implemented both by the
+/// single-lock [`Registry`]'s space map and by the sharded registry's
+/// ordered set of locked shards, so one walk serves both coordinators.
+pub(crate) trait SpaceStore<M> {
+    /// The space, if it exists in this view.
+    fn get_space(&self, id: SpaceId) -> Option<&Space<M>>;
+}
+
+impl<M> SpaceStore<M> for std::collections::HashMap<SpaceId, Space<M>> {
+    fn get_space(&self, id: SpaceId) -> Option<&Space<M>> {
+        self.get(&id)
+    }
+}
+
+/// Resolves `pattern` in `space` to the set of matching visible actors,
+/// descending through visible sub-spaces per the structured-attribute
+/// rule. The result is deduplicated and sorted (an actor visible via
+/// several attribute paths is returned once).
+pub(crate) fn resolve_actors<M>(
+    store: &impl SpaceStore<M>,
+    pattern: &Pattern,
+    space: SpaceId,
+) -> Result<Vec<ActorId>> {
+    let root = store.get_space(space).ok_or(Error::NoSuchSpace(space))?;
+    let max_depth = root.policy().max_match_depth;
+    let mut out: HashSet<ActorId> = HashSet::new();
+    // Fast path: a literal pattern matches exactly one attribute path,
+    // so the per-space inverted index answers it without an NFA walk.
+    // Attributes are always literal, so this is complete, including
+    // through nested spaces (prefix-stripping recursion).
+    if root.policy().use_literal_index {
+        if let Some(lit) = pattern.as_literal() {
+            let mut visited = HashSet::new();
+            walk_literal(
+                store,
+                pattern,
+                &lit,
+                space,
+                0,
+                max_depth,
+                &mut visited,
+                &mut |a| {
+                    out.insert(a);
+                },
+            )?;
+            let mut v: Vec<ActorId> = out.into_iter().collect();
+            v.sort_unstable();
+            return Ok(v);
+        }
+    }
+    let mut visited = HashSet::new();
+    walk(
+        store,
+        pattern,
+        space,
+        pattern.start(),
+        0,
+        max_depth,
+        &mut visited,
+        &mut |a| {
+            out.insert(a);
+        },
+    )?;
+    let mut v: Vec<ActorId> = out.into_iter().collect();
+    v.sort_unstable();
+    Ok(v)
+}
+
+/// Resolves `pattern` to matching *spaces* (see
+/// [`Registry::resolve_spaces`]).
+pub(crate) fn resolve_spaces_in<M>(
+    store: &impl SpaceStore<M>,
+    pattern: &Pattern,
+    space: SpaceId,
+) -> Result<Vec<SpaceId>> {
+    let root = store.get_space(space).ok_or(Error::NoSuchSpace(space))?;
+    let max_depth = root.policy().max_match_depth;
+    let mut out: HashSet<SpaceId> = HashSet::new();
+    let mut visited = HashSet::new();
+    walk_spaces(
+        store,
+        pattern,
+        space,
+        pattern.start(),
+        0,
+        max_depth,
+        &mut visited,
+        &mut |s| {
+            out.insert(s);
+        },
+    )?;
+    let mut v: Vec<SpaceId> = out.into_iter().collect();
+    v.sort_unstable();
+    Ok(v)
+}
+
+/// Literal resolution: exact index hit for direct actors, plus recursion
+/// into sub-spaces whose (literal) attribute prefixes the target path.
+#[allow(clippy::too_many_arguments)] // internal recursion carries its full context
+fn walk_literal<M>(
+    store: &impl SpaceStore<M>,
+    original: &Pattern,
+    target: &actorspace_atoms::Path,
+    space: SpaceId,
+    depth: usize,
+    max_depth: usize,
+    visited: &mut HashSet<(SpaceId, actorspace_atoms::Path)>,
+    found: &mut impl FnMut(ActorId),
+) -> Result<()> {
+    // Visited-state dedup: terminates cyclic visibility graphs (§5.7's
+    // tagging alternative) and prunes diamond re-walks.
+    if !visited.insert((space, target.clone())) {
+        return Ok(());
+    }
+    let sp = store.get_space(space).ok_or(Error::NoSuchSpace(space))?;
+    for member in sp.members_with_attr(target) {
+        if let MemberId::Actor(a) = member {
+            // Index hits have local attribute == remaining target, so a
+            // custom matching rule sees the same (pattern, member, attr)
+            // triple the NFA path would give it.
+            let admitted = sp
+                .match_filter()
+                .map(|f| f(original, *member, target))
+                .unwrap_or(true);
+            if admitted {
+                found(*a);
+            }
+        }
+    }
+    if depth >= max_depth {
+        return Ok(());
+    }
+    for sub in sp.space_members() {
+        if store.get_space(sub).is_none() {
+            continue;
+        }
+        let Some(attrs) = sp.members().get(&MemberId::Space(sub)) else {
+            continue;
+        };
+        for attr in attrs {
+            if let Some(rest) = target.strip_prefix(attr) {
+                walk_literal(
+                    store,
+                    original,
+                    &rest,
+                    sub,
+                    depth + 1,
+                    max_depth,
+                    visited,
+                    found,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)] // internal recursion carries its full context
+fn walk<M>(
+    store: &impl SpaceStore<M>,
+    pattern: &Pattern,
+    space: SpaceId,
+    states: StateSet,
+    depth: usize,
+    max_depth: usize,
+    visited: &mut HashSet<(SpaceId, StateSet)>,
+    found: &mut impl FnMut(ActorId),
+) -> Result<()> {
+    // Visited-state dedup (see `walk_literal`).
+    if !visited.insert((space, states.clone())) {
+        return Ok(());
+    }
+    let sp = store.get_space(space).ok_or(Error::NoSuchSpace(space))?;
+    for (member, attrs) in sp.members() {
+        for attr in attrs {
+            // Advance the NFA through this attribute's atoms.
+            let mut st = states.clone();
+            let mut dead = false;
+            for atom in attr.iter() {
+                st = st.advance(pattern.nfa(), atom);
+                if st.is_dead() {
+                    dead = true;
+                    break;
+                }
+            }
+            if dead {
+                continue;
+            }
+            match *member {
+                MemberId::Actor(a) => {
+                    if st.is_accepting(pattern.nfa()) {
+                        let admitted = sp
+                            .match_filter()
+                            .map(|f| f(pattern, *member, attr))
+                            .unwrap_or(true);
+                        if admitted {
+                            found(a);
+                        }
+                    }
+                }
+                MemberId::Space(sub) => {
+                    if depth < max_depth {
+                        // Structured attribute: continue matching inside
+                        // the sub-space with the advanced state set.
+                        // Missing sub-spaces (e.g. remote stubs) are
+                        // skipped rather than failing the whole resolve.
+                        if store.get_space(sub).is_some() {
+                            walk(
+                                store,
+                                pattern,
+                                sub,
+                                st,
+                                depth + 1,
+                                max_depth,
+                                visited,
+                                found,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)] // internal recursion carries its full context
+fn walk_spaces<M>(
+    store: &impl SpaceStore<M>,
+    pattern: &Pattern,
+    space: SpaceId,
+    states: StateSet,
+    depth: usize,
+    max_depth: usize,
+    visited: &mut HashSet<(SpaceId, StateSet)>,
+    found: &mut impl FnMut(SpaceId),
+) -> Result<()> {
+    if !visited.insert((space, states.clone())) {
+        return Ok(());
+    }
+    let sp = store.get_space(space).ok_or(Error::NoSuchSpace(space))?;
+    for (member, attrs) in sp.members() {
+        let MemberId::Space(sub) = *member else {
+            continue;
+        };
+        for attr in attrs {
+            let mut st = states.clone();
+            let mut dead = false;
+            for atom in attr.iter() {
+                st = st.advance(pattern.nfa(), atom);
+                if st.is_dead() {
+                    dead = true;
+                    break;
+                }
+            }
+            if dead {
+                continue;
+            }
+            if st.is_accepting(pattern.nfa()) {
+                found(sub);
+            }
+            if depth < max_depth && store.get_space(sub).is_some() {
+                walk_spaces(
+                    store,
+                    pattern,
+                    sub,
+                    st,
+                    depth + 1,
+                    max_depth,
+                    visited,
+                    found,
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
 
 impl<M: Clone> Registry<M> {
     /// Resolves `pattern` in `space` to the set of matching visible actors,
@@ -29,219 +308,14 @@ impl<M: Clone> Registry<M> {
     /// rule. The result is deduplicated and sorted (an actor visible via
     /// several attribute paths is returned once).
     pub fn resolve(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<ActorId>> {
-        let root = self.space(space)?;
-        let max_depth = root.policy().max_match_depth;
-        let mut out: HashSet<ActorId> = HashSet::new();
-        // Fast path: a literal pattern matches exactly one attribute path,
-        // so the per-space inverted index answers it without an NFA walk.
-        // Attributes are always literal, so this is complete, including
-        // through nested spaces (prefix-stripping recursion).
-        if root.policy().use_literal_index {
-            if let Some(lit) = pattern.as_literal() {
-                let mut visited = HashSet::new();
-                self.walk_literal(pattern, &lit, space, 0, max_depth, &mut visited, &mut |a| {
-                    out.insert(a);
-                })?;
-                let mut v: Vec<ActorId> = out.into_iter().collect();
-                v.sort_unstable();
-                return Ok(v);
-            }
-        }
-        let mut visited = HashSet::new();
-        self.walk(
-            pattern,
-            space,
-            pattern.start(),
-            0,
-            max_depth,
-            &mut visited,
-            &mut |a| {
-                out.insert(a);
-            },
-        )?;
-        let mut v: Vec<ActorId> = out.into_iter().collect();
-        v.sort_unstable();
-        Ok(v)
-    }
-
-    /// Literal resolution: exact index hit for direct actors, plus
-    /// recursion into sub-spaces whose (literal) attribute prefixes the
-    /// target path.
-    #[allow(clippy::too_many_arguments)] // internal recursion carries its full context
-    fn walk_literal(
-        &self,
-        original: &Pattern,
-        target: &actorspace_atoms::Path,
-        space: SpaceId,
-        depth: usize,
-        max_depth: usize,
-        visited: &mut HashSet<(SpaceId, actorspace_atoms::Path)>,
-        found: &mut impl FnMut(ActorId),
-    ) -> Result<()> {
-        // Visited-state dedup: terminates cyclic visibility graphs (§5.7's
-        // tagging alternative) and prunes diamond re-walks.
-        if !visited.insert((space, target.clone())) {
-            return Ok(());
-        }
-        let sp = self.space(space)?;
-        for member in sp.members_with_attr(target) {
-            if let MemberId::Actor(a) = member {
-                // Index hits have local attribute == remaining target, so a
-                // custom matching rule sees the same (pattern, member, attr)
-                // triple the NFA path would give it.
-                let admitted = sp
-                    .match_filter()
-                    .map(|f| f(original, *member, target))
-                    .unwrap_or(true);
-                if admitted {
-                    found(*a);
-                }
-            }
-        }
-        if depth >= max_depth {
-            return Ok(());
-        }
-        for sub in sp.space_members() {
-            if !self.space_exists(sub) {
-                continue;
-            }
-            let Some(attrs) = sp.members().get(&MemberId::Space(sub)) else {
-                continue;
-            };
-            for attr in attrs {
-                if let Some(rest) = target.strip_prefix(attr) {
-                    self.walk_literal(original, &rest, sub, depth + 1, max_depth, visited, found)?;
-                }
-            }
-        }
-        Ok(())
+        resolve_actors(self.spaces_map(), pattern, space)
     }
 
     /// Resolves `pattern` to matching *spaces* — §5.3: "the actorSpace
     /// specification … may itself be pattern based." The search scope is
     /// `space`, descending as for actors.
     pub fn resolve_spaces(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<SpaceId>> {
-        let root = self.space(space)?;
-        let max_depth = root.policy().max_match_depth;
-        let mut out: HashSet<SpaceId> = HashSet::new();
-        let mut visited = HashSet::new();
-        self.walk_spaces(
-            pattern,
-            space,
-            pattern.start(),
-            0,
-            max_depth,
-            &mut visited,
-            &mut |s| {
-                out.insert(s);
-            },
-        )?;
-        let mut v: Vec<SpaceId> = out.into_iter().collect();
-        v.sort_unstable();
-        Ok(v)
-    }
-
-    #[allow(clippy::too_many_arguments)] // internal recursion carries its full context
-    fn walk(
-        &self,
-        pattern: &Pattern,
-        space: SpaceId,
-        states: StateSet,
-        depth: usize,
-        max_depth: usize,
-        visited: &mut HashSet<(SpaceId, StateSet)>,
-        found: &mut impl FnMut(ActorId),
-    ) -> Result<()> {
-        // Visited-state dedup (see `walk_literal`).
-        if !visited.insert((space, states.clone())) {
-            return Ok(());
-        }
-        let sp = self.space(space)?;
-        for (member, attrs) in sp.members() {
-            for attr in attrs {
-                // Advance the NFA through this attribute's atoms.
-                let mut st = states.clone();
-                let mut dead = false;
-                for atom in attr.iter() {
-                    st = st.advance(pattern.nfa(), atom);
-                    if st.is_dead() {
-                        dead = true;
-                        break;
-                    }
-                }
-                if dead {
-                    continue;
-                }
-                match *member {
-                    MemberId::Actor(a) => {
-                        if st.is_accepting(pattern.nfa()) {
-                            let admitted = sp
-                                .match_filter()
-                                .map(|f| f(pattern, *member, attr))
-                                .unwrap_or(true);
-                            if admitted {
-                                found(a);
-                            }
-                        }
-                    }
-                    MemberId::Space(sub) => {
-                        if depth < max_depth {
-                            // Structured attribute: continue matching inside
-                            // the sub-space with the advanced state set.
-                            // Missing sub-spaces (e.g. remote stubs) are
-                            // skipped rather than failing the whole resolve.
-                            if self.space_exists(sub) {
-                                self.walk(pattern, sub, st, depth + 1, max_depth, visited, found)?;
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
-    }
-
-    #[allow(clippy::too_many_arguments)] // internal recursion carries its full context
-    fn walk_spaces(
-        &self,
-        pattern: &Pattern,
-        space: SpaceId,
-        states: StateSet,
-        depth: usize,
-        max_depth: usize,
-        visited: &mut HashSet<(SpaceId, StateSet)>,
-        found: &mut impl FnMut(SpaceId),
-    ) -> Result<()> {
-        if !visited.insert((space, states.clone())) {
-            return Ok(());
-        }
-        let sp = self.space(space)?;
-        for (member, attrs) in sp.members() {
-            let MemberId::Space(sub) = *member else {
-                continue;
-            };
-            for attr in attrs {
-                let mut st = states.clone();
-                let mut dead = false;
-                for atom in attr.iter() {
-                    st = st.advance(pattern.nfa(), atom);
-                    if st.is_dead() {
-                        dead = true;
-                        break;
-                    }
-                }
-                if dead {
-                    continue;
-                }
-                if st.is_accepting(pattern.nfa()) {
-                    found(sub);
-                }
-                if depth < max_depth && self.space_exists(sub) {
-                    self.walk_spaces(pattern, sub, st, depth + 1, max_depth, visited, found)?;
-                }
-            }
-        }
-        Ok(())
+        resolve_spaces_in(self.spaces_map(), pattern, space)
     }
 
     /// Resolves a pattern-addressed space to exactly one space id, erroring

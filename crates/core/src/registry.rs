@@ -71,7 +71,7 @@ pub(crate) struct CoreMetrics {
 }
 
 impl CoreMetrics {
-    fn resolve(obs: &Obs, node: u16) -> CoreMetrics {
+    pub(crate) fn resolve(obs: &Obs, node: u16) -> CoreMetrics {
         CoreMetrics {
             sends: obs.metrics.counter(names::CORE_SENDS, node),
             broadcasts: obs.metrics.counter(names::CORE_BROADCASTS, node),
@@ -577,6 +577,10 @@ impl<M: Clone> Registry<M> {
 
     pub(crate) fn roots(&self) -> &HashSet<ActorId> {
         &self.roots
+    }
+
+    pub(crate) fn spaces_map(&self) -> &HashMap<SpaceId, Space<M>> {
+        &self.spaces
     }
 
     pub(crate) fn containers(&self) -> &HashMap<MemberId, HashSet<SpaceId>> {

@@ -1,0 +1,1565 @@
+//! The sharded coordinator: one lock per actorSpace instead of one lock
+//! per node.
+//!
+//! The paper's coordinator "maintains coherence of the state of
+//! ActorSpace" (§7.3), and the single-lock [`Registry`] realizes it as one
+//! big critical section — every `send(pattern@space)`, broadcast, and
+//! visibility change on a node serializes through it. But pattern matching
+//! is already *scoped*: a resolution at `space` can only observe `space`
+//! itself plus the sub-spaces transitively visible in it (§7.1), so spaces
+//! whose visibility subtrees are disjoint never contend. The
+//! [`ShardedRegistry`] exploits exactly that: each space — its visible
+//! members, suspended sends, and persistent broadcasts (§5.6) — lives
+//! behind its own mutex, and an operation locks only the shards its scope
+//! can reach.
+//!
+//! ## Lock-ordering invariant
+//!
+//! Two lock levels, acquired strictly top-down:
+//!
+//! 1. **meta** (`RwLock`): the cross-space tables — actor records, the
+//!    reverse-visibility `containers` map, the forward visibility-edge
+//!    map, GC roots, and the shard directory itself. Read-locked by
+//!    delivery operations, write-locked by topology changes
+//!    (create/destroy/make_visible/make_invisible/purge/GC).
+//! 2. **shards** (`Mutex<Space>` each): locked *while holding meta*, always
+//!    in ascending [`SpaceId`] order, as one batch computed up front from
+//!    the meta tables (the visibility closure of the operation's scope).
+//!
+//! No code path acquires meta after a shard lock, and no path acquires a
+//! lower-id shard after a higher-id one, so the wait-for graph is acyclic
+//! and the coordinator is deadlock-free by construction. Operations that
+//! genuinely span spaces — overlapping membership, DAG edges (§5.7),
+//! broadcasts traversing nested spaces, cross-space wakes — simply have
+//! bigger lock sets; disjoint sends proceed fully in parallel under the
+//! shared meta read lock.
+//!
+//! Sinks are invoked with shard locks held (exactly as [`Registry`] invokes
+//! them under its single lock) and must not re-enter the coordinator.
+//!
+//! The single-lock [`Registry`] is deliberately kept: it is the reference
+//! implementation the differential oracle property test replays random
+//! operation sequences against (`tests/differential_oracle.rs`), asserting
+//! both coordinators produce identical delivery multisets, suspension
+//! sets, and [`SpaceInfo`] snapshots.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+use actorspace_atoms::Path;
+use actorspace_capability::{Capability, Guard, GuardError, Rights};
+use actorspace_obs::{names, Counter, Obs, ObsConfig, Stage, TraceId};
+use actorspace_pattern::Pattern;
+use parking_lot::{Mutex, MutexGuard, RwLock};
+
+use crate::delivery::{Disposition, Route};
+use crate::error::{Error, Result};
+use crate::gc::GcReport;
+use crate::ids::{ActorId, IdGen, MemberId, SpaceId, ROOT_SPACE};
+use crate::manager::Manager;
+use crate::matching::{self, SpaceStore};
+use crate::policy::{CyclePolicy, ManagerPolicy, UnmatchedPolicy};
+use crate::registry::{ActorRecord, CoreMetrics, Sink, SpaceInfo};
+use crate::space::{DeliveryKind, Pending, PersistentBroadcast, Space};
+use crate::visibility;
+
+#[cfg(doc)]
+use crate::registry::Registry;
+
+/// Pre-resolved per-space metric handles (`core.space.*`, `core.index.*`),
+/// labeled with the shard's space id in [`Obs`] snapshots.
+#[derive(Clone)]
+struct ShardMetrics {
+    sends: Arc<Counter>,
+    broadcasts: Arc<Counter>,
+    index_hits: Arc<Counter>,
+    index_misses: Arc<Counter>,
+}
+
+impl ShardMetrics {
+    fn resolve(obs: &Obs, node: u16, space: SpaceId) -> ShardMetrics {
+        ShardMetrics {
+            sends: obs
+                .metrics
+                .counter_for_space(names::CORE_SPACE_SENDS, node, space.0),
+            broadcasts: obs
+                .metrics
+                .counter_for_space(names::CORE_SPACE_BROADCASTS, node, space.0),
+            index_hits: obs
+                .metrics
+                .counter_for_space(names::CORE_INDEX_HITS, node, space.0),
+            index_misses: obs
+                .metrics
+                .counter_for_space(names::CORE_INDEX_MISSES, node, space.0),
+        }
+    }
+}
+
+/// One shard: the space state behind its own lock, plus the data needed
+/// *without* the lock — the immutable creation guard (so capability checks
+/// never contend with deliveries) and the shard's metric handles.
+struct ShardHandle<M> {
+    space: Arc<Mutex<Space<M>>>,
+    /// Duplicate of the space's guard. Guards are immutable after creation,
+    /// so the copy can never diverge.
+    guard: Guard,
+    m: ShardMetrics,
+}
+
+/// The cross-space tables, all behind one `RwLock` (level 1 of the lock
+/// order).
+struct Meta<M> {
+    /// Shard directory, ordered by id — iteration order *is* lock order.
+    shards: BTreeMap<SpaceId, ShardHandle<M>>,
+    actors: HashMap<ActorId, ActorRecord>,
+    /// Reverse visibility: member → spaces it is visible in. Kept in exact
+    /// correspondence with each shard's membership table.
+    containers: HashMap<MemberId, HashSet<SpaceId>>,
+    /// Forward visibility: space → sub-spaces visible in it. The mirror of
+    /// the `MemberId::Space` entries in the shards' membership tables; kept
+    /// here so lock sets and §5.7 cycle checks need no shard locks.
+    edges: HashMap<SpaceId, HashSet<SpaceId>>,
+    /// Actors with live external handles — garbage-collection roots.
+    roots: HashSet<ActorId>,
+}
+
+/// The shard mutexes an operation holds, keyed (and therefore iterated)
+/// in `SpaceId` order. Implements [`SpaceStore`] so the pattern-resolution
+/// walks in [`matching`] run unchanged against a locked shard set.
+type Guards<'a, M> = BTreeMap<SpaceId, MutexGuard<'a, Space<M>>>;
+
+/// The `Arc` handles the guards borrow from; owning them locally lets the
+/// meta tables stay mutable while shard locks are held.
+type ShardArcs<M> = Vec<(SpaceId, Arc<Mutex<Space<M>>>)>;
+
+impl<'a, M> SpaceStore<M> for BTreeMap<SpaceId, MutexGuard<'a, Space<M>>> {
+    fn get_space(&self, id: SpaceId) -> Option<&Space<M>> {
+        self.get(&id).map(|g| &**g)
+    }
+}
+
+/// Mutable access to the locked shards of one delivery — what the
+/// `*_locked` internals need beyond [`SpaceStore`]'s read view.
+trait GuardStore<M>: SpaceStore<M> {
+    fn get_space_mut(&mut self, id: SpaceId) -> Option<&mut Space<M>>;
+}
+
+impl<'a, M> GuardStore<M> for BTreeMap<SpaceId, MutexGuard<'a, Space<M>>> {
+    fn get_space_mut(&mut self, id: SpaceId) -> Option<&mut Space<M>> {
+        self.get_mut(&id).map(|g| &mut **g)
+    }
+}
+
+/// Exactly one locked shard — the delivery fast path. A scope with no
+/// visible sub-spaces (`meta.edges` empty for it) has a singleton lock
+/// set, so sends and broadcasts skip the closure walk and the guard map
+/// and lock the one mutex directly. The resolution walk cannot leave the
+/// scope (no space members), so a one-entry store is a complete view.
+struct SingleGuard<'a, M> {
+    id: SpaceId,
+    guard: MutexGuard<'a, Space<M>>,
+}
+
+impl<'a, M> SpaceStore<M> for SingleGuard<'a, M> {
+    fn get_space(&self, id: SpaceId) -> Option<&Space<M>> {
+        (id == self.id).then(|| &*self.guard)
+    }
+}
+
+impl<'a, M> GuardStore<M> for SingleGuard<'a, M> {
+    fn get_space_mut(&mut self, id: SpaceId) -> Option<&mut Space<M>> {
+        (id == self.id).then(|| &mut *self.guard)
+    }
+}
+
+/// Clones the shard `Arc`s for `ids` (missing spaces are skipped — the
+/// resolution walks treat them like remote stubs), sorted ascending so a
+/// subsequent [`lock_all`] respects the global lock order.
+fn arcs_for<M>(meta: &Meta<M>, ids: impl IntoIterator<Item = SpaceId>) -> ShardArcs<M> {
+    let set: BTreeSet<SpaceId> = ids.into_iter().collect();
+    set.into_iter()
+        .filter_map(|id| meta.shards.get(&id).map(|sh| (id, sh.space.clone())))
+        .collect()
+}
+
+/// Locks every shard in `arcs`, in the ascending id order `arcs` is built
+/// in — one of the two places shard mutexes are acquired (the other is the
+/// singleton fast path in [`lock_single`]).
+fn lock_all<M>(arcs: &ShardArcs<M>) -> Guards<'_, M> {
+    arcs.iter().map(|(id, m)| (*id, m.lock())).collect()
+}
+
+/// Delivery fast path: when `scope` has no visible sub-spaces its lock set
+/// is exactly `{scope}`, so skip the closure walk and the guard map and
+/// lock the one shard in place (a singleton set trivially satisfies the
+/// ascending-order protocol). Returns the shard's metric handles alongside
+/// so callers bump per-space counters without a second directory lookup.
+fn lock_single<'a, M>(
+    meta: &'a Meta<M>,
+    scope: SpaceId,
+) -> Option<(SingleGuard<'a, M>, &'a ShardMetrics)> {
+    if meta.edges.get(&scope).is_some_and(|subs| !subs.is_empty()) {
+        return None;
+    }
+    let sh = meta.shards.get(&scope)?;
+    Some((
+        SingleGuard {
+            id: scope,
+            guard: sh.space.lock(),
+        },
+        &sh.m,
+    ))
+}
+
+fn member_guard<M>(meta: &Meta<M>, member: MemberId) -> Result<&Guard> {
+    match member {
+        MemberId::Actor(a) => Ok(&meta.actors.get(&a).ok_or(Error::NoSuchActor(a))?.guard),
+        MemberId::Space(s) => Ok(&meta.shards.get(&s).ok_or(Error::NoSuchSpace(s))?.guard),
+    }
+}
+
+/// Removes a space from the meta tables and from every locked parent —
+/// the sharded counterpart of `Registry::remove_space_internal`. The
+/// caller must hold the space's own shard and all its parents in `guards`.
+fn remove_space_locked<M>(meta: &mut Meta<M>, guards: &mut Guards<'_, M>, id: SpaceId) {
+    if meta.shards.remove(&id).is_some() {
+        // Drop reverse edges of its members.
+        if let Some(sp) = guards.remove(&id) {
+            for member in sp.members().keys() {
+                if let Some(set) = meta.containers.get_mut(member) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        meta.containers.remove(member);
+                    }
+                }
+            }
+        }
+        meta.edges.remove(&id);
+    }
+    // Remove the space from any space it was visible in.
+    let as_member = MemberId::Space(id);
+    if let Some(parents) = meta.containers.remove(&as_member) {
+        for p in parents {
+            if let Some(ps) = guards.get_mut(&p) {
+                ps.remove_member(as_member);
+            }
+            if let Some(e) = meta.edges.get_mut(&p) {
+                e.remove(&id);
+                if e.is_empty() {
+                    meta.edges.remove(&p);
+                }
+            }
+        }
+    }
+    // Actors hosted in the destroyed space are re-hosted to the root so
+    // later sends from them still have a resolution scope.
+    for rec in meta.actors.values_mut() {
+        if rec.host == id {
+            rec.host = ROOT_SPACE;
+        }
+    }
+}
+
+/// Removes an actor entirely (death) — the sharded counterpart of
+/// `Registry::remove_actor_internal`. The caller must hold every space the
+/// actor is visible in.
+fn remove_actor_locked<M>(meta: &mut Meta<M>, guards: &mut Guards<'_, M>, id: ActorId) {
+    meta.actors.remove(&id);
+    let as_member = MemberId::Actor(id);
+    if let Some(parents) = meta.containers.remove(&as_member) {
+        for p in parents {
+            if let Some(ps) = guards.get_mut(&p) {
+                ps.remove_member(as_member);
+            }
+        }
+    }
+    meta.roots.remove(&id);
+}
+
+/// The ActorSpace universe for one node, sharded by space. Same observable
+/// semantics as [`Registry`] (the differential oracle enforces this), but
+/// every operation takes `&self` and disjoint spaces never contend.
+pub struct ShardedRegistry<M> {
+    ids: IdGen,
+    meta: RwLock<Meta<M>>,
+    /// Policy template applied to newly created spaces.
+    default_policy: ManagerPolicy,
+    obs: Arc<Obs>,
+    node: u16,
+    m: CoreMetrics,
+}
+
+impl<M: Clone> ShardedRegistry<M> {
+    /// Creates a sharded coordinator whose root space (§7.1) uses
+    /// `default_policy`, reporting to a private default observer (see
+    /// [`ShardedRegistry::set_obs`]).
+    pub fn new(default_policy: ManagerPolicy) -> ShardedRegistry<M> {
+        let obs = Obs::shared(ObsConfig::default());
+        let m = CoreMetrics::resolve(&obs, 0);
+        let reg = ShardedRegistry {
+            ids: IdGen::default(),
+            meta: RwLock::new(Meta {
+                shards: BTreeMap::new(),
+                actors: HashMap::new(),
+                containers: HashMap::new(),
+                edges: HashMap::new(),
+                roots: HashSet::new(),
+            }),
+            default_policy,
+            obs,
+            node: 0,
+            m,
+        };
+        let root = reg.mk_shard(ROOT_SPACE, Guard::Open);
+        reg.meta.write().shards.insert(ROOT_SPACE, root);
+        reg
+    }
+
+    /// Creates a coordinator whose id generator starts at `base` — used by
+    /// the cluster layer to give each node a disjoint address range.
+    pub fn with_id_base(default_policy: ManagerPolicy, base: u64) -> ShardedRegistry<M> {
+        let mut r = ShardedRegistry::new(default_policy);
+        r.ids = IdGen::new(base.max(1));
+        r
+    }
+
+    /// Redirects metrics and trace events to `obs`, stamped with `node`,
+    /// re-resolving every shard's per-space handles.
+    pub fn set_obs(&mut self, obs: Arc<Obs>, node: u16) {
+        self.m = CoreMetrics::resolve(&obs, node);
+        {
+            let mut meta = self.meta.write();
+            for (&id, sh) in meta.shards.iter_mut() {
+                sh.m = ShardMetrics::resolve(&obs, node, id);
+            }
+        }
+        self.obs = obs;
+        self.node = node;
+    }
+
+    /// The observer receiving this coordinator's telemetry.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The node label stamped on this coordinator's telemetry.
+    pub fn node_label(&self) -> u16 {
+        self.node
+    }
+
+    fn mk_shard(&self, id: SpaceId, guard: Guard) -> ShardHandle<M> {
+        ShardHandle {
+            space: Arc::new(Mutex::new(Space::new(
+                id,
+                guard,
+                self.default_policy.clone(),
+            ))),
+            guard,
+            m: ShardMetrics::resolve(&self.obs, self.node, id),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Creation and destruction
+    // ------------------------------------------------------------------
+
+    /// `create_actorSpace(capability)` (§5.2): a fresh space, in a fresh
+    /// shard.
+    pub fn create_space(&self, cap: Option<&Capability>) -> SpaceId {
+        let id = self.ids.next_space();
+        let sh = self.mk_shard(id, Guard::from_creation(cap));
+        self.meta.write().shards.insert(id, sh);
+        id
+    }
+
+    /// Registers a new actor created in `host` (§7.1).
+    pub fn create_actor(&self, host: SpaceId, cap: Option<&Capability>) -> Result<ActorId> {
+        let mut meta = self.meta.write();
+        if !meta.shards.contains_key(&host) {
+            return Err(Error::NoSuchSpace(host));
+        }
+        let id = self.ids.next_actor();
+        meta.actors.insert(
+            id,
+            ActorRecord {
+                guard: Guard::from_creation(cap),
+                host,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Allocates a fresh actor id without creating a record (§7.3 replica
+    /// protocol).
+    pub fn allocate_actor_id(&self) -> ActorId {
+        self.ids.next_actor()
+    }
+
+    /// Allocates a fresh space id without creating a record.
+    pub fn allocate_space_id(&self) -> SpaceId {
+        self.ids.next_space()
+    }
+
+    /// Inserts an actor record with a caller-chosen id (replica apply).
+    /// Returns false if the id was already present.
+    pub fn insert_actor_record(&self, id: ActorId, host: SpaceId, guard: Guard) -> bool {
+        let mut meta = self.meta.write();
+        if meta.actors.contains_key(&id) {
+            return false;
+        }
+        meta.actors.insert(id, ActorRecord { guard, host });
+        true
+    }
+
+    /// Inserts a space record with a caller-chosen id (replica apply).
+    /// Returns false if present.
+    pub fn insert_space_record(&self, id: SpaceId, guard: Guard) -> bool {
+        let mut meta = self.meta.write();
+        if meta.shards.contains_key(&id) {
+            return false;
+        }
+        let sh = self.mk_shard(id, guard);
+        meta.shards.insert(id, sh);
+        true
+    }
+
+    /// Removes an actor (death / remote destroy event).
+    pub fn remove_actor(&self, id: ActorId) {
+        let mut meta = self.meta.write();
+        let parents: BTreeSet<SpaceId> = meta
+            .containers
+            .get(&MemberId::Actor(id))
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        let arcs = arcs_for(&meta, parents);
+        let mut guards = lock_all(&arcs);
+        remove_actor_locked(&mut meta, &mut guards, id);
+    }
+
+    /// Purges every actor whose raw id lies in `[lo, hi)` — the failover
+    /// sweep for a crashed node. Returns how many actors were purged.
+    pub fn purge_actor_range(&self, lo: u64, hi: u64) -> usize {
+        let mut meta = self.meta.write();
+        let doomed: Vec<ActorId> = meta
+            .actors
+            .keys()
+            .filter(|a| (lo..hi).contains(&a.0))
+            .copied()
+            .collect();
+        let mut parents: BTreeSet<SpaceId> = BTreeSet::new();
+        for a in &doomed {
+            parents.extend(
+                meta.containers
+                    .get(&MemberId::Actor(*a))
+                    .into_iter()
+                    .flatten()
+                    .copied(),
+            );
+        }
+        let arcs = arcs_for(&meta, parents);
+        let mut guards = lock_all(&arcs);
+        for &a in &doomed {
+            remove_actor_locked(&mut meta, &mut guards, a);
+        }
+        doomed.len()
+    }
+
+    /// Raises the id allocator so future ids are minted past `raw`.
+    pub fn ensure_id_floor(&self, raw: u64) {
+        self.ids.ensure_floor(raw);
+    }
+
+    /// Destroys a space (§7.1). Requires `Rights::MANAGE` when guarded.
+    /// Locks the doomed shard plus every parent it is visible in.
+    pub fn destroy_space(&self, id: SpaceId, cap: Option<&Capability>) -> Result<()> {
+        if id == ROOT_SPACE {
+            return Err(Error::RootImmortal);
+        }
+        let mut meta = self.meta.write();
+        let sh = meta.shards.get(&id).ok_or(Error::NoSuchSpace(id))?;
+        sh.guard.check(cap, Rights::MANAGE)?;
+        let mut set: BTreeSet<SpaceId> = BTreeSet::new();
+        set.insert(id);
+        if let Some(parents) = meta.containers.get(&MemberId::Space(id)) {
+            set.extend(parents.iter().copied());
+        }
+        let arcs = arcs_for(&meta, set);
+        let mut guards = lock_all(&arcs);
+        remove_space_locked(&mut meta, &mut guards, id);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Visibility (§5.4)
+    // ------------------------------------------------------------------
+
+    /// The lock set for an operation that changes what is matchable in
+    /// `space`: every space that can observe the change (the containment
+    /// ancestors of `space`, §7.1) together with everything those spaces'
+    /// resolutions can descend into. Computed from the meta tables alone.
+    fn wake_lock_set(meta: &Meta<M>, space: SpaceId) -> BTreeSet<SpaceId> {
+        let mut set = BTreeSet::new();
+        for s in visibility::ancestors(&meta.containers, space) {
+            set.extend(visibility::reachable(&meta.edges, s));
+        }
+        set
+    }
+
+    /// `make_visible(a, attributes @ space, capability)` (§5.4). Locks the
+    /// full wake closure (plus, for a space member, the child's own
+    /// subtree, which becomes reachable by the insertion), runs every check
+    /// under those locks, and only then mutates — so a failed check never
+    /// needs rollback.
+    pub fn make_visible(
+        &self,
+        member: MemberId,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+        sink: Sink<'_, M>,
+    ) -> Result<()> {
+        let mut meta = self.meta.write();
+        member_guard(&meta, member)?.check(cap, Rights::VISIBILITY)?;
+        if !meta.shards.contains_key(&space) {
+            return Err(Error::NoSuchSpace(space));
+        }
+        let mut set = Self::wake_lock_set(&meta, space);
+        if let MemberId::Space(child) = member {
+            set.extend(visibility::reachable(&meta.edges, child));
+        }
+        let arcs = arcs_for(&meta, set);
+        let mut guards = lock_all(&arcs);
+        // §5.7: reject cycles *before* inserting — unless the space's
+        // manager tolerates cycles (resolution then dedups visited states).
+        if let MemberId::Space(child) = member {
+            let forbid = guards
+                .get(&space)
+                .is_some_and(|sp| sp.policy().cycles == CyclePolicy::Forbid);
+            if forbid && visibility::would_cycle_edges(&meta.edges, child, space) {
+                return Err(Error::WouldCycle {
+                    child,
+                    parent: space,
+                });
+            }
+        }
+        {
+            let sp = guards.get_mut(&space).expect("scope is in the lock set");
+            if !sp.manager_mut().authorize_visibility(member, &attrs) {
+                return Err(Error::Denied(GuardError::Missing));
+            }
+            sp.add_member(member, attrs);
+            sp.manager_mut().on_change(member);
+        }
+        meta.containers.entry(member).or_default().insert(space);
+        if let MemberId::Space(child) = member {
+            meta.edges.entry(space).or_default().insert(child);
+        }
+        self.wake_locked(&meta, &mut guards, space, sink);
+        Ok(())
+    }
+
+    /// `make_invisible(actor, space, capability)`: removal from `space`
+    /// suffices for all enclosing spaces (they reach members only through
+    /// it), so only this one shard is locked.
+    pub fn make_invisible(
+        &self,
+        member: MemberId,
+        space: SpaceId,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        let mut meta = self.meta.write();
+        member_guard(&meta, member)?.check(cap, Rights::VISIBILITY)?;
+        if !meta.shards.contains_key(&space) {
+            return Err(Error::NoSuchSpace(space));
+        }
+        let arcs = arcs_for(&meta, [space]);
+        let mut guards = lock_all(&arcs);
+        {
+            let sp = guards.get_mut(&space).expect("existence checked above");
+            if !sp.remove_member(member) {
+                return Err(Error::NotVisible { member, space });
+            }
+            sp.manager_mut().on_change(member);
+        }
+        if let Some(setm) = meta.containers.get_mut(&member) {
+            setm.remove(&space);
+            if setm.is_empty() {
+                meta.containers.remove(&member);
+            }
+        }
+        if let MemberId::Space(child) = member {
+            if let Some(e) = meta.edges.get_mut(&space) {
+                e.remove(&child);
+                if e.is_empty() {
+                    meta.edges.remove(&space);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `change_attributes(member, attrs @ space, capability)` (§5.4). The
+    /// topology is unchanged, so meta is only read-locked; the wake closure
+    /// of `space` is still locked because new matches may wake suspended
+    /// messages in any ancestor.
+    pub fn change_attributes(
+        &self,
+        member: MemberId,
+        attrs: Vec<Path>,
+        space: SpaceId,
+        cap: Option<&Capability>,
+        sink: Sink<'_, M>,
+    ) -> Result<()> {
+        let meta = self.meta.read();
+        member_guard(&meta, member)?.check(cap, Rights::ATTRIBUTES)?;
+        if !meta.shards.contains_key(&space) {
+            return Err(Error::NoSuchSpace(space));
+        }
+        let set = Self::wake_lock_set(&meta, space);
+        let arcs = arcs_for(&meta, set);
+        let mut guards = lock_all(&arcs);
+        {
+            let sp = guards.get_mut(&space).expect("scope is in the lock set");
+            if !sp.manager_mut().authorize_visibility(member, &attrs) {
+                return Err(Error::Denied(GuardError::Missing));
+            }
+            if !sp.set_attributes(member, attrs) {
+                return Err(Error::NotVisible { member, space });
+            }
+            sp.manager_mut().on_change(member);
+        }
+        self.wake_locked(&meta, &mut guards, space, sink);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Manager customization (§8)
+    // ------------------------------------------------------------------
+
+    /// Replaces a space's policy table. Requires `Rights::MANAGE`.
+    pub fn set_space_policy(
+        &self,
+        space: SpaceId,
+        policy: ManagerPolicy,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        let meta = self.meta.read();
+        let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
+        sh.guard.check(cap, Rights::MANAGE)?;
+        sh.space.lock().set_policy(policy);
+        Ok(())
+    }
+
+    /// Installs a custom manager on a space. Requires `Rights::MANAGE`.
+    pub fn set_space_manager(
+        &self,
+        space: SpaceId,
+        manager: Box<dyn Manager>,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        let meta = self.meta.read();
+        let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
+        sh.guard.check(cap, Rights::MANAGE)?;
+        sh.space.lock().set_manager(manager);
+        Ok(())
+    }
+
+    /// Installs (or clears) a custom matching rule on a space. Requires
+    /// `Rights::MANAGE`.
+    pub fn set_match_filter(
+        &self,
+        space: SpaceId,
+        filter: Option<crate::space::MatchFilter>,
+        cap: Option<&Capability>,
+    ) -> Result<()> {
+        let meta = self.meta.read();
+        let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
+        sh.guard.check(cap, Rights::MANAGE)?;
+        sh.space.lock().set_match_filter(filter);
+        Ok(())
+    }
+
+    /// Reports an actor's load for `LeastLoaded` arbitration in `space`.
+    pub fn report_load(&self, space: SpaceId, actor: ActorId, load: u64) -> Result<()> {
+        let meta = self.meta.read();
+        let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
+        sh.space.lock().selector_mut().set_load(actor, load);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Roots (external handles) — GC anchoring
+    // ------------------------------------------------------------------
+
+    /// Marks an actor as externally referenced (a live handle exists).
+    pub fn add_root(&self, a: ActorId) {
+        self.meta.write().roots.insert(a);
+    }
+
+    /// Clears the external-reference mark.
+    pub fn remove_root(&self, a: ActorId) {
+        self.meta.write().roots.remove(&a);
+    }
+
+    // ------------------------------------------------------------------
+    // Communication (§5.3, §5.6)
+    // ------------------------------------------------------------------
+
+    /// `send(pattern@space, message)` — deliver to one non-deterministically
+    /// chosen matching actor (§5.3). Locks the visibility closure of
+    /// `space` only.
+    pub fn send(
+        &self,
+        pattern: &Pattern,
+        space: SpaceId,
+        msg: M,
+        sink: Sink<'_, M>,
+    ) -> Result<Disposition> {
+        let trace = self.obs.tracer.begin();
+        self.m.sends.inc();
+        self.obs
+            .tracer
+            .record(trace, self.node, Stage::Submitted { broadcast: false });
+        let meta = self.meta.read();
+        if let Some(single) = lock_single(&meta, space) {
+            single.1.sends.inc();
+            let mut single = single.0;
+            return self.send_locked(&meta, &mut single, pattern, space, msg, sink, trace);
+        }
+        let arcs = arcs_for(&meta, visibility::reachable(&meta.edges, space));
+        let mut guards = lock_all(&arcs);
+        if let Some(sh) = meta.shards.get(&space) {
+            sh.m.sends.inc();
+        }
+        self.send_locked(&meta, &mut guards, pattern, space, msg, sink, trace)
+    }
+
+    /// `broadcast(pattern@space, message)` — deliver to all matching actors
+    /// (§5.3), persisting under [`UnmatchedPolicy::Persistent`] (§5.6).
+    pub fn broadcast(
+        &self,
+        pattern: &Pattern,
+        space: SpaceId,
+        msg: M,
+        sink: Sink<'_, M>,
+    ) -> Result<Disposition> {
+        let trace = self.obs.tracer.begin();
+        self.m.broadcasts.inc();
+        self.obs
+            .tracer
+            .record(trace, self.node, Stage::Submitted { broadcast: true });
+        let meta = self.meta.read();
+        if let Some(single) = lock_single(&meta, space) {
+            single.1.broadcasts.inc();
+            let mut single = single.0;
+            return self.broadcast_locked(&meta, &mut single, pattern, space, msg, sink, trace);
+        }
+        let arcs = arcs_for(&meta, visibility::reachable(&meta.edges, space));
+        let mut guards = lock_all(&arcs);
+        if let Some(sh) = meta.shards.get(&space) {
+            sh.m.broadcasts.inc();
+        }
+        self.broadcast_locked(&meta, &mut guards, pattern, space, msg, sink, trace)
+    }
+
+    /// Re-resolves a previously routed message (failover). The existing
+    /// trace is continued; node- and space-level submit counters are not
+    /// re-incremented (matching [`Registry::resend`]).
+    pub fn resend(&self, route: &Route, msg: M, sink: Sink<'_, M>) -> Result<Disposition> {
+        let meta = self.meta.read();
+        if let Some((mut single, _)) = lock_single(&meta, route.space) {
+            return match route.kind {
+                DeliveryKind::Send => self.send_locked(
+                    &meta,
+                    &mut single,
+                    &route.pattern,
+                    route.space,
+                    msg,
+                    sink,
+                    route.trace,
+                ),
+                DeliveryKind::Broadcast => self.broadcast_locked(
+                    &meta,
+                    &mut single,
+                    &route.pattern,
+                    route.space,
+                    msg,
+                    sink,
+                    route.trace,
+                ),
+            };
+        }
+        let arcs = arcs_for(&meta, visibility::reachable(&meta.edges, route.space));
+        let mut guards = lock_all(&arcs);
+        match route.kind {
+            DeliveryKind::Send => self.send_locked(
+                &meta,
+                &mut guards,
+                &route.pattern,
+                route.space,
+                msg,
+                sink,
+                route.trace,
+            ),
+            DeliveryKind::Broadcast => self.broadcast_locked(
+                &meta,
+                &mut guards,
+                &route.pattern,
+                route.space,
+                msg,
+                sink,
+                route.trace,
+            ),
+        }
+    }
+
+    /// Cancels every persistent broadcast registered on `space`. Requires
+    /// `Rights::MANAGE` when guarded.
+    pub fn cancel_persistent(&self, space: SpaceId, cap: Option<&Capability>) -> Result<usize> {
+        let meta = self.meta.read();
+        let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
+        sh.guard.check(cap, Rights::MANAGE)?;
+        let n = sh.space.lock().clear_persistent();
+        Ok(n)
+    }
+
+    /// Resolution with exact-prefix-index accounting: when the literal
+    /// fast path applies (E12), the scope shard's per-space hit/miss
+    /// counter is bumped by outcome.
+    fn resolve_counted(
+        &self,
+        meta: &Meta<M>,
+        guards: &impl GuardStore<M>,
+        pattern: &Pattern,
+        scope: SpaceId,
+    ) -> Result<Vec<ActorId>> {
+        let via_index = pattern.as_literal().is_some()
+            && guards
+                .get_space(scope)
+                .is_some_and(|sp| sp.policy().use_literal_index);
+        let out = matching::resolve_actors(guards, pattern, scope)?;
+        if via_index {
+            if let Some(sh) = meta.shards.get(&scope) {
+                if out.is_empty() {
+                    sh.m.index_misses.inc();
+                } else {
+                    sh.m.index_hits.inc();
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal delivery plumbing carries its full context
+    fn send_locked(
+        &self,
+        meta: &Meta<M>,
+        guards: &mut impl GuardStore<M>,
+        pattern: &Pattern,
+        space: SpaceId,
+        msg: M,
+        sink: Sink<'_, M>,
+        trace: TraceId,
+    ) -> Result<Disposition> {
+        let t0 = if trace.is_some() {
+            self.obs.tracer.now_nanos()
+        } else {
+            0
+        };
+        let candidates = self.resolve_counted(meta, guards, pattern, space)?;
+        if !candidates.is_empty() {
+            self.m.matched.inc();
+            if trace.is_some() {
+                self.m
+                    .match_ns
+                    .record(self.obs.tracer.now_nanos().saturating_sub(t0));
+                self.obs.tracer.record(
+                    trace,
+                    self.node,
+                    Stage::Matched {
+                        candidates: candidates.len() as u32,
+                    },
+                );
+            }
+            let pick = {
+                let sp = guards
+                    .get_space_mut(space)
+                    .ok_or(Error::NoSuchSpace(space))?;
+                match sp.manager_mut().choose(&candidates) {
+                    Some(choice) => choice,
+                    None => sp.selector_mut().select(&candidates),
+                }
+            };
+            let route = Route {
+                pattern: pattern.clone(),
+                space,
+                kind: DeliveryKind::Send,
+                trace,
+            };
+            sink(pick, msg, Some(&route));
+            return Ok(Disposition::Delivered(1));
+        }
+        let policy = {
+            let sp = guards
+                .get_space_mut(space)
+                .ok_or(Error::NoSuchSpace(space))?;
+            sp.manager_mut()
+                .unmatched_send()
+                .unwrap_or(sp.policy().unmatched_send)
+        };
+        match policy {
+            UnmatchedPolicy::Suspend | UnmatchedPolicy::Persistent => {
+                self.m.suspended.inc();
+                self.obs.tracer.record(trace, self.node, Stage::Suspended);
+                let since_nanos = self.obs.tracer.now_nanos();
+                guards
+                    .get_space_mut(space)
+                    .ok_or(Error::NoSuchSpace(space))?
+                    .push_pending(Pending {
+                        pattern: pattern.clone(),
+                        msg,
+                        kind: DeliveryKind::Send,
+                        trace,
+                        since_nanos,
+                    });
+                Ok(Disposition::Suspended)
+            }
+            UnmatchedPolicy::Discard => {
+                self.m.discarded.inc();
+                self.obs
+                    .tracer
+                    .record(trace, self.node, Stage::DeadLettered);
+                Ok(Disposition::Discarded)
+            }
+            UnmatchedPolicy::Error => {
+                self.obs
+                    .tracer
+                    .record(trace, self.node, Stage::DeadLettered);
+                Err(Error::NoMatch {
+                    pattern: pattern.text().to_owned(),
+                    space,
+                })
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal delivery plumbing carries its full context
+    fn broadcast_locked(
+        &self,
+        meta: &Meta<M>,
+        guards: &mut impl GuardStore<M>,
+        pattern: &Pattern,
+        space: SpaceId,
+        msg: M,
+        sink: Sink<'_, M>,
+        trace: TraceId,
+    ) -> Result<Disposition> {
+        let t0 = if trace.is_some() {
+            self.obs.tracer.now_nanos()
+        } else {
+            0
+        };
+        let candidates = self.resolve_counted(meta, guards, pattern, space)?;
+        let policy = {
+            let sp = guards
+                .get_space_mut(space)
+                .ok_or(Error::NoSuchSpace(space))?;
+            sp.manager_mut()
+                .unmatched_broadcast()
+                .unwrap_or(sp.policy().unmatched_broadcast)
+        };
+        if !candidates.is_empty() {
+            self.m.matched.add(candidates.len() as u64);
+            if trace.is_some() {
+                self.m
+                    .match_ns
+                    .record(self.obs.tracer.now_nanos().saturating_sub(t0));
+                self.obs.tracer.record(
+                    trace,
+                    self.node,
+                    Stage::Matched {
+                        candidates: candidates.len() as u32,
+                    },
+                );
+            }
+        }
+        let route = Route {
+            pattern: pattern.clone(),
+            space,
+            kind: DeliveryKind::Broadcast,
+            trace,
+        };
+        if policy == UnmatchedPolicy::Persistent {
+            for &c in &candidates {
+                sink(c, msg.clone(), Some(&route));
+            }
+            let n = candidates.len();
+            guards
+                .get_space_mut(space)
+                .ok_or(Error::NoSuchSpace(space))?
+                .push_persistent(PersistentBroadcast {
+                    pattern: pattern.clone(),
+                    msg,
+                    delivered: candidates.into_iter().collect(),
+                });
+            return Ok(Disposition::Persistent(n));
+        }
+        if !candidates.is_empty() {
+            let n = candidates.len();
+            for c in candidates {
+                sink(c, msg.clone(), Some(&route));
+            }
+            return Ok(Disposition::Delivered(n));
+        }
+        match policy {
+            UnmatchedPolicy::Suspend => {
+                self.m.suspended.inc();
+                self.obs.tracer.record(trace, self.node, Stage::Suspended);
+                let since_nanos = self.obs.tracer.now_nanos();
+                guards
+                    .get_space_mut(space)
+                    .ok_or(Error::NoSuchSpace(space))?
+                    .push_pending(Pending {
+                        pattern: pattern.clone(),
+                        msg,
+                        kind: DeliveryKind::Broadcast,
+                        trace,
+                        since_nanos,
+                    });
+                Ok(Disposition::Suspended)
+            }
+            UnmatchedPolicy::Discard => {
+                self.m.discarded.inc();
+                self.obs
+                    .tracer
+                    .record(trace, self.node, Stage::DeadLettered);
+                Ok(Disposition::Discarded)
+            }
+            UnmatchedPolicy::Error => {
+                self.obs
+                    .tracer
+                    .record(trace, self.node, Stage::DeadLettered);
+                Err(Error::NoMatch {
+                    pattern: pattern.text().to_owned(),
+                    space,
+                })
+            }
+            UnmatchedPolicy::Persistent => unreachable!("handled above"),
+        }
+    }
+
+    /// Retries suspended and persistent messages after a visibility or
+    /// attribute change in `changed`, sweeping the affected queues in
+    /// ascending id order (cross-space sweep order is unspecified in the
+    /// single-lock registry, so any deterministic order is equivalent).
+    fn wake_locked(
+        &self,
+        meta: &Meta<M>,
+        guards: &mut Guards<'_, M>,
+        changed: SpaceId,
+        sink: Sink<'_, M>,
+    ) {
+        let mut affected: Vec<SpaceId> = visibility::ancestors(&meta.containers, changed)
+            .into_iter()
+            .collect();
+        affected.sort_unstable();
+        for s in affected {
+            self.retry_space_locked(meta, guards, s, &mut *sink);
+        }
+    }
+
+    fn retry_space_locked(
+        &self,
+        meta: &Meta<M>,
+        guards: &mut Guards<'_, M>,
+        space: SpaceId,
+        sink: Sink<'_, M>,
+    ) {
+        // --- Suspended messages (§5.6) ---
+        let pending = match guards.get_mut(&space) {
+            Some(sp) if !sp.pending().is_empty() => sp.take_pending(),
+            _ => Vec::new(),
+        };
+        let mut still_waiting = Vec::new();
+        for p in pending {
+            let candidates = self
+                .resolve_counted(meta, guards, &p.pattern, space)
+                .unwrap_or_default();
+            if candidates.is_empty() {
+                still_waiting.push(p);
+                continue;
+            }
+            self.m.woken.inc();
+            self.m
+                .dwell_ns
+                .record(self.obs.tracer.now_nanos().saturating_sub(p.since_nanos));
+            self.obs.tracer.record(p.trace, self.node, Stage::Woken);
+            let route = Route {
+                pattern: p.pattern.clone(),
+                space,
+                kind: p.kind,
+                trace: p.trace,
+            };
+            match p.kind {
+                DeliveryKind::Send => {
+                    let pick = guards.get_mut(&space).map(|sp| {
+                        match sp.manager_mut().choose(&candidates) {
+                            Some(choice) => choice,
+                            None => sp.selector_mut().select(&candidates),
+                        }
+                    });
+                    if let Some(pick) = pick {
+                        sink(pick, p.msg, Some(&route));
+                    }
+                }
+                DeliveryKind::Broadcast => {
+                    for c in candidates {
+                        sink(c, p.msg.clone(), Some(&route));
+                    }
+                }
+            }
+        }
+        if !still_waiting.is_empty() {
+            if let Some(sp) = guards.get_mut(&space) {
+                for p in still_waiting {
+                    sp.push_pending(p);
+                }
+            }
+        }
+
+        // --- Persistent broadcasts: exactly-once to new matches (§5.6) ---
+        let mut persistent = match guards.get_mut(&space) {
+            Some(sp) if !sp.persistent().is_empty() => std::mem::take(sp.persistent_mut()),
+            _ => return,
+        };
+        for pb in &mut persistent {
+            let candidates = self
+                .resolve_counted(meta, guards, &pb.pattern, space)
+                .unwrap_or_default();
+            // Late persistent deliveries are not tied back to the original
+            // broadcast's trace (see `Registry::retry_space`).
+            let route = Route {
+                pattern: pb.pattern.clone(),
+                space,
+                kind: DeliveryKind::Broadcast,
+                trace: TraceId::NONE,
+            };
+            for c in candidates {
+                if pb.delivered.insert(c) {
+                    sink(c, pb.msg.clone(), Some(&route));
+                }
+            }
+        }
+        if let Some(sp) = guards.get_mut(&space) {
+            let mut merged = persistent;
+            // Sinks do not re-enter the coordinator, but be defensive and
+            // keep anything registered while the list was detached.
+            merged.extend(std::mem::take(sp.persistent_mut()));
+            *sp.persistent_mut() = merged;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Resolution
+    // ------------------------------------------------------------------
+
+    /// Resolves `pattern` in `space` to the set of matching visible actors
+    /// (see [`Registry::resolve`]); deduplicated and sorted.
+    pub fn resolve(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<ActorId>> {
+        let meta = self.meta.read();
+        let arcs = arcs_for(&meta, visibility::reachable(&meta.edges, space));
+        let guards = lock_all(&arcs);
+        self.resolve_counted(&meta, &guards, pattern, space)
+    }
+
+    /// Resolves `pattern` to matching *spaces* (§5.3 pattern-based space
+    /// specification).
+    pub fn resolve_spaces(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<SpaceId>> {
+        let meta = self.meta.read();
+        let arcs = arcs_for(&meta, visibility::reachable(&meta.edges, space));
+        let guards = lock_all(&arcs);
+        matching::resolve_spaces_in(&guards, pattern, space)
+    }
+
+    /// Resolves a pattern-addressed space to exactly one space id (lowest
+    /// id when several match).
+    pub fn resolve_space_pattern(&self, pattern: &Pattern, scope: SpaceId) -> Result<SpaceId> {
+        let spaces = self.resolve_spaces(pattern, scope)?;
+        spaces.into_iter().next().ok_or_else(|| Error::NoMatch {
+            pattern: pattern.text().to_owned(),
+            space: scope,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection (§5.5)
+    // ------------------------------------------------------------------
+
+    /// Runs a stop-the-world mark/sweep collection (see
+    /// [`Registry::collect_garbage`]): meta write-locked, every shard
+    /// locked in ascending order.
+    pub fn collect_garbage(&self, acquaintances: &dyn Fn(ActorId) -> Vec<MemberId>) -> GcReport {
+        let mut meta = self.meta.write();
+        let all: Vec<SpaceId> = meta.shards.keys().copied().collect();
+        let arcs = arcs_for(&meta, all);
+        let mut guards = lock_all(&arcs);
+
+        let mut live_actors: HashSet<ActorId> = HashSet::new();
+        let mut live_spaces: HashSet<SpaceId> = HashSet::new();
+        let mut work: Vec<MemberId> = Vec::new();
+        work.push(MemberId::Space(ROOT_SPACE));
+        for &a in &meta.roots {
+            work.push(MemberId::Actor(a));
+        }
+        while let Some(m) = work.pop() {
+            match m {
+                MemberId::Actor(a) => {
+                    if !meta.actors.contains_key(&a) || !live_actors.insert(a) {
+                        continue;
+                    }
+                    work.extend(acquaintances(a));
+                }
+                MemberId::Space(s) => {
+                    if !live_spaces.insert(s) {
+                        continue;
+                    }
+                    let Some(space) = guards.get(&s) else {
+                        continue;
+                    };
+                    work.extend(space.members().keys().copied());
+                }
+            }
+        }
+
+        let mut collected_actors: Vec<ActorId> = meta
+            .actors
+            .keys()
+            .filter(|a| !live_actors.contains(a))
+            .copied()
+            .collect();
+        let mut collected_spaces: Vec<SpaceId> = meta
+            .shards
+            .keys()
+            .filter(|s| !live_spaces.contains(s))
+            .copied()
+            .collect();
+        collected_actors.sort_unstable();
+        collected_spaces.sort_unstable();
+
+        for &s in &collected_spaces {
+            remove_space_locked(&mut meta, &mut guards, s);
+        }
+        for &a in &collected_actors {
+            remove_actor_locked(&mut meta, &mut guards, a);
+        }
+
+        GcReport {
+            collected_actors,
+            collected_spaces,
+            live_actors: meta.actors.len(),
+            live_spaces: meta.shards.len(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Does this space exist?
+    pub fn space_exists(&self, id: SpaceId) -> bool {
+        self.meta.read().shards.contains_key(&id)
+    }
+
+    /// Does this actor exist?
+    pub fn actor_exists(&self, id: ActorId) -> bool {
+        self.meta.read().actors.contains_key(&id)
+    }
+
+    /// The actor's record (owned — the record lives behind the meta lock).
+    pub fn actor(&self, id: ActorId) -> Result<ActorRecord> {
+        self.meta
+            .read()
+            .actors
+            .get(&id)
+            .cloned()
+            .ok_or(Error::NoSuchActor(id))
+    }
+
+    /// All spaces a member is directly visible in, sorted.
+    pub fn containers_of(&self, member: MemberId) -> Vec<SpaceId> {
+        let meta = self.meta.read();
+        let mut v: Vec<SpaceId> = meta
+            .containers
+            .get(&member)
+            .into_iter()
+            .flatten()
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of live actors.
+    pub fn actor_count(&self) -> usize {
+        self.meta.read().actors.len()
+    }
+
+    /// Number of live spaces (including the root).
+    pub fn space_count(&self) -> usize {
+        self.meta.read().shards.len()
+    }
+
+    /// Live actor ids, sorted.
+    pub fn actor_ids(&self) -> Vec<ActorId> {
+        let mut v: Vec<ActorId> = self.meta.read().actors.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Live space ids, ascending.
+    pub fn space_ids(&self) -> Vec<SpaceId> {
+        self.meta.read().shards.keys().copied().collect()
+    }
+
+    /// An observability snapshot of one space.
+    pub fn space_info(&self, id: SpaceId) -> Result<SpaceInfo> {
+        let meta = self.meta.read();
+        let sh = meta.shards.get(&id).ok_or(Error::NoSuchSpace(id))?;
+        let sp = sh.space.lock();
+        let mut actor_members = 0usize;
+        let mut space_members = 0usize;
+        for m in sp.members().keys() {
+            match m {
+                MemberId::Actor(_) => actor_members += 1,
+                MemberId::Space(_) => space_members += 1,
+            }
+        }
+        Ok(SpaceInfo {
+            id,
+            actor_members,
+            space_members,
+            pending_messages: sp.pending().len(),
+            persistent_broadcasts: sp.persistent().len(),
+            guarded: !sp.guard().is_open(),
+        })
+    }
+
+    /// Runs `f` against one locked space — the sharded replacement for
+    /// [`Registry::space`]-style borrowing inspection.
+    pub fn with_space<R>(&self, id: SpaceId, f: impl FnOnce(&Space<M>) -> R) -> Result<R> {
+        let meta = self.meta.read();
+        let sh = meta.shards.get(&id).ok_or(Error::NoSuchSpace(id))?;
+        let sp = sh.space.lock();
+        Ok(f(&sp))
+    }
+
+    /// Validates the visibility relation is acyclic — property-test hook.
+    pub fn is_dag(&self) -> bool {
+        let meta = self.meta.read();
+        let nodes: HashSet<SpaceId> = meta.shards.keys().copied().collect();
+        visibility::is_dag_edges(&nodes, &meta.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use actorspace_atoms::path;
+    use actorspace_capability::CapMinter;
+    use actorspace_pattern::pattern;
+
+    type Sharded = ShardedRegistry<&'static str>;
+
+    fn reg() -> Sharded {
+        let p = ManagerPolicy {
+            selection_seed: Some(7),
+            ..Default::default()
+        };
+        ShardedRegistry::new(p)
+    }
+
+    type Log = std::rc::Rc<std::cell::RefCell<Vec<(ActorId, &'static str)>>>;
+
+    fn collector() -> (Log, impl FnMut(ActorId, &'static str, Option<&Route>)) {
+        let v: Log = Default::default();
+        let v2 = v.clone();
+        (v, move |a, m, _| v2.borrow_mut().push((a, m)))
+    }
+
+    #[test]
+    fn root_space_exists_at_birth() {
+        let r = reg();
+        assert!(r.space_exists(ROOT_SPACE));
+        assert_eq!(r.space_count(), 1);
+    }
+
+    #[test]
+    fn send_reaches_one_matching_actor() {
+        let r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        let (got, mut sink) = collector();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut sink)
+            .unwrap();
+        let d = r.send(&pattern("w"), s, "job", &mut sink).unwrap();
+        assert_eq!(d, Disposition::Delivered(1));
+        assert_eq!(got.borrow().as_slice(), &[(a, "job")]);
+    }
+
+    #[test]
+    fn suspended_send_wakes_on_arrival() {
+        let r = reg();
+        let s = r.create_space(None);
+        let (got, mut sink) = collector();
+        assert_eq!(
+            r.send(&pattern("late"), s, "early", &mut sink).unwrap(),
+            Disposition::Suspended
+        );
+        assert_eq!(r.space_info(s).unwrap().pending_messages, 1);
+        let a = r.create_actor(s, None).unwrap();
+        r.make_visible(a.into(), vec![path("late")], s, None, &mut sink)
+            .unwrap();
+        assert_eq!(got.borrow().as_slice(), &[(a, "early")]);
+        assert_eq!(r.space_info(s).unwrap().pending_messages, 0);
+    }
+
+    #[test]
+    fn wake_crosses_shards_to_ancestors() {
+        // Suspended in OUTER, woken by an arrival in the nested INNER shard.
+        let r = reg();
+        let outer = r.create_space(None);
+        let inner = r.create_space(None);
+        let (got, mut sink) = collector();
+        r.make_visible(inner.into(), vec![path("pool")], outer, None, &mut sink)
+            .unwrap();
+        r.send(&pattern("pool/worker"), outer, "job", &mut sink)
+            .unwrap();
+        assert!(got.borrow().is_empty());
+        let a = r.create_actor(inner, None).unwrap();
+        r.make_visible(a.into(), vec![path("worker")], inner, None, &mut sink)
+            .unwrap();
+        assert_eq!(got.borrow().as_slice(), &[(a, "job")]);
+    }
+
+    #[test]
+    fn cycles_rejected_through_edge_map() {
+        let r = reg();
+        let a = r.create_space(None);
+        let b = r.create_space(None);
+        let c = r.create_space(None);
+        let (_, mut sink) = collector();
+        r.make_visible(MemberId::Space(a), vec![path("a")], b, None, &mut sink)
+            .unwrap();
+        r.make_visible(MemberId::Space(b), vec![path("b")], c, None, &mut sink)
+            .unwrap();
+        let err = r
+            .make_visible(MemberId::Space(c), vec![path("c")], a, None, &mut sink)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Error::WouldCycle {
+                child: c,
+                parent: a
+            }
+        );
+        assert!(r.is_dag());
+    }
+
+    #[test]
+    fn destroy_space_detaches_and_rehosts() {
+        let r = reg();
+        let parent = r.create_space(None);
+        let child = r.create_space(None);
+        let a = r.create_actor(child, None).unwrap();
+        let (_, mut sink) = collector();
+        r.make_visible(
+            MemberId::Space(child),
+            vec![path("c")],
+            parent,
+            None,
+            &mut sink,
+        )
+        .unwrap();
+        r.destroy_space(child, None).unwrap();
+        assert!(!r.space_exists(child));
+        assert!(r
+            .with_space(parent, |sp| !sp.contains(MemberId::Space(child)))
+            .unwrap());
+        assert_eq!(r.actor(a).unwrap().host, ROOT_SPACE);
+        assert!(r.is_dag());
+    }
+
+    #[test]
+    fn guarded_space_checks_without_shard_lock() {
+        let mint = CapMinter::new();
+        let cap = mint.new_capability();
+        let r = reg();
+        let s = r.create_space(Some(&cap));
+        assert!(matches!(r.destroy_space(s, None), Err(Error::Denied(_))));
+        assert!(r.space_info(s).unwrap().guarded);
+        r.destroy_space(s, Some(&cap)).unwrap();
+    }
+
+    #[test]
+    fn per_space_counters_label_snapshots() {
+        let r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        let (_, mut sink) = collector();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut sink)
+            .unwrap();
+        r.send(&pattern("w"), s, "x", &mut sink).unwrap();
+        r.send(&pattern("w"), s, "y", &mut sink).unwrap();
+        r.broadcast(&pattern("w"), s, "z", &mut sink).unwrap();
+        let snap = r.obs().snapshot();
+        assert_eq!(
+            snap.counter_for_space(names::CORE_SPACE_SENDS, 0, s.0),
+            Some(2)
+        );
+        assert_eq!(
+            snap.counter_for_space(names::CORE_SPACE_BROADCASTS, 0, s.0),
+            Some(1)
+        );
+        // Literal sends took the index fast path: two hits.
+        assert_eq!(
+            snap.counter_for_space(names::CORE_INDEX_HITS, 0, s.0),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn purge_range_sweeps_memberships() {
+        let r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        let b = r.create_actor(s, None).unwrap();
+        let (_, mut sink) = collector();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut sink)
+            .unwrap();
+        r.make_visible(b.into(), vec![path("w")], s, None, &mut sink)
+            .unwrap();
+        assert_eq!(r.purge_actor_range(a.0, b.0), 1);
+        assert!(!r.actor_exists(a));
+        assert!(r.actor_exists(b));
+        assert_eq!(r.resolve(&pattern("w"), s).unwrap(), vec![b]);
+    }
+
+    #[test]
+    fn gc_mirrors_single_lock_collector() {
+        let r = reg();
+        let s = r.create_space(None);
+        let a = r.create_actor(s, None).unwrap();
+        let keep = r.create_actor(ROOT_SPACE, None).unwrap();
+        r.add_root(keep);
+        let (_, mut sink) = collector();
+        r.make_visible(a.into(), vec![path("w")], s, None, &mut sink)
+            .unwrap();
+        let report = r.collect_garbage(&|_| Vec::new());
+        assert_eq!(report.collected_spaces, vec![s]);
+        assert_eq!(report.collected_actors, vec![a]);
+        assert_eq!(report.live_actors, 1);
+        assert_eq!(report.live_spaces, 1);
+    }
+}

@@ -74,6 +74,69 @@ pub fn ancestors(
     out
 }
 
+/// Forward reachability over an explicit edge map `parent → visible
+/// sub-spaces`: every space a pattern resolution scoped to `from` can
+/// descend into, including `from` itself. The sharded coordinator keeps
+/// this edge map in its meta table so lock sets can be computed without
+/// touching any shard.
+pub fn reachable(edges: &HashMap<SpaceId, HashSet<SpaceId>>, from: SpaceId) -> HashSet<SpaceId> {
+    let mut out = HashSet::new();
+    out.insert(from);
+    let mut stack = vec![from];
+    while let Some(s) = stack.pop() {
+        if let Some(subs) = edges.get(&s) {
+            for &sub in subs {
+                if out.insert(sub) {
+                    stack.push(sub);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// [`would_cycle`] over an explicit edge map instead of the space table:
+/// true iff `child == parent` or `parent` is reachable from `child`.
+pub fn would_cycle_edges(
+    edges: &HashMap<SpaceId, HashSet<SpaceId>>,
+    child: SpaceId,
+    parent: SpaceId,
+) -> bool {
+    child == parent || reachable(edges, child).contains(&parent)
+}
+
+/// [`is_dag`] over an explicit node set + edge map (Kahn's algorithm).
+pub fn is_dag_edges(nodes: &HashSet<SpaceId>, edges: &HashMap<SpaceId, HashSet<SpaceId>>) -> bool {
+    let mut indegree: HashMap<SpaceId, usize> = nodes.iter().map(|&s| (s, 0)).collect();
+    for subs in edges.values() {
+        for sub in subs {
+            if let Some(d) = indegree.get_mut(sub) {
+                *d += 1;
+            }
+        }
+    }
+    let mut queue: Vec<SpaceId> = indegree
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&s, _)| s)
+        .collect();
+    let mut visited = 0usize;
+    while let Some(s) = queue.pop() {
+        visited += 1;
+        if let Some(subs) = edges.get(&s) {
+            for sub in subs {
+                if let Some(d) = indegree.get_mut(sub) {
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(*sub);
+                    }
+                }
+            }
+        }
+    }
+    visited == nodes.len()
+}
+
 /// Validates that the whole visibility relation is acyclic — an invariant
 /// checked by property tests after random operation sequences.
 pub fn is_dag<M>(spaces: &HashMap<SpaceId, Space<M>>) -> bool {
@@ -177,6 +240,28 @@ mod tests {
         assert_eq!(anc, [SpaceId(0), SpaceId(1), SpaceId(2), SpaceId(3)].into());
         let anc1 = ancestors(&containers, SpaceId(2));
         assert_eq!(anc1, [SpaceId(2)].into());
+    }
+
+    #[test]
+    fn edge_map_helpers_mirror_space_table_walks() {
+        // edges: 2 → {1}, 1 → {0} (0 visible in 1, 1 visible in 2)
+        let mut edges: HashMap<SpaceId, HashSet<SpaceId>> = HashMap::new();
+        edges.insert(SpaceId(2), [SpaceId(1)].into());
+        edges.insert(SpaceId(1), [SpaceId(0)].into());
+        let nodes: HashSet<SpaceId> = [SpaceId(0), SpaceId(1), SpaceId(2)].into();
+
+        assert_eq!(
+            reachable(&edges, SpaceId(2)),
+            [SpaceId(0), SpaceId(1), SpaceId(2)].into()
+        );
+        assert_eq!(reachable(&edges, SpaceId(0)), [SpaceId(0)].into());
+        assert!(would_cycle_edges(&edges, SpaceId(0), SpaceId(0)));
+        assert!(would_cycle_edges(&edges, SpaceId(2), SpaceId(0)));
+        assert!(!would_cycle_edges(&edges, SpaceId(0), SpaceId(2)));
+        assert!(is_dag_edges(&nodes, &edges));
+
+        edges.get_mut(&SpaceId(1)).unwrap().insert(SpaceId(2));
+        assert!(!is_dag_edges(&nodes, &edges));
     }
 
     #[test]

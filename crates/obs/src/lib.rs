@@ -43,6 +43,17 @@ pub mod names {
     pub const CORE_MATCH_NS: &str = "core.match_ns";
     /// Suspension dwell time of sampled sends, nanoseconds (histogram).
     pub const CORE_DWELL_NS: &str = "core.suspension_dwell_ns";
+    /// Sends resolved against a space, labeled per space (counter; the
+    /// scope space of the pattern, not the recipient's direct container).
+    pub const CORE_SPACE_SENDS: &str = "core.space.sends";
+    /// Broadcasts resolved against a space, labeled per space (counter).
+    pub const CORE_SPACE_BROADCASTS: &str = "core.space.broadcasts";
+    /// Literal-pattern resolutions answered with a non-empty result via
+    /// the exact-prefix index, labeled per scope space (counter; E12).
+    pub const CORE_INDEX_HITS: &str = "core.index.hits";
+    /// Literal-pattern resolutions that consulted the exact-prefix index
+    /// and found nothing, labeled per scope space (counter; E12).
+    pub const CORE_INDEX_MISSES: &str = "core.index.misses";
     /// Messages dropped with no recipient (counter; cumulative across
     /// node restarts).
     pub const RT_DEAD_LETTERS: &str = "runtime.dead_letters";

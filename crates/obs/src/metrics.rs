@@ -1,5 +1,8 @@
 //! Lock-light metrics: counters, gauges, and log2-bucketed histograms,
-//! owned by a [`MetricsRegistry`] keyed on `(name, node)`.
+//! owned by a [`MetricsRegistry`] keyed on `(name, node, space-label)`.
+//! Most metrics are node-level (no space label); the sharded coordinator
+//! additionally registers per-actorSpace series (e.g. `core.space.sends`)
+//! labeled with the space's raw id.
 //!
 //! The registry mutex is touched only at handle-resolution time; hot paths
 //! hold pre-resolved `Arc` handles and update them with relaxed atomics.
@@ -232,12 +235,17 @@ impl Metric {
     }
 }
 
-/// Registry of named, node-labeled metrics. Resolving the same
-/// `(name, node)` pair always returns the same underlying atom, so metrics
-/// survive component restarts for as long as the registry lives.
+/// A metric series key: `(name, node, space label)` — `space` is `None`
+/// for node-level series.
+type SeriesKey = (String, u16, Option<u64>);
+
+/// Registry of named, node-labeled (and optionally space-labeled) metrics.
+/// Resolving the same `(name, node, space)` triple always returns the same
+/// underlying atom, so metrics survive component restarts for as long as
+/// the registry lives.
 #[derive(Default)]
 pub struct MetricsRegistry {
-    inner: Mutex<BTreeMap<(String, u16), Metric>>,
+    inner: Mutex<BTreeMap<SeriesKey, Metric>>,
 }
 
 impl MetricsRegistry {
@@ -246,19 +254,33 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Resolves (creating on first use) the counter `name` for `node`.
-    ///
-    /// # Panics
-    /// If `(name, node)` was previously registered as a different kind.
-    pub fn counter(&self, name: &str, node: u16) -> Arc<Counter> {
+    fn counter_entry(&self, name: &str, node: u16, space: Option<u64>) -> Arc<Counter> {
         let mut map = self.inner.lock();
         match map
-            .entry((name.to_string(), node))
+            .entry((name.to_string(), node, space))
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
         {
             Metric::Counter(c) => c.clone(),
             other => panic!("metric {name}@{node} is a {}, not a counter", other.kind()),
         }
+    }
+
+    /// Resolves (creating on first use) the counter `name` for `node`.
+    ///
+    /// # Panics
+    /// If `(name, node)` was previously registered as a different kind.
+    pub fn counter(&self, name: &str, node: u16) -> Arc<Counter> {
+        self.counter_entry(name, node, None)
+    }
+
+    /// Resolves (creating on first use) the counter `name` for `node`,
+    /// labeled with the actorSpace `space` — one independent series per
+    /// space, reported next to the node-level series in snapshots.
+    ///
+    /// # Panics
+    /// If the triple was previously registered as a different kind.
+    pub fn counter_for_space(&self, name: &str, node: u16, space: u64) -> Arc<Counter> {
+        self.counter_entry(name, node, Some(space))
     }
 
     /// Resolves (creating on first use) the gauge `name` for `node`.
@@ -268,7 +290,7 @@ impl MetricsRegistry {
     pub fn gauge(&self, name: &str, node: u16) -> Arc<Gauge> {
         let mut map = self.inner.lock();
         match map
-            .entry((name.to_string(), node))
+            .entry((name.to_string(), node, None))
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
         {
             Metric::Gauge(g) => g.clone(),
@@ -283,7 +305,7 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str, node: u16) -> Arc<Histogram> {
         let mut map = self.inner.lock();
         match map
-            .entry((name.to_string(), node))
+            .entry((name.to_string(), node, None))
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
         {
             Metric::Histogram(h) => h.clone(),
@@ -300,9 +322,10 @@ impl MetricsRegistry {
         let map = self.inner.lock();
         let entries = map
             .iter()
-            .map(|((name, node), m)| MetricSnapshot {
+            .map(|((name, node, space), m)| MetricSnapshot {
                 name: name.clone(),
                 node: *node,
+                space: *space,
                 value: match m {
                     Metric::Counter(c) => MetricValue::Counter(c.get()),
                     Metric::Gauge(g) => MetricValue::Gauge(g.get()),
@@ -325,13 +348,16 @@ pub enum MetricValue {
     Histogram(HistogramSnapshot),
 }
 
-/// One `(name, node)` entry in a [`Snapshot`].
+/// One `(name, node, space)` entry in a [`Snapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricSnapshot {
     /// Metric name (see [`crate::names`]).
     pub name: String,
     /// Node label (0 for single-node systems).
     pub node: u16,
+    /// ActorSpace label for per-space series (raw space id); `None` for
+    /// node-level metrics.
+    pub space: Option<u64>,
     /// The value.
     pub value: MetricValue,
 }
@@ -341,7 +367,7 @@ pub struct MetricSnapshot {
 pub struct Snapshot {
     /// Monotonic timestamp (nanoseconds since the observer's epoch).
     pub at_nanos: u64,
-    /// All metrics, ordered by `(name, node)`.
+    /// All metrics, ordered by `(name, node, space)`.
     pub entries: Vec<MetricSnapshot>,
 }
 
@@ -351,10 +377,26 @@ impl Snapshot {
         self.entries.is_empty()
     }
 
-    /// The counter `name` for `node`, if registered.
+    /// The node-level counter `name` for `node`, if registered (per-space
+    /// series are excluded; see [`Snapshot::counter_for_space`]).
     pub fn counter(&self, name: &str, node: u16) -> Option<u64> {
         self.entries.iter().find_map(|e| match &e.value {
-            MetricValue::Counter(v) if e.name == name && e.node == node => Some(*v),
+            MetricValue::Counter(v) if e.name == name && e.node == node && e.space.is_none() => {
+                Some(*v)
+            }
+            _ => None,
+        })
+    }
+
+    /// The space-labeled counter `name` for `node` and `space`, if
+    /// registered.
+    pub fn counter_for_space(&self, name: &str, node: u16, space: u64) -> Option<u64> {
+        self.entries.iter().find_map(|e| match &e.value {
+            MetricValue::Counter(v)
+                if e.name == name && e.node == node && e.space == Some(space) =>
+            {
+                Some(*v)
+            }
             _ => None,
         })
     }
@@ -405,6 +447,7 @@ impl Snapshot {
 
     /// Renders the snapshot as a JSON object:
     /// `{"at_nanos":..,"metrics":[{"name":..,"node":..,"kind":..,...},..]}`.
+    /// Space-labeled entries additionally carry `"space":<raw id>`.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(64 + self.entries.len() * 64);
         out.push_str("{\"at_nanos\":");
@@ -426,6 +469,10 @@ impl Snapshot {
             }
             out.push_str("\",\"node\":");
             out.push_str(&e.node.to_string());
+            if let Some(space) = e.space {
+                out.push_str(",\"space\":");
+                out.push_str(&space.to_string());
+            }
             match &e.value {
                 MetricValue::Counter(v) => {
                     out.push_str(",\"kind\":\"counter\",\"value\":");
@@ -511,6 +558,25 @@ mod tests {
         let r = MetricsRegistry::new();
         let _ = r.counter("x", 0);
         let _ = r.gauge("x", 0);
+    }
+
+    #[test]
+    fn space_labeled_counters_are_independent_series() {
+        let r = MetricsRegistry::new();
+        r.counter("core.space.sends", 0).add(1);
+        r.counter_for_space("core.space.sends", 0, 7).add(5);
+        r.counter_for_space("core.space.sends", 0, 8).add(2);
+        // Same triple resolves the same atom.
+        r.counter_for_space("core.space.sends", 0, 7).add(1);
+        let s = r.snapshot(1);
+        assert_eq!(s.counter("core.space.sends", 0), Some(1));
+        assert_eq!(s.counter_for_space("core.space.sends", 0, 7), Some(6));
+        assert_eq!(s.counter_for_space("core.space.sends", 0, 8), Some(2));
+        assert_eq!(s.counter_for_space("core.space.sends", 0, 9), None);
+        let json = s.to_json();
+        assert!(json.contains("\"node\":0,\"space\":7,\"kind\":\"counter\",\"value\":6"));
+        // The node-level series has no space label.
+        assert!(json.contains("\"node\":0,\"kind\":\"counter\",\"value\":1"));
     }
 
     #[test]

@@ -56,7 +56,6 @@ impl<'a> Ctx<'a> {
     pub fn host_space(&self) -> SpaceId {
         self.shared
             .registry
-            .lock()
             .actor(self.self_id)
             .map(|r| r.host)
             .unwrap_or(actorspace_core::ROOT_SPACE)
@@ -178,7 +177,6 @@ impl<'a> Ctx<'a> {
         let space = self
             .shared
             .registry
-            .lock()
             .resolve_space_pattern(space_pattern, host)?;
         self.send_pattern(pattern, space, body)
     }
@@ -253,13 +251,13 @@ impl<'a> Ctx<'a> {
 
     /// Resolves a pattern without sending.
     pub fn resolve(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<ActorId>> {
-        self.shared.registry.lock().resolve(pattern, space)
+        self.shared.registry.resolve(pattern, space)
     }
 
     /// Self-reports this actor's load for least-loaded arbitration in
     /// `space` (§8 scheduling experimentation).
     pub fn report_load(&mut self, space: SpaceId, load: u64) -> Result<()> {
         let me = self.self_id;
-        self.shared.registry.lock().report_load(space, me, load)
+        self.shared.registry.report_load(space, me, load)
     }
 }

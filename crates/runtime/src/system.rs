@@ -1,8 +1,9 @@
 //! The actor system: shared node state, worker pool, and the public API.
 //!
 //! One [`ActorSystem`] is a *node* in the paper's architecture (§7.2): it
-//! owns the local Coordinator state (the [`Registry`]), the actor table,
-//! and a pool of worker threads draining mailboxes.
+//! owns the local Coordinator state (the [`ShardedRegistry`] — one lock
+//! per actorSpace, see `actorspace_core::shard`), the actor table, and a
+//! pool of worker threads draining mailboxes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -15,8 +16,8 @@ use parking_lot::{Condvar, Mutex, RwLock};
 use actorspace_atoms::Path;
 use actorspace_capability::{CapMinter, Capability};
 use actorspace_core::{
-    ActorId, Disposition, GcReport, ManagerPolicy, MemberId, Pattern, Registry, Result, Route,
-    SpaceId,
+    ActorId, Disposition, GcReport, ManagerPolicy, MemberId, Pattern, Result, Route,
+    ShardedRegistry, SpaceId,
 };
 use actorspace_obs::{names, Counter, DeadLetter, DeadLetterReason, Obs, Stage, TraceId};
 
@@ -88,7 +89,11 @@ pub struct Stats {
 pub(crate) struct Shared {
     pub actors: RwLock<HashMap<ActorId, Arc<ActorCell>>>,
     pub injector: Injector<Arc<ActorCell>>,
-    pub registry: Mutex<Registry<Message>>,
+    /// The sharded coordinator. Operations take `&self` and lock only the
+    /// shards their scope reaches; no outer mutex. The registry may take
+    /// the `actors` read lock through its sinks (delivery), so no path may
+    /// hold the `actors` lock while entering the registry.
+    pub registry: ShardedRegistry<Message>,
     pub minter: CapMinter,
     /// Enqueued-but-unprocessed message count; zero ⇒ quiescent.
     pub pending: AtomicUsize,
@@ -186,13 +191,12 @@ impl Shared {
     /// Runs `f` with the registry and a sink that enqueues deliveries.
     pub fn with_registry<R>(
         &self,
-        f: impl FnOnce(&mut Registry<Message>, &mut dyn FnMut(ActorId, Message, Option<&Route>)) -> R,
+        f: impl FnOnce(&ShardedRegistry<Message>, &mut dyn FnMut(ActorId, Message, Option<&Route>)) -> R,
     ) -> R {
-        let mut reg = self.registry.lock();
         let mut sink = |to: ActorId, msg: Message, route: Option<&Route>| {
             self.deliver(Envelope::user_routed(to, msg, route.cloned()));
         };
-        f(&mut reg, &mut sink)
+        f(&self.registry, &mut sink)
     }
 
     /// Registers a new actor and schedules its start signal.
@@ -203,14 +207,10 @@ impl Shared {
         behavior: Box<dyn Behavior>,
         rooted: bool,
     ) -> Result<ActorId> {
-        let id = {
-            let mut reg = self.registry.lock();
-            let id = reg.create_actor(host, cap)?;
-            if rooted {
-                reg.add_root(id);
-            }
-            id
-        };
+        let id = self.registry.create_actor(host, cap)?;
+        if rooted {
+            self.registry.add_root(id);
+        }
         let cell = Arc::new(ActorCell::new(id, behavior));
         self.actors.write().insert(id, cell);
         self.deliver(Envelope::start(id));
@@ -220,7 +220,7 @@ impl Shared {
     /// Removes an actor: table entry, registry record, memberships.
     pub fn stop_actor(&self, id: ActorId) {
         self.actors.write().remove(&id);
-        self.registry.lock().remove_actor(id);
+        self.registry.remove_actor(id);
     }
 
     /// Installs a behavior cell without creating a registry record or
@@ -260,7 +260,7 @@ impl Shared {
         if let Some(h) = self.hook.read().clone() {
             return h.make_invisible(member, space, cap.copied());
         }
-        self.registry.lock().make_invisible(member, space, cap)
+        self.registry.make_invisible(member, space, cap)
     }
 
     pub fn op_change_attributes(
@@ -280,14 +280,14 @@ impl Shared {
         if let Some(h) = self.hook.read().clone() {
             return h.create_space(cap.copied());
         }
-        self.registry.lock().create_space(cap)
+        self.registry.create_space(cap)
     }
 
     pub fn op_destroy_space(&self, space: SpaceId, cap: Option<&Capability>) -> Result<()> {
         if let Some(h) = self.hook.read().clone() {
             return h.destroy_space(space, cap.copied());
         }
-        self.registry.lock().destroy_space(space, cap)
+        self.registry.destroy_space(space, cap)
     }
 
     pub fn op_create_actor(
@@ -317,12 +317,12 @@ impl ActorSystem {
             .obs
             .unwrap_or_else(|| Obs::shared(actorspace_obs::ObsConfig::default()));
         let node = config.node;
-        let mut registry = Registry::with_id_base(config.policy.clone(), config.id_base);
+        let mut registry = ShardedRegistry::with_id_base(config.policy.clone(), config.id_base);
         registry.set_obs(obs.clone(), node);
         let shared = Arc::new(Shared {
             actors: RwLock::new(HashMap::new()),
             injector: Injector::new(),
-            registry: Mutex::new(registry),
+            registry,
             minter: CapMinter::new(),
             pending: AtomicUsize::new(0),
             idle_lock: Mutex::new(()),
@@ -378,7 +378,7 @@ impl ActorSystem {
         let id = self
             .shared
             .op_create_actor(space, cap, Box::new(behavior))?;
-        self.shared.registry.lock().add_root(id);
+        self.shared.registry.add_root(id);
         Ok(ActorHandle {
             id,
             shared: self.shared.clone(),
@@ -519,13 +519,13 @@ impl ActorSystem {
 
     /// Resolves a pattern without sending (inspection).
     pub fn resolve(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<ActorId>> {
-        self.shared.registry.lock().resolve(pattern, space)
+        self.shared.registry.resolve(pattern, space)
     }
 
     /// Resolves a pattern to matching spaces (§5.3: pattern-based
     /// actorSpace specification).
     pub fn resolve_spaces(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<SpaceId>> {
-        self.shared.registry.lock().resolve_spaces(pattern, space)
+        self.shared.registry.resolve_spaces(pattern, space)
     }
 
     /// Replaces a space's policy table. Requires `Rights::MANAGE`.
@@ -535,10 +535,7 @@ impl ActorSystem {
         policy: ManagerPolicy,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.shared
-            .registry
-            .lock()
-            .set_space_policy(space, policy, cap)
+        self.shared.registry.set_space_policy(space, policy, cap)
     }
 
     /// Installs a custom manager on a space. Requires `Rights::MANAGE`.
@@ -548,15 +545,12 @@ impl ActorSystem {
         manager: Box<dyn actorspace_core::Manager>,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.shared
-            .registry
-            .lock()
-            .set_space_manager(space, manager, cap)
+        self.shared.registry.set_space_manager(space, manager, cap)
     }
 
     /// Cancels persistent broadcasts on a space.
     pub fn cancel_persistent(&self, space: SpaceId, cap: Option<&Capability>) -> Result<usize> {
-        self.shared.registry.lock().cancel_persistent(space, cap)
+        self.shared.registry.cancel_persistent(space, cap)
     }
 
     /// Installs (or clears) a custom matching rule on a space (§5
@@ -567,27 +561,22 @@ impl ActorSystem {
         filter: Option<actorspace_core::MatchFilter>,
         cap: Option<&Capability>,
     ) -> Result<()> {
-        self.shared
-            .registry
-            .lock()
-            .set_match_filter(space, filter, cap)
+        self.shared.registry.set_match_filter(space, filter, cap)
     }
 
     /// Reports an actor's load for least-loaded arbitration in `space`.
     pub fn report_load(&self, space: SpaceId, actor: ActorId, load: u64) -> Result<()> {
-        self.shared.registry.lock().report_load(space, actor, load)
+        self.shared.registry.report_load(space, actor, load)
     }
 
     /// Observability snapshot of one space.
     pub fn space_info(&self, space: SpaceId) -> Result<actorspace_core::SpaceInfo> {
-        self.shared.registry.lock().space_info(space)
+        self.shared.registry.space_info(space)
     }
 
-    /// Ids of all live spaces (including the root).
+    /// Ids of all live spaces (including the root), ascending.
     pub fn space_ids(&self) -> Vec<SpaceId> {
-        let mut v: Vec<SpaceId> = self.shared.registry.lock().space_ids().collect();
-        v.sort_unstable();
-        v
+        self.shared.registry.space_ids()
     }
 
     /// Runs a garbage collection pass (§5.5). The runtime cannot see inside
@@ -595,7 +584,7 @@ impl ActorSystem {
     /// collect purely by visibility/handle reachability). Stopped actors'
     /// cells are removed along with their registry records.
     pub fn collect_garbage(&self, acquaintances: &dyn Fn(ActorId) -> Vec<MemberId>) -> GcReport {
-        let report = self.shared.registry.lock().collect_garbage(acquaintances);
+        let report = self.shared.registry.collect_garbage(acquaintances);
         let mut actors = self.shared.actors.write();
         for a in &report.collected_actors {
             actors.remove(a);
@@ -627,12 +616,11 @@ impl ActorSystem {
     /// of this node (the registry-derived `actors`/`spaces` and the queue
     /// gauge `pending` remain per-incarnation by nature).
     pub fn stats(&self) -> Stats {
-        let reg = self.shared.registry.lock();
         Stats {
             pending: self.shared.pending.load(Ordering::Acquire),
             dead_letters: self.shared.dead_letters.get() as usize,
-            actors: reg.actor_count(),
-            spaces: reg.space_count(),
+            actors: self.shared.registry.actor_count(),
+            spaces: self.shared.registry.space_count(),
             suspicions: self.shared.suspicions.get() as usize,
             failovers: self.shared.failovers.get() as usize,
             re_registrations: self.shared.re_registrations.get() as usize,
@@ -762,7 +750,7 @@ impl ActorSystem {
     /// The closure receives the registry and a delivery sink.
     pub fn with_registry<R>(
         &self,
-        f: impl FnOnce(&mut Registry<Message>, &mut dyn FnMut(ActorId, Message, Option<&Route>)) -> R,
+        f: impl FnOnce(&ShardedRegistry<Message>, &mut dyn FnMut(ActorId, Message, Option<&Route>)) -> R,
     ) -> R {
         self.shared.with_registry(f)
     }
@@ -835,6 +823,6 @@ impl std::fmt::Debug for ActorHandle {
 
 impl Drop for ActorHandle {
     fn drop(&mut self) {
-        self.shared.registry.lock().remove_root(self.id);
+        self.shared.registry.remove_root(self.id);
     }
 }

@@ -23,6 +23,16 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
+echo "==> shard stress (multi-threaded coordinator tests under parallel harness)"
+# The sharded-coordinator stress and oracle tests spawn their own threads;
+# running the harness itself multi-threaded adds cross-test interleaving
+# on top. Release mode so the contention window is realistic.
+RUST_TEST_THREADS=4 cargo test --release -p actorspace-core \
+  --test shard_stress --test shard_wakeup --test differential_oracle -q
+
+echo "==> E14 quick (sharded vs global-lock send throughput must stay ~parity)"
+E14_QUICK=1 cargo run --release -p actorspace-bench --bin experiments e14
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 
