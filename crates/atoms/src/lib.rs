@@ -17,6 +17,8 @@
 //! atoms created anywhere in a process compare equal; a scoped
 //! [`AtomTable`] is also available for tests that need isolation.
 
+#![deny(unsafe_code)]
+
 pub mod atom;
 pub mod path;
 pub mod table;

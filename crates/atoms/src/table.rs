@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
-use parking_lot::RwLock;
+use actorspace_lockcheck::{LockClass, RwLock};
 
 /// A table interning strings to dense `u32` ids.
 ///
@@ -17,9 +17,17 @@ use parking_lot::RwLock;
 /// [`Atom::intern`](crate::Atom::intern), which uses the process-global
 /// table. A private table is useful for tests that want to observe ids from
 /// a known-empty state.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct AtomTable {
     inner: RwLock<Inner>,
+}
+
+impl Default for AtomTable {
+    fn default() -> Self {
+        AtomTable {
+            inner: RwLock::new(LockClass::Atoms, Inner::default()),
+        }
+    }
 }
 
 #[derive(Debug, Default)]

@@ -17,6 +17,8 @@
 //!   membership and group send/multicast. Group changes must be explicitly
 //!   communicated, unlike attribute patterns.
 
+#![deny(unsafe_code)]
+
 pub mod name_server;
 pub mod process_group;
 pub mod tuple_space;

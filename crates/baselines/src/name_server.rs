@@ -15,13 +15,21 @@ use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 use actorspace_atoms::Atom;
-use parking_lot::{Condvar, Mutex};
+use actorspace_lockcheck::{Condvar, LockClass, Mutex};
 
 /// An exact-name registry of actor ids.
-#[derive(Default)]
 pub struct NameServer {
     names: Mutex<HashMap<Atom, u64>>,
     registered: Condvar,
+}
+
+impl Default for NameServer {
+    fn default() -> NameServer {
+        NameServer {
+            names: Mutex::new(LockClass::Baselines, HashMap::new()),
+            registered: Condvar::new(),
+        }
+    }
 }
 
 impl NameServer {

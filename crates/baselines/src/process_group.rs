@@ -15,7 +15,7 @@
 use std::collections::HashMap;
 
 use actorspace_atoms::Atom;
-use parking_lot::Mutex;
+use actorspace_lockcheck::{LockClass, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -58,10 +58,13 @@ impl ProcessGroups {
             None => SmallRng::from_entropy(),
         };
         ProcessGroups {
-            inner: Mutex::new(Inner {
-                groups: HashMap::new(),
-                rng,
-            }),
+            inner: Mutex::new(
+                LockClass::Baselines,
+                Inner {
+                    groups: HashMap::new(),
+                    rng,
+                },
+            ),
         }
     }
 

@@ -19,7 +19,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use actorspace_lockcheck::{Condvar, LockClass, Mutex};
 
 /// One field of a tuple.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,10 +97,18 @@ struct Bag {
 }
 
 /// The shared tuple space.
-#[derive(Default)]
 pub struct TupleSpace {
     bag: Mutex<Bag>,
     arrived: Condvar,
+}
+
+impl Default for TupleSpace {
+    fn default() -> TupleSpace {
+        TupleSpace {
+            bag: Mutex::new(LockClass::Baselines, Bag::default()),
+            arrived: Condvar::new(),
+        }
+    }
 }
 
 impl TupleSpace {

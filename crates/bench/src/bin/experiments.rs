@@ -1051,9 +1051,10 @@ fn e14_shard_contention() {
     for threads in [1usize, 2, 4, 8] {
         // -- (a) the seed shape: one mutex around the whole registry.
         let d_global = {
-            let reg = Arc::new(parking_lot::Mutex::new(Registry::<u64>::new(
-                policy.clone(),
-            )));
+            let reg = Arc::new(actorspace_lockcheck::Mutex::new(
+                actorspace_lockcheck::LockClass::Other("bench.global_registry"),
+                Registry::<u64>::new(policy.clone()),
+            ));
             let (privates, shared) = {
                 let mut r = reg.lock();
                 let shared = r.create_space(None);

@@ -18,6 +18,8 @@
 //!    that bypasses the type system (e.g. a remote peer speaking the wire
 //!    protocol) cannot guess a key.
 
+#![deny(unsafe_code)]
+
 pub mod key;
 pub mod rights;
 pub mod store;

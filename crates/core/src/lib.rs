@@ -48,6 +48,8 @@
 //! assert_eq!(deliveries, vec![(worker, "job-1")]);
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod delivery;
 pub mod error;
 pub mod gc;

@@ -37,6 +37,15 @@
 //! Sinks are invoked with shard locks held (exactly as [`Registry`] invokes
 //! them under its single lock) and must not re-enter the coordinator.
 //!
+//! All of the above is *checked*, not just documented: every lock here is
+//! an [`actorspace_lockcheck`] wrapper tagged `Meta` or `Shard(id)`, each
+//! public operation opens a [`enter_coordinator`] section, and each sink or
+//! manager callback runs inside an [`enter_callback`] section. Built with
+//! `--features lockcheck`, the checker enforces meta-before-shard,
+//! ascending shard order, no callback re-entry, and (per §5.7) re-verifies
+//! the visibility DAG after every topology mutation. Without the feature
+//! all of it compiles away.
+//!
 //! The single-lock [`Registry`] is deliberately kept: it is the reference
 //! implementation the differential oracle property test replays random
 //! operation sequences against (`tests/differential_oracle.rs`), asserting
@@ -48,9 +57,11 @@ use std::sync::Arc;
 
 use actorspace_atoms::Path;
 use actorspace_capability::{Capability, Guard, GuardError, Rights};
+use actorspace_lockcheck::{
+    enter_callback, enter_coordinator, LockClass, Mutex, MutexGuard, RwLock,
+};
 use actorspace_obs::{names, Counter, Obs, ObsConfig, Stage, TraceId};
 use actorspace_pattern::Pattern;
-use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use crate::delivery::{Disposition, Route};
 use crate::error::{Error, Result};
@@ -298,13 +309,16 @@ impl<M: Clone> ShardedRegistry<M> {
         let m = CoreMetrics::resolve(&obs, 0);
         let reg = ShardedRegistry {
             ids: IdGen::default(),
-            meta: RwLock::new(Meta {
-                shards: BTreeMap::new(),
-                actors: HashMap::new(),
-                containers: HashMap::new(),
-                edges: HashMap::new(),
-                roots: HashSet::new(),
-            }),
+            meta: RwLock::new(
+                LockClass::Meta,
+                Meta {
+                    shards: BTreeMap::new(),
+                    actors: HashMap::new(),
+                    containers: HashMap::new(),
+                    edges: HashMap::new(),
+                    roots: HashSet::new(),
+                },
+            ),
             default_policy,
             obs,
             node: 0,
@@ -349,14 +363,27 @@ impl<M: Clone> ShardedRegistry<M> {
 
     fn mk_shard(&self, id: SpaceId, guard: Guard) -> ShardHandle<M> {
         ShardHandle {
-            space: Arc::new(Mutex::new(Space::new(
-                id,
-                guard,
-                self.default_policy.clone(),
-            ))),
+            space: Arc::new(Mutex::new(
+                LockClass::Shard(id.0),
+                Space::new(id, guard, self.default_policy.clone()),
+            )),
             guard,
             m: ShardMetrics::resolve(&self.obs, self.node, id),
         }
+    }
+
+    /// §5.7 validator: under `--features lockcheck`, re-verifies the
+    /// visibility relation is still acyclic after a topology mutation.
+    /// Compiles to nothing otherwise (`ENABLED` is a constant false).
+    fn validate_dag_after_mutation(meta: &Meta<M>, op: &str) {
+        if !actorspace_lockcheck::ENABLED {
+            return;
+        }
+        let nodes: HashSet<SpaceId> = meta.shards.keys().copied().collect();
+        assert!(
+            visibility::is_dag_edges(&nodes, &meta.edges),
+            "lockcheck: §5.7 invariant violated: visibility relation has a cycle after `{op}`"
+        );
     }
 
     // ------------------------------------------------------------------
@@ -366,6 +393,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// `create_actorSpace(capability)` (§5.2): a fresh space, in a fresh
     /// shard.
     pub fn create_space(&self, cap: Option<&Capability>) -> SpaceId {
+        let _op = enter_coordinator("ShardedRegistry::create_space");
         let id = self.ids.next_space();
         let sh = self.mk_shard(id, Guard::from_creation(cap));
         self.meta.write().shards.insert(id, sh);
@@ -374,6 +402,7 @@ impl<M: Clone> ShardedRegistry<M> {
 
     /// Registers a new actor created in `host` (§7.1).
     pub fn create_actor(&self, host: SpaceId, cap: Option<&Capability>) -> Result<ActorId> {
+        let _op = enter_coordinator("ShardedRegistry::create_actor");
         let mut meta = self.meta.write();
         if !meta.shards.contains_key(&host) {
             return Err(Error::NoSuchSpace(host));
@@ -403,6 +432,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// Inserts an actor record with a caller-chosen id (replica apply).
     /// Returns false if the id was already present.
     pub fn insert_actor_record(&self, id: ActorId, host: SpaceId, guard: Guard) -> bool {
+        let _op = enter_coordinator("ShardedRegistry::insert_actor_record");
         let mut meta = self.meta.write();
         if meta.actors.contains_key(&id) {
             return false;
@@ -414,6 +444,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// Inserts a space record with a caller-chosen id (replica apply).
     /// Returns false if present.
     pub fn insert_space_record(&self, id: SpaceId, guard: Guard) -> bool {
+        let _op = enter_coordinator("ShardedRegistry::insert_space_record");
         let mut meta = self.meta.write();
         if meta.shards.contains_key(&id) {
             return false;
@@ -425,6 +456,7 @@ impl<M: Clone> ShardedRegistry<M> {
 
     /// Removes an actor (death / remote destroy event).
     pub fn remove_actor(&self, id: ActorId) {
+        let _op = enter_coordinator("ShardedRegistry::remove_actor");
         let mut meta = self.meta.write();
         let parents: BTreeSet<SpaceId> = meta
             .containers
@@ -441,6 +473,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// Purges every actor whose raw id lies in `[lo, hi)` — the failover
     /// sweep for a crashed node. Returns how many actors were purged.
     pub fn purge_actor_range(&self, lo: u64, hi: u64) -> usize {
+        let _op = enter_coordinator("ShardedRegistry::purge_actor_range");
         let mut meta = self.meta.write();
         let doomed: Vec<ActorId> = meta
             .actors
@@ -474,6 +507,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// Destroys a space (§7.1). Requires `Rights::MANAGE` when guarded.
     /// Locks the doomed shard plus every parent it is visible in.
     pub fn destroy_space(&self, id: SpaceId, cap: Option<&Capability>) -> Result<()> {
+        let _op = enter_coordinator("ShardedRegistry::destroy_space");
         if id == ROOT_SPACE {
             return Err(Error::RootImmortal);
         }
@@ -488,6 +522,7 @@ impl<M: Clone> ShardedRegistry<M> {
         let arcs = arcs_for(&meta, set);
         let mut guards = lock_all(&arcs);
         remove_space_locked(&mut meta, &mut guards, id);
+        Self::validate_dag_after_mutation(&meta, "destroy_space");
         Ok(())
     }
 
@@ -520,6 +555,7 @@ impl<M: Clone> ShardedRegistry<M> {
         cap: Option<&Capability>,
         sink: Sink<'_, M>,
     ) -> Result<()> {
+        let _op = enter_coordinator("ShardedRegistry::make_visible");
         let mut meta = self.meta.write();
         member_guard(&meta, member)?.check(cap, Rights::VISIBILITY)?;
         if !meta.shards.contains_key(&space) {
@@ -546,16 +582,22 @@ impl<M: Clone> ShardedRegistry<M> {
         }
         {
             let sp = guards.get_mut(&space).expect("scope is in the lock set");
-            if !sp.manager_mut().authorize_visibility(member, &attrs) {
+            let authorized = {
+                let _cb = enter_callback("Manager::authorize_visibility");
+                sp.manager_mut().authorize_visibility(member, &attrs)
+            };
+            if !authorized {
                 return Err(Error::Denied(GuardError::Missing));
             }
             sp.add_member(member, attrs);
+            let _cb = enter_callback("Manager::on_change");
             sp.manager_mut().on_change(member);
         }
         meta.containers.entry(member).or_default().insert(space);
         if let MemberId::Space(child) = member {
             meta.edges.entry(space).or_default().insert(child);
         }
+        Self::validate_dag_after_mutation(&meta, "make_visible");
         self.wake_locked(&meta, &mut guards, space, sink);
         Ok(())
     }
@@ -569,6 +611,7 @@ impl<M: Clone> ShardedRegistry<M> {
         space: SpaceId,
         cap: Option<&Capability>,
     ) -> Result<()> {
+        let _op = enter_coordinator("ShardedRegistry::make_invisible");
         let mut meta = self.meta.write();
         member_guard(&meta, member)?.check(cap, Rights::VISIBILITY)?;
         if !meta.shards.contains_key(&space) {
@@ -581,6 +624,7 @@ impl<M: Clone> ShardedRegistry<M> {
             if !sp.remove_member(member) {
                 return Err(Error::NotVisible { member, space });
             }
+            let _cb = enter_callback("Manager::on_change");
             sp.manager_mut().on_change(member);
         }
         if let Some(setm) = meta.containers.get_mut(&member) {
@@ -597,6 +641,7 @@ impl<M: Clone> ShardedRegistry<M> {
                 }
             }
         }
+        Self::validate_dag_after_mutation(&meta, "make_invisible");
         Ok(())
     }
 
@@ -612,6 +657,7 @@ impl<M: Clone> ShardedRegistry<M> {
         cap: Option<&Capability>,
         sink: Sink<'_, M>,
     ) -> Result<()> {
+        let _op = enter_coordinator("ShardedRegistry::change_attributes");
         let meta = self.meta.read();
         member_guard(&meta, member)?.check(cap, Rights::ATTRIBUTES)?;
         if !meta.shards.contains_key(&space) {
@@ -622,12 +668,17 @@ impl<M: Clone> ShardedRegistry<M> {
         let mut guards = lock_all(&arcs);
         {
             let sp = guards.get_mut(&space).expect("scope is in the lock set");
-            if !sp.manager_mut().authorize_visibility(member, &attrs) {
+            let authorized = {
+                let _cb = enter_callback("Manager::authorize_visibility");
+                sp.manager_mut().authorize_visibility(member, &attrs)
+            };
+            if !authorized {
                 return Err(Error::Denied(GuardError::Missing));
             }
             if !sp.set_attributes(member, attrs) {
                 return Err(Error::NotVisible { member, space });
             }
+            let _cb = enter_callback("Manager::on_change");
             sp.manager_mut().on_change(member);
         }
         self.wake_locked(&meta, &mut guards, space, sink);
@@ -645,6 +696,7 @@ impl<M: Clone> ShardedRegistry<M> {
         policy: ManagerPolicy,
         cap: Option<&Capability>,
     ) -> Result<()> {
+        let _op = enter_coordinator("ShardedRegistry::set_space_policy");
         let meta = self.meta.read();
         let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
         sh.guard.check(cap, Rights::MANAGE)?;
@@ -659,6 +711,7 @@ impl<M: Clone> ShardedRegistry<M> {
         manager: Box<dyn Manager>,
         cap: Option<&Capability>,
     ) -> Result<()> {
+        let _op = enter_coordinator("ShardedRegistry::set_space_manager");
         let meta = self.meta.read();
         let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
         sh.guard.check(cap, Rights::MANAGE)?;
@@ -674,6 +727,7 @@ impl<M: Clone> ShardedRegistry<M> {
         filter: Option<crate::space::MatchFilter>,
         cap: Option<&Capability>,
     ) -> Result<()> {
+        let _op = enter_coordinator("ShardedRegistry::set_match_filter");
         let meta = self.meta.read();
         let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
         sh.guard.check(cap, Rights::MANAGE)?;
@@ -683,6 +737,7 @@ impl<M: Clone> ShardedRegistry<M> {
 
     /// Reports an actor's load for `LeastLoaded` arbitration in `space`.
     pub fn report_load(&self, space: SpaceId, actor: ActorId, load: u64) -> Result<()> {
+        let _op = enter_coordinator("ShardedRegistry::report_load");
         let meta = self.meta.read();
         let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
         sh.space.lock().selector_mut().set_load(actor, load);
@@ -695,11 +750,13 @@ impl<M: Clone> ShardedRegistry<M> {
 
     /// Marks an actor as externally referenced (a live handle exists).
     pub fn add_root(&self, a: ActorId) {
+        let _op = enter_coordinator("ShardedRegistry::add_root");
         self.meta.write().roots.insert(a);
     }
 
     /// Clears the external-reference mark.
     pub fn remove_root(&self, a: ActorId) {
+        let _op = enter_coordinator("ShardedRegistry::remove_root");
         self.meta.write().roots.remove(&a);
     }
 
@@ -717,6 +774,7 @@ impl<M: Clone> ShardedRegistry<M> {
         msg: M,
         sink: Sink<'_, M>,
     ) -> Result<Disposition> {
+        let _op = enter_coordinator("ShardedRegistry::send");
         let trace = self.obs.tracer.begin();
         self.m.sends.inc();
         self.obs
@@ -745,6 +803,7 @@ impl<M: Clone> ShardedRegistry<M> {
         msg: M,
         sink: Sink<'_, M>,
     ) -> Result<Disposition> {
+        let _op = enter_coordinator("ShardedRegistry::broadcast");
         let trace = self.obs.tracer.begin();
         self.m.broadcasts.inc();
         self.obs
@@ -768,6 +827,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// trace is continued; node- and space-level submit counters are not
     /// re-incremented (matching [`Registry::resend`]).
     pub fn resend(&self, route: &Route, msg: M, sink: Sink<'_, M>) -> Result<Disposition> {
+        let _op = enter_coordinator("ShardedRegistry::resend");
         let meta = self.meta.read();
         if let Some((mut single, _)) = lock_single(&meta, route.space) {
             return match route.kind {
@@ -818,6 +878,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// Cancels every persistent broadcast registered on `space`. Requires
     /// `Rights::MANAGE` when guarded.
     pub fn cancel_persistent(&self, space: SpaceId, cap: Option<&Capability>) -> Result<usize> {
+        let _op = enter_coordinator("ShardedRegistry::cancel_persistent");
         let meta = self.meta.read();
         let sh = meta.shards.get(&space).ok_or(Error::NoSuchSpace(space))?;
         sh.guard.check(cap, Rights::MANAGE)?;
@@ -887,6 +948,7 @@ impl<M: Clone> ShardedRegistry<M> {
                 let sp = guards
                     .get_space_mut(space)
                     .ok_or(Error::NoSuchSpace(space))?;
+                let _cb = enter_callback("Manager::choose");
                 match sp.manager_mut().choose(&candidates) {
                     Some(choice) => choice,
                     None => sp.selector_mut().select(&candidates),
@@ -898,6 +960,7 @@ impl<M: Clone> ShardedRegistry<M> {
                 kind: DeliveryKind::Send,
                 trace,
             };
+            let _cb = enter_callback("sink");
             sink(pick, msg, Some(&route));
             return Ok(Disposition::Delivered(1));
         }
@@ -905,6 +968,7 @@ impl<M: Clone> ShardedRegistry<M> {
             let sp = guards
                 .get_space_mut(space)
                 .ok_or(Error::NoSuchSpace(space))?;
+            let _cb = enter_callback("Manager::unmatched_send");
             sp.manager_mut()
                 .unmatched_send()
                 .unwrap_or(sp.policy().unmatched_send)
@@ -966,6 +1030,7 @@ impl<M: Clone> ShardedRegistry<M> {
             let sp = guards
                 .get_space_mut(space)
                 .ok_or(Error::NoSuchSpace(space))?;
+            let _cb = enter_callback("Manager::unmatched_broadcast");
             sp.manager_mut()
                 .unmatched_broadcast()
                 .unwrap_or(sp.policy().unmatched_broadcast)
@@ -992,8 +1057,11 @@ impl<M: Clone> ShardedRegistry<M> {
             trace,
         };
         if policy == UnmatchedPolicy::Persistent {
-            for &c in &candidates {
-                sink(c, msg.clone(), Some(&route));
+            {
+                let _cb = enter_callback("sink");
+                for &c in &candidates {
+                    sink(c, msg.clone(), Some(&route));
+                }
             }
             let n = candidates.len();
             guards
@@ -1008,6 +1076,7 @@ impl<M: Clone> ShardedRegistry<M> {
         }
         if !candidates.is_empty() {
             let n = candidates.len();
+            let _cb = enter_callback("sink");
             for c in candidates {
                 sink(c, msg.clone(), Some(&route));
             }
@@ -1105,16 +1174,19 @@ impl<M: Clone> ShardedRegistry<M> {
             match p.kind {
                 DeliveryKind::Send => {
                     let pick = guards.get_mut(&space).map(|sp| {
+                        let _cb = enter_callback("Manager::choose");
                         match sp.manager_mut().choose(&candidates) {
                             Some(choice) => choice,
                             None => sp.selector_mut().select(&candidates),
                         }
                     });
                     if let Some(pick) = pick {
+                        let _cb = enter_callback("sink");
                         sink(pick, p.msg, Some(&route));
                     }
                 }
                 DeliveryKind::Broadcast => {
+                    let _cb = enter_callback("sink");
                     for c in candidates {
                         sink(c, p.msg.clone(), Some(&route));
                     }
@@ -1146,6 +1218,7 @@ impl<M: Clone> ShardedRegistry<M> {
                 kind: DeliveryKind::Broadcast,
                 trace: TraceId::NONE,
             };
+            let _cb = enter_callback("sink");
             for c in candidates {
                 if pb.delivered.insert(c) {
                     sink(c, pb.msg.clone(), Some(&route));
@@ -1168,6 +1241,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// Resolves `pattern` in `space` to the set of matching visible actors
     /// (see [`Registry::resolve`]); deduplicated and sorted.
     pub fn resolve(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<ActorId>> {
+        let _op = enter_coordinator("ShardedRegistry::resolve");
         let meta = self.meta.read();
         let arcs = arcs_for(&meta, visibility::reachable(&meta.edges, space));
         let guards = lock_all(&arcs);
@@ -1177,6 +1251,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// Resolves `pattern` to matching *spaces* (§5.3 pattern-based space
     /// specification).
     pub fn resolve_spaces(&self, pattern: &Pattern, space: SpaceId) -> Result<Vec<SpaceId>> {
+        let _op = enter_coordinator("ShardedRegistry::resolve_spaces");
         let meta = self.meta.read();
         let arcs = arcs_for(&meta, visibility::reachable(&meta.edges, space));
         let guards = lock_all(&arcs);
@@ -1201,6 +1276,7 @@ impl<M: Clone> ShardedRegistry<M> {
     /// [`Registry::collect_garbage`]): meta write-locked, every shard
     /// locked in ascending order.
     pub fn collect_garbage(&self, acquaintances: &dyn Fn(ActorId) -> Vec<MemberId>) -> GcReport {
+        let _op = enter_coordinator("ShardedRegistry::collect_garbage");
         let mut meta = self.meta.write();
         let all: Vec<SpaceId> = meta.shards.keys().copied().collect();
         let arcs = arcs_for(&meta, all);
@@ -1219,6 +1295,7 @@ impl<M: Clone> ShardedRegistry<M> {
                     if !meta.actors.contains_key(&a) || !live_actors.insert(a) {
                         continue;
                     }
+                    let _cb = enter_callback("gc::acquaintances");
                     work.extend(acquaintances(a));
                 }
                 MemberId::Space(s) => {
@@ -1254,6 +1331,7 @@ impl<M: Clone> ShardedRegistry<M> {
         for &a in &collected_actors {
             remove_actor_locked(&mut meta, &mut guards, a);
         }
+        Self::validate_dag_after_mutation(&meta, "collect_garbage");
 
         GcReport {
             collected_actors,
@@ -1269,26 +1347,29 @@ impl<M: Clone> ShardedRegistry<M> {
 
     /// Does this space exist?
     pub fn space_exists(&self, id: SpaceId) -> bool {
-        self.meta.read().shards.contains_key(&id)
+        let _op = enter_coordinator("ShardedRegistry::space_exists");
+        // Bind the guard: a tail-expression temporary would outlive `_op`.
+        let meta = self.meta.read();
+        meta.shards.contains_key(&id)
     }
 
     /// Does this actor exist?
     pub fn actor_exists(&self, id: ActorId) -> bool {
-        self.meta.read().actors.contains_key(&id)
+        let _op = enter_coordinator("ShardedRegistry::actor_exists");
+        let meta = self.meta.read();
+        meta.actors.contains_key(&id)
     }
 
     /// The actor's record (owned — the record lives behind the meta lock).
     pub fn actor(&self, id: ActorId) -> Result<ActorRecord> {
-        self.meta
-            .read()
-            .actors
-            .get(&id)
-            .cloned()
-            .ok_or(Error::NoSuchActor(id))
+        let _op = enter_coordinator("ShardedRegistry::actor");
+        let meta = self.meta.read();
+        meta.actors.get(&id).cloned().ok_or(Error::NoSuchActor(id))
     }
 
     /// All spaces a member is directly visible in, sorted.
     pub fn containers_of(&self, member: MemberId) -> Vec<SpaceId> {
+        let _op = enter_coordinator("ShardedRegistry::containers_of");
         let meta = self.meta.read();
         let mut v: Vec<SpaceId> = meta
             .containers
@@ -1303,16 +1384,21 @@ impl<M: Clone> ShardedRegistry<M> {
 
     /// Number of live actors.
     pub fn actor_count(&self) -> usize {
-        self.meta.read().actors.len()
+        let _op = enter_coordinator("ShardedRegistry::actor_count");
+        let meta = self.meta.read();
+        meta.actors.len()
     }
 
     /// Number of live spaces (including the root).
     pub fn space_count(&self) -> usize {
-        self.meta.read().shards.len()
+        let _op = enter_coordinator("ShardedRegistry::space_count");
+        let meta = self.meta.read();
+        meta.shards.len()
     }
 
     /// Live actor ids, sorted.
     pub fn actor_ids(&self) -> Vec<ActorId> {
+        let _op = enter_coordinator("ShardedRegistry::actor_ids");
         let mut v: Vec<ActorId> = self.meta.read().actors.keys().copied().collect();
         v.sort_unstable();
         v
@@ -1320,11 +1406,14 @@ impl<M: Clone> ShardedRegistry<M> {
 
     /// Live space ids, ascending.
     pub fn space_ids(&self) -> Vec<SpaceId> {
-        self.meta.read().shards.keys().copied().collect()
+        let _op = enter_coordinator("ShardedRegistry::space_ids");
+        let meta = self.meta.read();
+        meta.shards.keys().copied().collect()
     }
 
     /// An observability snapshot of one space.
     pub fn space_info(&self, id: SpaceId) -> Result<SpaceInfo> {
+        let _op = enter_coordinator("ShardedRegistry::space_info");
         let meta = self.meta.read();
         let sh = meta.shards.get(&id).ok_or(Error::NoSuchSpace(id))?;
         let sp = sh.space.lock();
@@ -1349,14 +1438,17 @@ impl<M: Clone> ShardedRegistry<M> {
     /// Runs `f` against one locked space — the sharded replacement for
     /// [`Registry::space`]-style borrowing inspection.
     pub fn with_space<R>(&self, id: SpaceId, f: impl FnOnce(&Space<M>) -> R) -> Result<R> {
+        let _op = enter_coordinator("ShardedRegistry::with_space");
         let meta = self.meta.read();
         let sh = meta.shards.get(&id).ok_or(Error::NoSuchSpace(id))?;
         let sp = sh.space.lock();
+        let _cb = enter_callback("with_space closure");
         Ok(f(&sp))
     }
 
     /// Validates the visibility relation is acyclic — property-test hook.
     pub fn is_dag(&self) -> bool {
+        let _op = enter_coordinator("ShardedRegistry::is_dag");
         let meta = self.meta.read();
         let nodes: HashSet<SpaceId> = meta.shards.keys().copied().collect();
         visibility::is_dag_edges(&nodes, &meta.edges)

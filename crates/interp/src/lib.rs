@@ -43,6 +43,8 @@
 //! sys.shutdown();
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod eval;
 pub mod lex;
 pub mod lib_loader;

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use actorspace_atoms::Path;
 use actorspace_capability::{Capability, Guard};
 use actorspace_core::{ActorId, MemberId, SpaceId};
-use parking_lot::Mutex;
+use actorspace_lockcheck::{LockClass, Mutex};
 
 use crate::directory::NodeId;
 
@@ -147,10 +147,13 @@ impl Applier {
     /// Builds an applier calling `apply` for each event, in order.
     pub fn new(apply: impl Fn(BusEvent) + Send + Sync + 'static) -> Applier {
         Applier {
-            state: Mutex::new(ApplierState {
-                next: 0,
-                buffer: BTreeMap::new(),
-            }),
+            state: Mutex::new(
+                LockClass::Bus,
+                ApplierState {
+                    next: 0,
+                    buffer: BTreeMap::new(),
+                },
+            ),
             applied: AtomicU64::new(0),
             apply: Box::new(apply),
         }
@@ -195,9 +198,16 @@ impl Applier {
 /// `NodeDown` purges of its own previous incarnation, in global order) and
 /// converges to the exact replica state of the survivors; live events
 /// racing the replay are deduplicated by the applier's watermark.
-#[derive(Default)]
 pub struct EventLog {
     events: Mutex<BTreeMap<u64, BusEvent>>,
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog {
+            events: Mutex::new(LockClass::Bus, BTreeMap::new()),
+        }
+    }
 }
 
 impl EventLog {
@@ -253,7 +263,7 @@ mod tests {
 
     #[test]
     fn in_order_events_apply_immediately() {
-        let got = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let got = std::sync::Arc::new(Mutex::new(LockClass::Other("test.net.bus_log"), Vec::new()));
         let g = got.clone();
         let a = Applier::new(move |e| {
             if let BusOp::RemoveActor { id } = e.op {
@@ -269,7 +279,7 @@ mod tests {
 
     #[test]
     fn out_of_order_events_are_buffered() {
-        let got = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let got = std::sync::Arc::new(Mutex::new(LockClass::Other("test.net.bus_log"), Vec::new()));
         let g = got.clone();
         let a = Applier::new(move |e| {
             if let BusOp::RemoveActor { id } = e.op {

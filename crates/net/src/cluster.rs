@@ -41,13 +41,13 @@ use actorspace_capability::{Capability, Guard};
 use actorspace_core::{
     ActorId, DeliveryKind, Disposition, ManagerPolicy, MemberId, Pattern, Result, Route, SpaceId,
 };
+use actorspace_lockcheck::{LockClass, Mutex, RwLock};
 use actorspace_obs::{
     names, Counter, DeadLetter, DeadLetterReason, Histogram, Obs, ObsConfig, Stage, TraceId,
 };
 use actorspace_runtime::{
     ActorSystem, Behavior, BoxBehavior, Config, CoordinatorHook, Message, Transport, Value,
 };
-use parking_lot::{Mutex, RwLock};
 
 use crate::bus::{Applier, BusEvent, BusOp, EventLog, OrderedBroadcast, SeqEvent};
 use crate::directory::{id_base, id_range, node_of_actor, node_of_raw, NodeId};
@@ -357,9 +357,9 @@ impl Cluster {
                 let applier = make_applier(systems[i].clone(), NodeId(i as u16), errors.clone());
                 Arc::new(NodeSlot {
                     up: AtomicBool::new(true),
-                    system: RwLock::new(systems[i].clone()),
-                    applier: RwLock::new(applier),
-                    apply_errors: RwLock::new(errors),
+                    system: RwLock::new(LockClass::Cluster, systems[i].clone()),
+                    applier: RwLock::new(LockClass::Cluster, applier),
+                    apply_errors: RwLock::new(LockClass::Cluster, errors),
                 })
             })
             .collect();
@@ -468,7 +468,8 @@ impl Cluster {
 
         // 6. Hooks (bus rerouting), uplinks (data forwarding + failover
         // bouncing), and node handles.
-        let requeue: BounceQueue = Arc::new(Mutex::new(VecDeque::new()));
+        let requeue: BounceQueue =
+            Arc::new(Mutex::new(LockClass::Other("net.bounce"), VecDeque::new()));
         let forwarded: Vec<Arc<Counter>> = (0..n)
             .map(|i| obs.metrics.counter(names::NET_FORWARDED, i as u16))
             .collect();
@@ -534,7 +535,7 @@ impl Cluster {
             data_pipes,
             requeue,
             service_stop,
-            service: Mutex::new(Some(service)),
+            service: Mutex::new(LockClass::Other("net.service"), Some(service)),
         }
     }
 

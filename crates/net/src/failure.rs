@@ -18,7 +18,7 @@
 
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use actorspace_lockcheck::{LockClass, Mutex};
 
 /// Failure-detector tuning.
 #[derive(Debug, Clone)]
@@ -87,10 +87,13 @@ impl FailureDetector {
             .map(|_| {
                 (0..n)
                     .map(|_| {
-                        Mutex::new(PeerState {
-                            last_beat: now,
-                            suspected: false,
-                        })
+                        Mutex::new(
+                            LockClass::Failure,
+                            PeerState {
+                                last_beat: now,
+                                suspected: false,
+                            },
+                        )
                     })
                     .collect()
             })

@@ -33,6 +33,8 @@
 //! Data messages between actors take the direct links and are *not*
 //! ordered — matching the paper's explicit non-guarantee for broadcasts.
 
+#![deny(unsafe_code)]
+
 pub mod bus;
 pub mod cluster;
 pub mod directory;

@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use actorspace_lockcheck::{Condvar, LockClass, Mutex};
 
 use crate::link::{Link, LinkConfig};
 
@@ -78,12 +78,15 @@ impl<T: Clone + Send + 'static> Drop for ReliableSender<T> {
 impl<T: Clone + Send + 'static> ReliableSender<T> {
     /// Wraps a forward link. `retx_every` is the retransmission period.
     pub fn new(link: Arc<Link<Packet<T>>>, retx_every: Duration) -> ReliableSender<T> {
-        let state: Arc<Mutex<SenderState<T>>> = Arc::new(Mutex::new(SenderState {
-            unacked: HashMap::new(),
-            next_seq: 0,
-        }));
+        let state: Arc<Mutex<SenderState<T>>> = Arc::new(Mutex::new(
+            LockClass::Reliable,
+            SenderState {
+                unacked: HashMap::new(),
+                next_seq: 0,
+            },
+        ));
         let stop = Arc::new(StopFlag {
-            stopped: Mutex::new(false),
+            stopped: Mutex::new(LockClass::Reliable, false),
             cv: Condvar::new(),
         });
         let retransmits = Arc::new(AtomicU64::new(0));
@@ -165,7 +168,7 @@ impl ReliableReceiver {
     /// Fresh receiver state.
     pub fn new() -> ReliableReceiver {
         ReliableReceiver {
-            seen: Mutex::new(HashSet::new()),
+            seen: Mutex::new(LockClass::Reliable, HashSet::new()),
         }
     }
 
@@ -222,7 +225,7 @@ impl<T: Clone + Send + 'static> ReliablePipe<T> {
     ) -> ReliablePipe<T> {
         // The ack (reverse) link shares the fault model.
         type AckLink<T> = Arc<Mutex<Option<Arc<Link<Packet<T>>>>>>;
-        let ack_holder: AckLink<T> = Arc::new(Mutex::new(None));
+        let ack_holder: AckLink<T> = Arc::new(Mutex::new(LockClass::Reliable, None));
 
         let receiver = Arc::new(ReliableReceiver::new());
         let rx = receiver.clone();
@@ -341,7 +344,10 @@ mod tests {
 
     #[test]
     fn exactly_once_under_heavy_loss_and_duplication() {
-        let got = Arc::new(Mutex::new(Vec::new()));
+        let got = Arc::new(Mutex::new(
+            LockClass::Other("test.net.reliable_log"),
+            Vec::new(),
+        ));
         let g = got.clone();
         let cfg = LinkConfig::lossy(0.4, 0.3, 99);
         let pipe = ReliablePipe::new(cfg, Duration::from_millis(10), move |x: u32| {
@@ -365,7 +371,10 @@ mod tests {
     #[test]
     fn rejected_packets_stay_unacked_until_accepted() {
         let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        let got = Arc::new(Mutex::new(Vec::new()));
+        let got = Arc::new(Mutex::new(
+            LockClass::Other("test.net.reliable_log"),
+            Vec::new(),
+        ));
         let (g2, gt2) = (gate.clone(), got.clone());
         let pipe = ReliablePipe::new(
             LinkConfig::ideal(),

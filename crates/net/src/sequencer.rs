@@ -95,14 +95,19 @@ mod tests {
     use crate::bus::{Applier, BusOp};
     use crate::directory::NodeId;
     use actorspace_core::ActorId;
-    use parking_lot::Mutex;
+    use actorspace_lockcheck::{LockClass, Mutex};
     use std::time::{Duration, Instant};
 
     #[test]
     fn all_nodes_see_the_same_total_order() {
         let n_nodes = 4;
         let logs: Vec<Arc<Mutex<Vec<u64>>>> = (0..n_nodes)
-            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .map(|_| {
+                Arc::new(Mutex::new(
+                    LockClass::Other("test.net.sequencer_log"),
+                    Vec::new(),
+                ))
+            })
             .collect();
         let appliers: Vec<Arc<Applier>> = logs
             .iter()

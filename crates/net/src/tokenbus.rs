@@ -16,7 +16,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use actorspace_lockcheck::{LockClass, Mutex};
 
 use crate::bus::{BusEvent, OrderedBroadcast, SeqEvent};
 use crate::link::Link;
@@ -32,8 +32,11 @@ pub struct TokenBus {
 impl TokenBus {
     /// Builds the bus. `hop` is the token's per-node hold/travel time.
     pub fn new(n_nodes: usize, hop: Duration, downlinks: Vec<Arc<Link<SeqEvent>>>) -> TokenBus {
-        let pending: Arc<Vec<Mutex<VecDeque<BusEvent>>>> =
-            Arc::new((0..n_nodes).map(|_| Mutex::new(VecDeque::new())).collect());
+        let pending: Arc<Vec<Mutex<VecDeque<BusEvent>>>> = Arc::new(
+            (0..n_nodes)
+                .map(|_| Mutex::new(LockClass::Bus, VecDeque::new()))
+                .collect(),
+        );
         let issued = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -116,7 +119,12 @@ mod tests {
     fn token_bus_preserves_total_order_across_nodes() {
         let n_nodes = 3;
         let logs: Vec<Arc<Mutex<Vec<u64>>>> = (0..n_nodes)
-            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .map(|_| {
+                Arc::new(Mutex::new(
+                    LockClass::Other("test.net.tokenbus_log"),
+                    Vec::new(),
+                ))
+            })
             .collect();
         let appliers: Vec<Arc<Applier>> = logs
             .iter()

@@ -7,10 +7,10 @@ use std::time::{Duration, Instant};
 
 use actorspace_atoms::path;
 use actorspace_core::SpaceId;
+use actorspace_lockcheck::{LockClass, Mutex};
 use actorspace_net::{Cluster, ClusterConfig, FailureConfig, LinkConfig, OrderingProtocol};
 use actorspace_pattern::pattern;
 use actorspace_runtime::{from_fn, Value};
-use parking_lot::Mutex;
 use proptest::prelude::*;
 
 const TIMEOUT: Duration = Duration::from_secs(30);
@@ -178,7 +178,10 @@ fn run_fault_storm(ops: &[FaultOp]) {
         ..ClusterConfig::default()
     });
     let space = c.node(0).create_space(None);
-    let received = Arc::new(Mutex::new(Vec::new()));
+    let received = Arc::new(Mutex::new(
+        LockClass::Other("test.net.cluster_log"),
+        Vec::new(),
+    ));
     for i in 0..n_nodes {
         spawn_recorder(&c, i, space, &received);
     }

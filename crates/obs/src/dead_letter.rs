@@ -6,7 +6,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use actorspace_lockcheck::{LockClass, Mutex};
 
 use crate::trace::TraceId;
 
@@ -73,7 +73,7 @@ impl DeadLetterRing {
         DeadLetterRing {
             capacity,
             total: AtomicU64::new(0),
-            ring: Mutex::new(VecDeque::new()),
+            ring: Mutex::new(LockClass::DeadLetters, VecDeque::new()),
         }
     }
 

@@ -9,6 +9,8 @@
 //! paths hold pre-resolved `Arc` handles; the registry mutex is only
 //! touched when resolving names.
 
+#![deny(unsafe_code)]
+
 pub mod dead_letter;
 pub mod metrics;
 pub mod trace;
@@ -79,6 +81,12 @@ pub mod names {
     /// Crash-to-redelivery reroute latency, nanoseconds (histogram,
     /// labeled by the node that performed the re-resolution).
     pub const NET_FAILOVER_REROUTE_NS: &str = "net.failover_reroute_ns";
+    /// Prefix of the lock-order gauges exported when the workspace is
+    /// built with `--features lockcheck`: one `lockcheck.edge.<from>-><to>`
+    /// gauge per observed lock-class pair, whose value is how many
+    /// acquisitions exercised that order (node label 0 — the order graph
+    /// is process-global).
+    pub const LOCKCHECK_EDGE_PREFIX: &str = "lockcheck.edge.";
 }
 
 /// Tuning for one [`Obs`] instance.
@@ -163,7 +171,29 @@ impl Obs {
 
     /// A point-in-time metrics report stamped with the tracer's clock.
     pub fn snapshot(&self) -> Snapshot {
+        self.sync_lock_order();
         self.metrics.snapshot(self.tracer.now_nanos())
+    }
+
+    /// Folds lockcheck's observed lock-order graph into
+    /// `lockcheck.edge.<from>-><to>` gauges (count of acquisitions that
+    /// exercised each class-pair order), so snapshots show which lock
+    /// orders a run actually took. A no-op — the branch constant-folds
+    /// away — unless the workspace is built with `--features lockcheck`.
+    fn sync_lock_order(&self) {
+        if !actorspace_lockcheck::ENABLED {
+            return;
+        }
+        // Collect first: `order_graph` takes lockcheck's internal graph
+        // lock, and the gauge updates below take the (instrumented)
+        // metrics mutex; the two must not nest.
+        let edges = actorspace_lockcheck::order_graph();
+        for e in edges {
+            let name = format!("{}{}->{}", names::LOCKCHECK_EDGE_PREFIX, e.from, e.to);
+            self.metrics
+                .gauge(&name, 0)
+                .set(i64::try_from(e.count).unwrap_or(i64::MAX));
+        }
     }
 
     /// Records a dead letter: bumps the node's `runtime.dead_letters`
@@ -208,6 +238,26 @@ mod tests {
         let evs = obs.tracer.events_for(id);
         assert_eq!(evs.len(), 1);
         assert!(evs[0].stage.is_terminal());
+    }
+
+    #[cfg(feature = "lockcheck")]
+    #[test]
+    fn snapshot_exports_lock_order_edges() {
+        use actorspace_lockcheck::{LockClass, Mutex};
+        let outer = Mutex::new(LockClass::Other("obs_ut_outer"), ());
+        let inner = Mutex::new(LockClass::Other("obs_ut_inner"), ());
+        {
+            let _a = outer.lock();
+            let _b = inner.lock();
+        }
+        let snap = Obs::default().snapshot();
+        let name = format!("{}obs_ut_outer->obs_ut_inner", names::LOCKCHECK_EDGE_PREFIX);
+        let edge = snap
+            .entries
+            .iter()
+            .find(|e| e.name == name)
+            .expect("order edge exported as a gauge");
+        assert!(matches!(edge.value, MetricValue::Gauge(n) if n >= 1));
     }
 
     #[test]

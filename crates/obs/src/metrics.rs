@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use actorspace_lockcheck::{LockClass, Mutex};
 
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
@@ -243,9 +243,16 @@ type SeriesKey = (String, u16, Option<u64>);
 /// Resolving the same `(name, node, space)` triple always returns the same
 /// underlying atom, so metrics survive component restarts for as long as
 /// the registry lives.
-#[derive(Default)]
 pub struct MetricsRegistry {
     inner: Mutex<BTreeMap<SeriesKey, Metric>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            inner: Mutex::new(LockClass::Metrics, BTreeMap::new()),
+        }
+    }
 }
 
 impl MetricsRegistry {

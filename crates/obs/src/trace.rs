@@ -12,7 +12,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use actorspace_lockcheck::{LockClass, Mutex};
 
 /// Identifier correlating all lifecycle events of one send/broadcast.
 /// `TraceId::NONE` (0) marks an unsampled message.
@@ -227,7 +227,7 @@ impl Tracer {
             tick: AtomicU64::new(0),
             capacity,
             dropped: AtomicU64::new(0),
-            ring: Mutex::new(VecDeque::new()),
+            ring: Mutex::new(LockClass::Trace, VecDeque::new()),
         }
     }
 

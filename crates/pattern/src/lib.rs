@@ -45,6 +45,8 @@
 //! and disjunction) and decision procedures on whole patterns
 //! (emptiness-of-intersection, subsumption on star-free patterns).
 
+#![deny(unsafe_code)]
+
 pub mod ast;
 pub mod lattice;
 pub mod matcher;

@@ -59,7 +59,7 @@ where
 pub(crate) struct ActorCell {
     pub id: ActorId,
     pub mailbox: Mailbox,
-    pub behavior: parking_lot::Mutex<Option<BoxBehavior>>,
+    pub behavior: actorspace_lockcheck::Mutex<Option<BoxBehavior>>,
 }
 
 impl ActorCell {
@@ -67,7 +67,10 @@ impl ActorCell {
         ActorCell {
             id,
             mailbox: Mailbox::new(),
-            behavior: parking_lot::Mutex::new(Some(behavior)),
+            behavior: actorspace_lockcheck::Mutex::new(
+                actorspace_lockcheck::LockClass::Behavior,
+                Some(behavior),
+            ),
         }
     }
 }

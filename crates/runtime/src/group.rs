@@ -49,8 +49,8 @@ mod tests {
     use super::*;
     use crate::system::Config;
     use actorspace_atoms::path;
+    use actorspace_lockcheck::{LockClass, Mutex};
     use actorspace_pattern::pattern;
-    use parking_lot::Mutex;
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -67,7 +67,12 @@ mod tests {
 
         let n_members = 4;
         let logs: Vec<Arc<Mutex<Vec<i64>>>> = (0..n_members)
-            .map(|_| Arc::new(Mutex::new(Vec::new())))
+            .map(|_| {
+                Arc::new(Mutex::new(
+                    LockClass::Other("test.runtime.group_log"),
+                    Vec::new(),
+                ))
+            })
             .collect();
         for (i, log) in logs.iter().enumerate() {
             let log = log.clone();
@@ -115,7 +120,10 @@ mod tests {
             ..Config::default()
         });
         let space = sys.create_space(None).unwrap();
-        let log = Arc::new(Mutex::new(Vec::new()));
+        let log = Arc::new(Mutex::new(
+            LockClass::Other("test.runtime.group_log"),
+            Vec::new(),
+        ));
         let l = log.clone();
         let m = sys.spawn(from_fn(move |_ctx, msg| {
             l.lock().push(msg.body.as_int().unwrap());

@@ -40,6 +40,8 @@
 //! system.shutdown();
 //! ```
 
+#![deny(unsafe_code)]
+
 pub mod actor;
 pub mod codec;
 pub mod ctx;

@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use actorspace_core::Route;
-use parking_lot::Mutex;
+use actorspace_lockcheck::{LockClass, Mutex};
 
 use crate::message::{Payload, Port};
 
@@ -44,9 +44,9 @@ pub(crate) struct Mailbox {
 impl Mailbox {
     pub fn new() -> Mailbox {
         Mailbox {
-            behavior: Mutex::new(VecDeque::new()),
-            rpc: Mutex::new(VecDeque::new()),
-            invocation: Mutex::new(VecDeque::new()),
+            behavior: Mutex::new(LockClass::Mailbox, VecDeque::new()),
+            rpc: Mutex::new(LockClass::Mailbox, VecDeque::new()),
+            invocation: Mutex::new(LockClass::Mailbox, VecDeque::new()),
             state: AtomicUsize::new(IDLE),
             len: AtomicUsize::new(0),
         }

@@ -10,8 +10,8 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use actorspace_lockcheck::{Condvar, LockClass, Mutex, RwLock};
 use crossbeam::deque::Injector;
-use parking_lot::{Condvar, Mutex, RwLock};
 
 use actorspace_atoms::Path;
 use actorspace_capability::{CapMinter, Capability};
@@ -320,14 +320,14 @@ impl ActorSystem {
         let mut registry = ShardedRegistry::with_id_base(config.policy.clone(), config.id_base);
         registry.set_obs(obs.clone(), node);
         let shared = Arc::new(Shared {
-            actors: RwLock::new(HashMap::new()),
+            actors: RwLock::new(LockClass::Actors, HashMap::new()),
             injector: Injector::new(),
             registry,
             minter: CapMinter::new(),
             pending: AtomicUsize::new(0),
-            idle_lock: Mutex::new(()),
+            idle_lock: Mutex::new(LockClass::Scheduler, ()),
             idle_cv: Condvar::new(),
-            sleep_lock: Mutex::new(0),
+            sleep_lock: Mutex::new(LockClass::Scheduler, 0),
             sleep_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             dead_letters: obs.metrics.counter(names::RT_DEAD_LETTERS, node),
@@ -337,8 +337,8 @@ impl ActorSystem {
             deliveries: obs.metrics.counter(names::RT_DELIVERIES, node),
             obs,
             node,
-            uplink: RwLock::new(None),
-            hook: RwLock::new(None),
+            uplink: RwLock::new(LockClass::Other("runtime.uplink"), None),
+            hook: RwLock::new(LockClass::Other("runtime.hook"), None),
             batch: config.batch.max(1),
         });
         let workers = (0..config.workers.max(1))
@@ -352,7 +352,7 @@ impl ActorSystem {
             .collect();
         ActorSystem {
             shared,
-            workers: Mutex::new(workers),
+            workers: Mutex::new(LockClass::Other("runtime.workers"), workers),
         }
     }
 

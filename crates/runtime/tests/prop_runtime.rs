@@ -6,9 +6,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use actorspace_atoms::path;
+use actorspace_lockcheck::{LockClass, Mutex};
 use actorspace_pattern::pattern;
 use actorspace_runtime::{from_fn, ActorSystem, Config, Value};
-use parking_lot::Mutex;
 use proptest::prelude::*;
 
 const TIMEOUT: Duration = Duration::from_secs(30);
@@ -24,7 +24,10 @@ fn per_sender_fifo_is_preserved() {
                 batch,
                 ..Config::default()
             });
-            let log = Arc::new(Mutex::new(Vec::new()));
+            let log = Arc::new(Mutex::new(
+                LockClass::Other("test.runtime.fifo_log"),
+                Vec::new(),
+            ));
             let l = log.clone();
             let receiver = sys.spawn(from_fn(move |_ctx, msg| {
                 l.lock().push(msg.body.as_int().unwrap());

@@ -20,8 +20,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> lockcheck structural lint (no raw parking_lot, no locking in sink bodies)"
+mkdir -p target/lint
+rustc --edition 2021 -O scripts/lint.rs -o target/lint/lockcheck-lint
+./target/lint/lockcheck-lint .
+
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
+
+echo "==> cargo test (workspace, lockcheck instrumentation on)"
+# Same suite with every lock wrapped: lock-order graph, two-level meta/shard
+# protocol, ascending-shard order, sink re-entrancy, and the §5.7 visibility
+# DAG re-validated after every topology mutation. Any violation panics.
+cargo test --workspace -q --features lockcheck
 
 echo "==> shard stress (multi-threaded coordinator tests under parallel harness)"
 # The sharded-coordinator stress and oracle tests spawn their own threads;

@@ -48,6 +48,8 @@
 //! system.shutdown();
 //! ```
 
+#![deny(unsafe_code)]
+
 pub use actorspace_atoms as atoms;
 pub use actorspace_baselines as baselines;
 pub use actorspace_capability as capability;

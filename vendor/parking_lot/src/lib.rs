@@ -72,6 +72,21 @@ pub struct MutexGuard<'a, T: ?Sized> {
     inner: std::sync::MutexGuard<'a, T>,
 }
 
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Projects the guard to a component of the protected value
+    /// (parking_lot-style associated function: `MutexGuard::map(g, f)`).
+    pub fn map<U: ?Sized>(
+        mut orig: Self,
+        f: impl FnOnce(&mut T) -> &mut U,
+    ) -> MappedMutexGuard<'a, U> {
+        let ptr: *mut U = f(&mut orig.inner);
+        MappedMutexGuard {
+            _held: Box::new(orig.inner),
+            ptr,
+        }
+    }
+}
+
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
@@ -82,6 +97,34 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.inner
+    }
+}
+
+/// Marker for a guard kept alive only to hold its lock; the concrete
+/// guard type is erased so [`MappedMutexGuard`] need not name `T`.
+trait HeldLock {}
+impl<T: ?Sized> HeldLock for std::sync::MutexGuard<'_, T> {}
+
+/// RAII guard for a component of a mutex-protected value, produced by
+/// [`MutexGuard::map`]. The original guard is boxed and kept alive for
+/// the mapped guard's whole lifetime, so the pointer dereferences are
+/// sound: the lock is held and the component was reborrowed from the
+/// guard's exclusive access.
+pub struct MappedMutexGuard<'a, T: ?Sized> {
+    _held: Box<dyn HeldLock + 'a>,
+    ptr: *mut T,
+}
+
+impl<T: ?Sized> Deref for MappedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MappedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.ptr }
     }
 }
 
@@ -117,6 +160,33 @@ impl<T: ?Sized> RwLock<T> {
         RwLockWriteGuard {
             inner: self.inner.write().unwrap_or_else(|p| p.into_inner()),
         }
+    }
+
+    /// Attempts to acquire shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -311,6 +381,35 @@ mod tests {
         }
         drop(g);
         t.join().unwrap();
+    }
+
+    #[test]
+    fn mapped_guard_keeps_lock_held() {
+        let m = Mutex::new((1u32, String::from("x")));
+        let mut mapped = MutexGuard::map(m.lock(), |pair| &mut pair.1);
+        mapped.push('y');
+        assert!(m.try_lock().is_none(), "map must keep the mutex locked");
+        drop(mapped);
+        assert_eq!(m.lock().1, "xy");
+    }
+
+    #[test]
+    fn rwlock_try_variants() {
+        let rw = RwLock::new(7);
+        {
+            let r = rw.try_read().expect("uncontended try_read");
+            assert_eq!(*r, 7);
+            assert!(rw.try_write().is_none(), "reader blocks try_write");
+        }
+        {
+            let mut w = rw.try_write().expect("uncontended try_write");
+            *w = 8;
+            assert!(rw.try_read().is_none(), "writer blocks try_read");
+        }
+        assert_eq!(*rw.read(), 8);
+        let mut rw = rw;
+        *rw.get_mut() = 9;
+        assert_eq!(rw.into_inner(), 9);
     }
 
     #[test]
