@@ -106,7 +106,7 @@ impl<M: Clone> Registry<M> {
         // Match latency is sampled with the trace: the extra clock reads
         // stay off the unsampled hot path.
         let t0 = if trace.is_some() {
-            self.obs.tracer.now_nanos()
+            self.obs.now_nanos()
         } else {
             0
         };
@@ -116,7 +116,7 @@ impl<M: Clone> Registry<M> {
             if trace.is_some() {
                 self.m
                     .match_ns
-                    .record(self.obs.tracer.now_nanos().saturating_sub(t0));
+                    .record(self.obs.now_nanos().saturating_sub(t0));
                 self.obs.tracer.record(
                     trace,
                     self.node,
@@ -147,7 +147,7 @@ impl<M: Clone> Registry<M> {
             UnmatchedPolicy::Suspend | UnmatchedPolicy::Persistent => {
                 self.m.suspended.inc();
                 self.obs.tracer.record(trace, self.node, Stage::Suspended);
-                let since_nanos = self.obs.tracer.now_nanos();
+                let since_nanos = self.obs.now_nanos();
                 self.space_mut(space)?.push_pending(Pending {
                     pattern: pattern.clone(),
                     msg,
@@ -203,7 +203,7 @@ impl<M: Clone> Registry<M> {
         trace: TraceId,
     ) -> Result<Disposition> {
         let t0 = if trace.is_some() {
-            self.obs.tracer.now_nanos()
+            self.obs.now_nanos()
         } else {
             0
         };
@@ -219,7 +219,7 @@ impl<M: Clone> Registry<M> {
             if trace.is_some() {
                 self.m
                     .match_ns
-                    .record(self.obs.tracer.now_nanos().saturating_sub(t0));
+                    .record(self.obs.now_nanos().saturating_sub(t0));
                 self.obs.tracer.record(
                     trace,
                     self.node,
@@ -258,7 +258,7 @@ impl<M: Clone> Registry<M> {
             UnmatchedPolicy::Suspend => {
                 self.m.suspended.inc();
                 self.obs.tracer.record(trace, self.node, Stage::Suspended);
-                let since_nanos = self.obs.tracer.now_nanos();
+                let since_nanos = self.obs.now_nanos();
                 self.space_mut(space)?.push_pending(Pending {
                     pattern: pattern.clone(),
                     msg,
@@ -356,7 +356,7 @@ impl<M: Clone> Registry<M> {
             self.m.woken.inc();
             self.m
                 .dwell_ns
-                .record(self.obs.tracer.now_nanos().saturating_sub(p.since_nanos));
+                .record(self.obs.now_nanos().saturating_sub(p.since_nanos));
             self.obs.tracer.record(p.trace, self.node, Stage::Woken);
             let route = Route {
                 pattern: p.pattern.clone(),

@@ -925,7 +925,7 @@ impl<M: Clone> ShardedRegistry<M> {
         trace: TraceId,
     ) -> Result<Disposition> {
         let t0 = if trace.is_some() {
-            self.obs.tracer.now_nanos()
+            self.obs.now_nanos()
         } else {
             0
         };
@@ -935,7 +935,7 @@ impl<M: Clone> ShardedRegistry<M> {
             if trace.is_some() {
                 self.m
                     .match_ns
-                    .record(self.obs.tracer.now_nanos().saturating_sub(t0));
+                    .record(self.obs.now_nanos().saturating_sub(t0));
                 self.obs.tracer.record(
                     trace,
                     self.node,
@@ -977,7 +977,7 @@ impl<M: Clone> ShardedRegistry<M> {
             UnmatchedPolicy::Suspend | UnmatchedPolicy::Persistent => {
                 self.m.suspended.inc();
                 self.obs.tracer.record(trace, self.node, Stage::Suspended);
-                let since_nanos = self.obs.tracer.now_nanos();
+                let since_nanos = self.obs.now_nanos();
                 guards
                     .get_space_mut(space)
                     .ok_or(Error::NoSuchSpace(space))?
@@ -1021,7 +1021,7 @@ impl<M: Clone> ShardedRegistry<M> {
         trace: TraceId,
     ) -> Result<Disposition> {
         let t0 = if trace.is_some() {
-            self.obs.tracer.now_nanos()
+            self.obs.now_nanos()
         } else {
             0
         };
@@ -1040,7 +1040,7 @@ impl<M: Clone> ShardedRegistry<M> {
             if trace.is_some() {
                 self.m
                     .match_ns
-                    .record(self.obs.tracer.now_nanos().saturating_sub(t0));
+                    .record(self.obs.now_nanos().saturating_sub(t0));
                 self.obs.tracer.record(
                     trace,
                     self.node,
@@ -1086,7 +1086,7 @@ impl<M: Clone> ShardedRegistry<M> {
             UnmatchedPolicy::Suspend => {
                 self.m.suspended.inc();
                 self.obs.tracer.record(trace, self.node, Stage::Suspended);
-                let since_nanos = self.obs.tracer.now_nanos();
+                let since_nanos = self.obs.now_nanos();
                 guards
                     .get_space_mut(space)
                     .ok_or(Error::NoSuchSpace(space))?
@@ -1163,7 +1163,7 @@ impl<M: Clone> ShardedRegistry<M> {
             self.m.woken.inc();
             self.m
                 .dwell_ns
-                .record(self.obs.tracer.now_nanos().saturating_sub(p.since_nanos));
+                .record(self.obs.now_nanos().saturating_sub(p.since_nanos));
             self.obs.tracer.record(p.trace, self.node, Stage::Woken);
             let route = Route {
                 pattern: p.pattern.clone(),

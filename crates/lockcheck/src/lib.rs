@@ -10,8 +10,8 @@
 //! - [`Mutex`], [`RwLock`], and [`Condvar`] are drop-in wrappers around the
 //!   `parking_lot` types. Each lock is tagged with a [`LockClass`] at
 //!   construction. With the `lockcheck` feature **off** (the default) the
-//!   wrappers add nothing: every method is a direct delegation and the
-//!   class tag compiles away.
+//!   order checker adds nothing: every method is a direct delegation plus
+//!   the (runtime-switchable) timing probe described below.
 //! - With the feature **on**, every acquisition pushes onto a per-thread
 //!   held-lock stack and folds an edge per held lock into a global
 //!   class-level *lock-order graph*. Inserting an edge whose reverse path
@@ -38,6 +38,16 @@
 //! either enforced by a dedicated assertion (ascending `SpaceId` for
 //! shards) or impossible to violate (mailbox locks are never nested).
 //!
+//! Orthogonal to the order checker, the wrappers also record **wait and
+//! hold timing** per class in every build (see [`timing`]): acquisitions
+//! that block contribute to a `lock.wait.<class>` histogram, guard
+//! lifetimes to `lock.hold.<class>`. The order checker answers "can this
+//! deadlock?"; the timing histograms answer "where do threads actually
+//! queue?" — and the latter matters most in exactly the release builds
+//! that compile the checker out. Timing can be switched off at runtime
+//! with [`set_lock_timing`]; `actorspace-obs` exports the histograms in
+//! snapshots.
+//!
 //! This is the only first-party crate that may name `parking_lot`
 //! directly: the checker's own state uses raw, uninstrumented locks so
 //! the analysis cannot recurse into itself. `scripts/lint.rs` enforces
@@ -49,9 +59,17 @@ use std::fmt;
 use std::ops::{Deref, DerefMut};
 #[cfg(feature = "lockcheck")]
 use std::panic::Location;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use parking_lot::WaitTimeoutResult;
+
+pub mod timing;
+
+pub use timing::{
+    lock_timing, lock_timing_enabled, set_lock_timing, LockTiming, TimingData, N_TIMING_BUCKETS,
+};
+use timing::{ClassTiming, HoldTimer};
 
 /// True when the `lockcheck` feature is compiled in. Exported as a `const`
 /// so consumers can write `if lockcheck::ENABLED { ... }` and have the
@@ -96,6 +114,8 @@ pub enum LockClass {
     Metrics,
     /// The dead-letter ring.
     DeadLetters,
+    /// Cluster-view peer tables (remote snapshot aggregation in `obs`).
+    ObsView,
     /// The global atom interner.
     Atoms,
     /// Baseline implementations (tuple space, name server, process
@@ -126,6 +146,7 @@ impl LockClass {
             LockClass::Trace => "trace",
             LockClass::Metrics => "metrics",
             LockClass::DeadLetters => "dead_letters",
+            LockClass::ObsView => "obs_view",
             LockClass::Atoms => "atoms",
             LockClass::Baselines => "baselines",
             LockClass::Other(name) => name,
@@ -153,18 +174,6 @@ pub struct OrderEdge {
     /// How many acquisitions contributed this edge.
     pub count: u64,
 }
-
-#[cfg(feature = "lockcheck")]
-type ClassTag = LockClass;
-#[cfg(not(feature = "lockcheck"))]
-type ClassTag = ();
-
-#[cfg(feature = "lockcheck")]
-const fn tag(class: LockClass) -> ClassTag {
-    class
-}
-#[cfg(not(feature = "lockcheck"))]
-const fn tag(_class: LockClass) -> ClassTag {}
 
 /// Sentinel token id for a guard whose held-stack entry was released
 /// around a condvar wait; dropping such a token is a no-op.
@@ -212,8 +221,10 @@ struct Token;
 /// construction names the [`LockClass`]. There is deliberately no
 /// `Default` impl: every lock must say what it protects.
 pub struct Mutex<T> {
-    #[cfg_attr(not(feature = "lockcheck"), allow(dead_code))]
-    class: ClassTag,
+    class: LockClass,
+    /// Per-instance cache of the class's timing slot, resolved (one
+    /// registry lookup) on the first timed acquisition.
+    stats: OnceLock<&'static ClassTiming>,
     inner: parking_lot::Mutex<T>,
 }
 
@@ -221,7 +232,8 @@ impl<T> Mutex<T> {
     /// Creates a mutex of the given class.
     pub const fn new(class: LockClass, value: T) -> Mutex<T> {
         Mutex {
-            class: tag(class),
+            class,
+            stats: OnceLock::new(),
             inner: parking_lot::Mutex::new(value),
         }
     }
@@ -231,19 +243,37 @@ impl<T> Mutex<T> {
         self.inner.into_inner()
     }
 
+    fn stats(&self) -> &'static ClassTiming {
+        self.stats
+            .get_or_init(|| timing::class_timing(self.class.name()))
+    }
+
     /// Acquires the mutex, blocking until available. Under `lockcheck`
     /// the acquisition is checked *before* blocking, so an ordering
-    /// violation panics instead of deadlocking.
+    /// violation panics instead of deadlocking. Acquisitions that block
+    /// contribute to the class's `lock.wait` histogram.
     #[track_caller]
     pub fn lock(&self) -> MutexGuard<'_, T> {
         #[cfg(feature = "lockcheck")]
         let token = Token::acquire(self.class, self.addr(), check::Mode::Exclusive, true);
         #[cfg(not(feature = "lockcheck"))]
         let token = Token;
-        MutexGuard {
-            token,
-            inner: self.inner.lock(),
-        }
+        let (hold, inner) = if timing::lock_timing_enabled() {
+            let stats = self.stats();
+            let inner = match self.inner.try_lock() {
+                Some(g) => g,
+                None => {
+                    let queued = Instant::now();
+                    let g = self.inner.lock();
+                    stats.wait.record(timing::nanos(queued.elapsed()));
+                    g
+                }
+            };
+            (HoldTimer::running(stats), inner)
+        } else {
+            (HoldTimer::off(), self.inner.lock())
+        };
+        MutexGuard { token, hold, inner }
     }
 
     /// Attempts to acquire without blocking. A try-acquisition cannot
@@ -257,7 +287,19 @@ impl<T> Mutex<T> {
         let token = Token::acquire(self.class, self.addr(), check::Mode::Exclusive, false);
         #[cfg(not(feature = "lockcheck"))]
         let token = Token;
-        Some(MutexGuard { token, inner })
+        Some(MutexGuard {
+            token,
+            hold: self.hold_timer(),
+            inner,
+        })
+    }
+
+    fn hold_timer(&self) -> HoldTimer {
+        if timing::lock_timing_enabled() {
+            HoldTimer::running(self.stats())
+        } else {
+            HoldTimer::off()
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -280,17 +322,21 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 /// RAII guard for [`Mutex`].
 pub struct MutexGuard<'a, T> {
     token: Token,
+    /// Records the hold duration when dropped; declared before `inner`
+    /// so the sample is taken just before the lock is released.
+    hold: HoldTimer,
     inner: parking_lot::MutexGuard<'a, T>,
 }
 
 impl<'a, T> MutexGuard<'a, T> {
     /// Projects the guard to a component of the protected value
     /// (parking_lot-style: `MutexGuard::map(g, f)`). The held-stack
-    /// registration transfers to the mapped guard.
+    /// registration and hold timer transfer to the mapped guard.
     pub fn map<U: ?Sized>(orig: Self, f: impl FnOnce(&mut T) -> &mut U) -> MappedMutexGuard<'a, U> {
-        let MutexGuard { token, inner } = orig;
+        let MutexGuard { token, hold, inner } = orig;
         MappedMutexGuard {
             token,
+            hold,
             inner: parking_lot::MutexGuard::map(inner, f),
         }
     }
@@ -315,6 +361,9 @@ pub struct MappedMutexGuard<'a, T: ?Sized> {
     /// Held only for its release-on-drop effect.
     #[allow(dead_code)]
     token: Token,
+    /// Held only for its record-on-drop effect.
+    #[allow(dead_code)]
+    hold: HoldTimer,
     inner: parking_lot::MappedMutexGuard<'a, T>,
 }
 
@@ -334,8 +383,10 @@ impl<T: ?Sized> DerefMut for MappedMutexGuard<'_, T> {
 /// A class-tagged reader-writer lock; drop-in for `parking_lot::RwLock`
 /// except that construction names the [`LockClass`].
 pub struct RwLock<T> {
-    #[cfg_attr(not(feature = "lockcheck"), allow(dead_code))]
-    class: ClassTag,
+    class: LockClass,
+    /// Per-instance cache of the class's timing slot, resolved (one
+    /// registry lookup) on the first timed acquisition.
+    stats: OnceLock<&'static ClassTiming>,
     inner: parking_lot::RwLock<T>,
 }
 
@@ -343,7 +394,8 @@ impl<T> RwLock<T> {
     /// Creates a lock of the given class.
     pub const fn new(class: LockClass, value: T) -> RwLock<T> {
         RwLock {
-            class: tag(class),
+            class,
+            stats: OnceLock::new(),
             inner: parking_lot::RwLock::new(value),
         }
     }
@@ -351,6 +403,19 @@ impl<T> RwLock<T> {
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
         self.inner.into_inner()
+    }
+
+    fn stats(&self) -> &'static ClassTiming {
+        self.stats
+            .get_or_init(|| timing::class_timing(self.class.name()))
+    }
+
+    fn hold_timer(&self) -> HoldTimer {
+        if timing::lock_timing_enabled() {
+            HoldTimer::running(self.stats())
+        } else {
+            HoldTimer::off()
+        }
     }
 
     /// Acquires shared read access. Reads participate in ordering checks
@@ -362,10 +427,22 @@ impl<T> RwLock<T> {
         let token = Token::acquire(self.class, self.addr(), check::Mode::Shared, true);
         #[cfg(not(feature = "lockcheck"))]
         let token = Token;
-        RwLockReadGuard {
-            token,
-            inner: self.inner.read(),
-        }
+        let (hold, inner) = if timing::lock_timing_enabled() {
+            let stats = self.stats();
+            let inner = match self.inner.try_read() {
+                Some(g) => g,
+                None => {
+                    let queued = Instant::now();
+                    let g = self.inner.read();
+                    stats.wait.record(timing::nanos(queued.elapsed()));
+                    g
+                }
+            };
+            (HoldTimer::running(stats), inner)
+        } else {
+            (HoldTimer::off(), self.inner.read())
+        };
+        RwLockReadGuard { token, hold, inner }
     }
 
     /// Acquires exclusive write access.
@@ -375,10 +452,22 @@ impl<T> RwLock<T> {
         let token = Token::acquire(self.class, self.addr(), check::Mode::Exclusive, true);
         #[cfg(not(feature = "lockcheck"))]
         let token = Token;
-        RwLockWriteGuard {
-            token,
-            inner: self.inner.write(),
-        }
+        let (hold, inner) = if timing::lock_timing_enabled() {
+            let stats = self.stats();
+            let inner = match self.inner.try_write() {
+                Some(g) => g,
+                None => {
+                    let queued = Instant::now();
+                    let g = self.inner.write();
+                    stats.wait.record(timing::nanos(queued.elapsed()));
+                    g
+                }
+            };
+            (HoldTimer::running(stats), inner)
+        } else {
+            (HoldTimer::off(), self.inner.write())
+        };
+        RwLockWriteGuard { token, hold, inner }
     }
 
     /// Attempts shared read access without blocking (exempt from
@@ -390,7 +479,11 @@ impl<T> RwLock<T> {
         let token = Token::acquire(self.class, self.addr(), check::Mode::Shared, false);
         #[cfg(not(feature = "lockcheck"))]
         let token = Token;
-        Some(RwLockReadGuard { token, inner })
+        Some(RwLockReadGuard {
+            token,
+            hold: self.hold_timer(),
+            inner,
+        })
     }
 
     /// Attempts exclusive write access without blocking.
@@ -401,7 +494,11 @@ impl<T> RwLock<T> {
         let token = Token::acquire(self.class, self.addr(), check::Mode::Exclusive, false);
         #[cfg(not(feature = "lockcheck"))]
         let token = Token;
-        Some(RwLockWriteGuard { token, inner })
+        Some(RwLockWriteGuard {
+            token,
+            hold: self.hold_timer(),
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -426,6 +523,9 @@ pub struct RwLockReadGuard<'a, T> {
     /// Held only for its release-on-drop effect.
     #[allow(dead_code)]
     token: Token,
+    /// Held only for its record-on-drop effect.
+    #[allow(dead_code)]
+    hold: HoldTimer,
     inner: parking_lot::RwLockReadGuard<'a, T>,
 }
 
@@ -441,6 +541,9 @@ pub struct RwLockWriteGuard<'a, T> {
     /// Held only for its release-on-drop effect.
     #[allow(dead_code)]
     token: Token,
+    /// Held only for its record-on-drop effect.
+    #[allow(dead_code)]
+    hold: HoldTimer,
     inner: parking_lot::RwLockWriteGuard<'a, T>,
 }
 
@@ -483,12 +586,16 @@ impl Condvar {
         self.inner.notify_all();
     }
 
-    /// Blocks until notified, releasing the guard while waiting.
+    /// Blocks until notified, releasing the guard while waiting. The
+    /// guard's hold timer is paused for the wait: parked time is billed
+    /// to neither `lock.hold` nor `lock.wait`.
     #[track_caller]
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         #[cfg(feature = "lockcheck")]
         let (class, addr) = guard.token.suspend();
+        let paused = guard.hold.pause();
         self.inner.wait(&mut guard.inner);
+        guard.hold = HoldTimer::resume(paused);
         #[cfg(feature = "lockcheck")]
         {
             guard.token = Token::acquire(class, addr, check::Mode::Exclusive, true);
@@ -504,7 +611,9 @@ impl Condvar {
     ) -> WaitTimeoutResult {
         #[cfg(feature = "lockcheck")]
         let (class, addr) = guard.token.suspend();
+        let paused = guard.hold.pause();
         let result = self.inner.wait_for(&mut guard.inner, timeout);
+        guard.hold = HoldTimer::resume(paused);
         #[cfg(feature = "lockcheck")]
         {
             guard.token = Token::acquire(class, addr, check::Mode::Exclusive, true);
@@ -521,7 +630,9 @@ impl Condvar {
     ) -> WaitTimeoutResult {
         #[cfg(feature = "lockcheck")]
         let (class, addr) = guard.token.suspend();
+        let paused = guard.hold.pause();
         let result = self.inner.wait_until(&mut guard.inner, deadline);
+        guard.hold = HoldTimer::resume(paused);
         #[cfg(feature = "lockcheck")]
         {
             guard.token = Token::acquire(class, addr, check::Mode::Exclusive, true);
@@ -1125,6 +1236,85 @@ mod tests {
             drop(mapped);
             drop(m.lock());
         }
+    }
+
+    /// Serializes the tests that are sensitive to the global timing
+    /// gate: the disable window below must not overlap another test's
+    /// exact-count assertion. (A std mutex, not ours: the test
+    /// infrastructure should not show up in the timing tables.)
+    static TIMING_TESTS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// One sequential test covers both the recording path and the
+    /// runtime gate.
+    #[test]
+    fn timing_gate_and_hold_recording() {
+        let _serial = TIMING_TESTS.lock().unwrap();
+        let data = |class: &str| lock_timing().into_iter().find(|t| t.class == class);
+        // Disabled: the class never even registers.
+        set_lock_timing(false);
+        let off = Mutex::new(LockClass::Other("ut_timing_off"), ());
+        drop(off.lock());
+        assert!(data("ut_timing_off").is_none());
+        set_lock_timing(true);
+        // Enabled: uncontended lock/unlock records a hold, no wait.
+        let on = Mutex::new(LockClass::Other("ut_timing_on"), ());
+        drop(on.lock());
+        drop(on.try_lock().expect("uncontended"));
+        let t = data("ut_timing_on").expect("class registered");
+        assert_eq!(t.hold.count, 2);
+        assert_eq!(t.wait.count, 0);
+        assert_eq!(t.hold.buckets.iter().sum::<u64>(), 2);
+        // RwLock reads and writes feed the same class slot.
+        let rw = RwLock::new(LockClass::Other("ut_timing_on"), ());
+        drop(rw.read());
+        drop(rw.write());
+        assert_eq!(data("ut_timing_on").expect("still there").hold.count, 4);
+    }
+
+    /// A lock() that finds the mutex held must record a wait sample.
+    /// The holder sleeps briefly after the rendezvous; if the contender
+    /// still wins the race some round, the dance just repeats.
+    #[test]
+    fn timing_records_contended_wait() {
+        static M: Mutex<u32> = Mutex::new(LockClass::Other("ut_timing_wait"), 0);
+        let waits = || {
+            lock_timing()
+                .iter()
+                .find(|t| t.class == "ut_timing_wait")
+                .map(|t| t.wait.count)
+                .unwrap_or(0)
+        };
+        let before = waits();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while waits() == before {
+            assert!(Instant::now() < deadline, "no contended wait observed");
+            let rendezvous = std::sync::Barrier::new(2);
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    let _g = M.lock();
+                    rendezvous.wait();
+                    std::thread::sleep(Duration::from_millis(2));
+                });
+                rendezvous.wait();
+                drop(M.lock());
+            });
+        }
+    }
+
+    #[test]
+    fn condvar_wait_pauses_hold_timer() {
+        let _serial = TIMING_TESTS.lock().unwrap();
+        let m = Mutex::new(LockClass::Other("ut_timing_cv"), ());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(1)).timed_out());
+        drop(g);
+        let t = lock_timing()
+            .into_iter()
+            .find(|t| t.class == "ut_timing_cv")
+            .expect("class registered");
+        // Two hold samples: before the wait and after it.
+        assert_eq!(t.hold.count, 2);
     }
 
     #[cfg(not(feature = "lockcheck"))]

@@ -1,0 +1,238 @@
+//! Always-on lock wait/hold timing, per [`LockClass`](crate::LockClass).
+//!
+//! Unlike the order checker (compile-time gated behind the `lockcheck`
+//! feature), timing is available in every build: contention is a
+//! *performance* question, and the builds whose performance matters are
+//! exactly the ones compiled without the checker. The cost model keeps it
+//! cheap enough to leave on:
+//!
+//! - One relaxed atomic load per acquisition when timing is disabled
+//!   ([`set_lock_timing`]).
+//! - On the uncontended path (a `try_lock` succeeds), no clock is read for
+//!   the wait side; only the hold timer stamps one `Instant`.
+//! - Wait time is recorded only for acquisitions that actually blocked, so
+//!   `lock.wait.*` histograms count *contended* acquisitions — their
+//!   `count` is the number of times a thread queued on that class.
+//! - Hold time is recorded when the guard drops; condvar waits pause the
+//!   hold timer so parked time is not billed as holding.
+//!
+//! Samples aggregate per class into log2-bucketed histograms (the same
+//! bucket layout as `actorspace-obs`); [`lock_timing`] exports the raw
+//! buckets, which `obs` folds into `lock.wait.<class>` /
+//! `lock.hold.<class>` snapshot entries. The tables are process-global,
+//! like the order graph.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Number of log2 buckets, mirroring `actorspace_obs::metrics::N_BUCKETS`:
+/// bucket `i > 0` covers `[2^(i-1), 2^i)` nanoseconds, bucket 0 covers
+/// exactly 0, and the last bucket absorbs the tail.
+pub const N_TIMING_BUCKETS: usize = 65;
+
+static TIMING_ON: AtomicBool = AtomicBool::new(true);
+
+/// Globally enables or disables wait/hold timing. On by default; the
+/// accumulated tables are kept (not reset) across toggles.
+pub fn set_lock_timing(on: bool) {
+    TIMING_ON.store(on, Ordering::Relaxed);
+}
+
+/// Whether wait/hold timing is currently recording.
+#[inline]
+pub fn lock_timing_enabled() -> bool {
+    TIMING_ON.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+#[inline]
+pub(crate) fn nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One atomically updated log2 histogram (count + sum + buckets).
+pub(crate) struct AtomicHist {
+    buckets: [AtomicU64; N_TIMING_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl AtomicHist {
+    const fn new() -> AtomicHist {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        AtomicHist {
+            buckets: [ZERO; N_TIMING_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn data(&self) -> TimingData {
+        TimingData {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// The wait and hold histograms of one lock class.
+pub(crate) struct ClassTiming {
+    pub(crate) wait: AtomicHist,
+    pub(crate) hold: AtomicHist,
+}
+
+impl ClassTiming {
+    const fn new() -> ClassTiming {
+        ClassTiming {
+            wait: AtomicHist::new(),
+            hold: AtomicHist::new(),
+        }
+    }
+}
+
+// Like the order graph, the timing table uses raw parking_lot: this crate
+// is the instrumentation boundary and must not recurse into itself. The
+// table is only locked on the *first* acquisition of each lock instance
+// (the resolved pointer is cached in the lock) and by exports.
+static REGISTRY: parking_lot::Mutex<BTreeMap<&'static str, &'static ClassTiming>> =
+    parking_lot::Mutex::new(BTreeMap::new());
+
+/// Resolves (allocating on first use) the process-wide timing slot for a
+/// class name. The returned reference is `'static`: slots are leaked once
+/// and live for the process, so lock hot paths can cache the pointer.
+pub(crate) fn class_timing(name: &'static str) -> &'static ClassTiming {
+    let mut map = REGISTRY.lock();
+    map.entry(name)
+        .or_insert_with(|| Box::leak(Box::new(ClassTiming::new())))
+}
+
+/// Raw histogram contents for one timing dimension of one class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingData {
+    /// Samples recorded (for `wait`: contended acquisitions only).
+    pub count: u64,
+    /// Sum of all samples, nanoseconds.
+    pub sum: u64,
+    /// Per-bucket sample counts, [`N_TIMING_BUCKETS`] long.
+    pub buckets: Vec<u64>,
+}
+
+/// Wait/hold timing of one lock class, as exported by [`lock_timing`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockTiming {
+    /// Canonical class name ([`crate::LockClass::name`]).
+    pub class: &'static str,
+    /// Time spent blocked acquiring locks of this class.
+    pub wait: TimingData,
+    /// Time guards of this class were held (condvar waits excluded).
+    pub hold: TimingData,
+}
+
+/// Snapshot of every class's wait/hold histograms, sorted by class name.
+/// Classes are present once any lock of theirs has been acquired with
+/// timing enabled.
+pub fn lock_timing() -> Vec<LockTiming> {
+    let map = REGISTRY.lock();
+    map.iter()
+        .map(|(&class, t)| LockTiming {
+            class,
+            wait: t.wait.data(),
+            hold: t.hold.data(),
+        })
+        .collect()
+}
+
+/// Guard-embedded hold timer: stamps acquisition time and records the
+/// elapsed hold into the class's hold histogram when dropped. Inert (and
+/// allocation-free) when timing was disabled at acquisition.
+pub(crate) struct HoldTimer(Option<(&'static ClassTiming, Instant)>);
+
+impl HoldTimer {
+    /// An inert timer (timing disabled).
+    #[inline]
+    pub(crate) fn off() -> HoldTimer {
+        HoldTimer(None)
+    }
+
+    /// Starts timing a hold of `timing`'s class.
+    #[inline]
+    pub(crate) fn running(timing: &'static ClassTiming) -> HoldTimer {
+        HoldTimer(Some((timing, Instant::now())))
+    }
+
+    /// Records the hold so far and stops the timer (condvar wait entry);
+    /// returns the slot for [`HoldTimer::resume`] after the wait.
+    pub(crate) fn pause(&mut self) -> Option<&'static ClassTiming> {
+        let (timing, started) = self.0.take()?;
+        timing.hold.record(nanos(started.elapsed()));
+        Some(timing)
+    }
+
+    /// Restarts a paused timer (condvar wait exit). The hold on either
+    /// side of the wait is recorded as two samples; the parked time in
+    /// between is billed to neither.
+    #[inline]
+    pub(crate) fn resume(paused: Option<&'static ClassTiming>) -> HoldTimer {
+        match paused {
+            Some(timing) => HoldTimer::running(timing),
+            None => HoldTimer::off(),
+        }
+    }
+}
+
+impl Drop for HoldTimer {
+    fn drop(&mut self) {
+        if let Some((timing, started)) = self.0.take() {
+            timing.hold.record(nanos(started.elapsed()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_totals() {
+        let h = AtomicHist::new();
+        for v in [0u64, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        let d = h.data();
+        assert_eq!(d.count, 5);
+        assert_eq!(d.sum, 1006);
+        assert_eq!(d.buckets.len(), N_TIMING_BUCKETS);
+        assert_eq!(d.buckets[0], 1); // the 0 sample
+        assert_eq!(d.buckets.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn class_timing_resolves_one_slot_per_class() {
+        let a = class_timing("ut_timing_slot") as *const ClassTiming;
+        let b = class_timing("ut_timing_slot") as *const ClassTiming;
+        assert_eq!(a, b);
+        assert!(lock_timing().iter().any(|t| t.class == "ut_timing_slot"));
+    }
+}

@@ -53,6 +53,7 @@ use crate::bus::{Applier, BusEvent, BusOp, EventLog, OrderedBroadcast, SeqEvent}
 use crate::directory::{id_base, id_range, node_of_actor, node_of_raw, NodeId};
 use crate::failure::{FailureConfig, FailureDetector};
 use crate::link::{Link, LinkConfig};
+use crate::obs_stream::ObsStream;
 use crate::reliable::ReliablePipe;
 use crate::sequencer::Sequencer;
 use crate::tokenbus::TokenBus;
@@ -93,6 +94,11 @@ pub struct ClusterConfig {
     /// counters are cumulative across restarts and trace timestamps share
     /// an epoch.
     pub obs: Option<Arc<Obs>>,
+    /// When set, every node periodically publishes delta-encoded metric
+    /// snapshots on a dedicated observability stream at this interval
+    /// (see [`ObsStream`]); [`Cluster::observe`] then yields live
+    /// aggregate views. `None` (the default) disables streaming.
+    pub obs_publish: Option<Duration>,
 }
 
 impl Default for ClusterConfig {
@@ -108,6 +114,7 @@ impl Default for ClusterConfig {
             retx_every: Duration::from_millis(20),
             failure: FailureConfig::default(),
             obs: None,
+            obs_publish: None,
         }
     }
 }
@@ -322,6 +329,7 @@ pub struct Cluster {
     detector: Arc<FailureDetector>,
     data_pipes: Arc<PipeGrid>,
     requeue: BounceQueue,
+    obs_stream: Option<Arc<ObsStream>>,
     service_stop: Arc<AtomicBool>,
     service: Mutex<Option<JoinHandle<()>>>,
 }
@@ -467,7 +475,14 @@ impl Cluster {
             .collect();
 
         // 6. Hooks (bus rerouting), uplinks (data forwarding + failover
-        // bouncing), and node handles.
+        // bouncing), the observability stream, and node handles.
+        let obs_stream: Option<Arc<ObsStream>> = config.obs_publish.map(|every| {
+            let cfg = LinkConfig {
+                seed: config.bus_link.seed.wrapping_add(424_243),
+                ..config.bus_link.clone()
+            };
+            Arc::new(ObsStream::new(n, every, cfg))
+        });
         let requeue: BounceQueue =
             Arc::new(Mutex::new(LockClass::Other("net.bounce"), VecDeque::new()));
         let forwarded: Vec<Arc<Counter>> = (0..n)
@@ -485,6 +500,7 @@ impl Cluster {
                 &forwarded[i],
                 &detector,
                 &requeue,
+                obs_stream.as_ref(),
             );
             nodes.push(NodeHandle {
                 inner: Arc::new(NodeInner {
@@ -520,6 +536,7 @@ impl Cluster {
                         .histogram(names::NET_FAILOVER_REROUTE_NS, i as u16)
                 })
                 .collect(),
+            stream: obs_stream.clone(),
             stop: service_stop.clone(),
             tick: (config.failure.heartbeat_every / 2).max(Duration::from_millis(1)),
         });
@@ -534,6 +551,7 @@ impl Cluster {
             detector,
             data_pipes,
             requeue,
+            obs_stream,
             service_stop,
             service: Mutex::new(LockClass::Other("net.service"), Some(service)),
         }
@@ -565,6 +583,20 @@ impl Cluster {
         &self.obs
     }
 
+    /// Subscribes to the observability stream and returns a live
+    /// [`ClusterView`] that converges on every node's published metrics
+    /// and tracks per-peer staleness through the failure detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`ClusterConfig::obs_publish`] was set.
+    pub fn observe(&self) -> Arc<actorspace_obs::ClusterView> {
+        self.obs_stream
+            .as_ref()
+            .expect("ClusterConfig::obs_publish must be set to observe a cluster")
+            .subscribe()
+    }
+
     /// Crashes node `i` mid-flight: its workers stop, inbound packets are
     /// rejected (and stay journalled on their senders), and its heartbeats
     /// cease, so peers suspect it after the detector threshold and purge
@@ -582,7 +614,7 @@ impl Cluster {
             system.shutdown();
             system.drain_unprocessed()
         };
-        let at_nanos = self.obs.tracer.now_nanos();
+        let at_nanos = self.obs.now_nanos();
         let from = NodeId(i as u16);
         let mut q = self.requeue.lock();
         for (route, msg) in harvested {
@@ -639,6 +671,7 @@ impl Cluster {
             &self.nodes[i].inner.forwarded,
             &self.detector,
             &self.requeue,
+            self.obs_stream.as_ref(),
         );
         self.obs.metrics.counter(names::NET_RESTARTS, me.0).inc();
         {
@@ -756,6 +789,7 @@ fn install_plumbing(
     forwarded: &Arc<Counter>,
     detector: &Arc<FailureDetector>,
     requeue: &BounceQueue,
+    stream: Option<&Arc<ObsStream>>,
 ) {
     system.set_coordinator_hook(Arc::new(ClusterHook {
         node: me,
@@ -770,6 +804,16 @@ fn install_plumbing(
         detector: detector.clone(),
         requeue: requeue.clone(),
     }));
+    // The publisher is per-incarnation (it dies with the system's worker
+    // pool on kill_node and is respawned here on restart), but its delta
+    // state lives in the stream, so the frame sequence stays continuous.
+    if let Some(stream) = stream {
+        let stream = stream.clone();
+        let obs = obs.clone();
+        system.spawn_periodic("obs-pub", stream.every(), move || {
+            stream.publish(me.0, &obs);
+        });
+    }
 }
 
 /// Everything the service thread needs.
@@ -786,6 +830,7 @@ struct ServiceCtx {
     retransmits: Vec<Arc<Counter>>,
     /// Bounce-to-resend latency, recorded on the surviving node's label.
     reroute_ns: Vec<Arc<Histogram>>,
+    stream: Option<Arc<ObsStream>>,
     stop: Arc<AtomicBool>,
     tick: Duration,
 }
@@ -846,6 +891,9 @@ fn spawn_service(ctx: ServiceCtx) -> JoinHandle<()> {
                                 node: NodeId(j as u16),
                             },
                         });
+                        if let Some(stream) = &ctx.stream {
+                            stream.mark_down(j as u16);
+                        }
                     }
                     for j in 0..n {
                         if j == i || !ctx.detector.is_suspected(i, j) {
@@ -862,7 +910,7 @@ fn spawn_service(ctx: ServiceCtx) -> JoinHandle<()> {
                                         route,
                                         msg,
                                         from: NodeId(j as u16),
-                                        at_nanos: ctx.obs.tracer.now_nanos(),
+                                        at_nanos: ctx.obs.now_nanos(),
                                     });
                                 }
                                 // Broadcast copies already fanned out to the
@@ -900,7 +948,7 @@ fn spawn_service(ctx: ServiceCtx) -> JoinHandle<()> {
                                     Stage::FailedOver { from: b.from.0, to },
                                 );
                                 ctx.reroute_ns[si]
-                                    .record(ctx.obs.tracer.now_nanos().saturating_sub(b.at_nanos));
+                                    .record(ctx.obs.now_nanos().saturating_sub(b.at_nanos));
                                 let _ = system.resend_routed(&b.route, b.msg);
                             }
                         }
@@ -1116,7 +1164,7 @@ impl NodeUplink {
                     route: r.clone(),
                     msg,
                     from,
-                    at_nanos: self.obs.tracer.now_nanos(),
+                    at_nanos: self.obs.now_nanos(),
                 });
                 true
             }

@@ -40,6 +40,7 @@ pub mod cluster;
 pub mod directory;
 pub mod failure;
 pub mod link;
+pub mod obs_stream;
 pub mod reliable;
 pub mod sequencer;
 pub mod tokenbus;
@@ -49,3 +50,4 @@ pub use cluster::{Cluster, ClusterConfig, NodeHandle, NodeStats, OrderingProtoco
 pub use directory::{id_base, id_range, node_of_actor, NodeId};
 pub use failure::{FailureConfig, FailureDetector};
 pub use link::{Link, LinkConfig};
+pub use obs_stream::{ObsFrame, ObsStream};

@@ -1,0 +1,140 @@
+//! Integration tests for the cluster observability stream: a subscriber's
+//! [`ClusterView`] converges on every node's published totals (including
+//! remote dead letters), and survives a kill/restart cycle with the peer
+//! marked stale while down and counted as rejoined afterwards.
+
+use std::time::{Duration, Instant};
+
+use actorspace_atoms::path;
+use actorspace_core::ActorId;
+use actorspace_net::{Cluster, ClusterConfig, FailureConfig};
+use actorspace_obs::names;
+use actorspace_pattern::pattern;
+use actorspace_runtime::{from_fn, Value};
+
+const TIMEOUT: Duration = Duration::from_secs(20);
+
+fn poll(deadline: Instant, mut ok: impl FnMut() -> bool) -> bool {
+    while Instant::now() < deadline {
+        if ok() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    false
+}
+
+/// The observer's aggregate converges on the remote node's delivery
+/// totals and surfaces its dead letters.
+#[test]
+fn view_converges_on_remote_totals() {
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        obs_publish: Some(Duration::from_millis(10)),
+        ..ClusterConfig::default()
+    });
+    let view = cluster.observe();
+
+    let space = cluster.node(0).create_space(None);
+    let worker = cluster.node(1).spawn(from_fn(|_ctx, _msg| {}));
+    cluster
+        .node(1)
+        .make_visible(worker, &path("worker"), space, None)
+        .unwrap();
+    assert!(cluster.await_coherence(TIMEOUT));
+
+    for i in 0..25 {
+        cluster
+            .node(0)
+            .send_pattern(&pattern("worker"), space, Value::int(i))
+            .unwrap();
+    }
+    // Dead letters ON node 1: point-to-point sends to an address in its
+    // id range that no actor owns (nothing to re-resolve — a local drop).
+    let ghost = ActorId(worker.0 + 999_983);
+    for _ in 0..3 {
+        cluster.node(0).send_to(ghost, Value::int(1));
+    }
+    assert!(cluster.await_quiescence(TIMEOUT));
+
+    let deliveries = cluster.obs().metrics.counter(names::RT_DELIVERIES, 1).get();
+    assert!(deliveries >= 25, "deliveries landed on node 1");
+
+    let deadline = Instant::now() + TIMEOUT;
+    assert!(
+        poll(deadline, || {
+            let m = view.merged();
+            m.counter(names::RT_DELIVERIES, 1) == Some(deliveries)
+                && m.counter(names::RT_DEAD_LETTERS, 1).unwrap_or(0) >= 3
+                && m.dead_letters.iter().any(|d| d.node == 1)
+        }),
+        "view converged on node 1's deliveries and dead letters:\n{}",
+        view.render(cluster.obs().now_nanos(), Duration::from_secs(1))
+    );
+    assert_eq!(view.nodes(), vec![0, 1]);
+    cluster.shutdown();
+}
+
+/// Kill → the peer goes stale (down) in the view; restart → it rejoins
+/// and the view reconverges on its post-restart totals.
+#[test]
+fn view_survives_kill_and_restart() {
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        failure: FailureConfig::fast(),
+        obs_publish: Some(Duration::from_millis(10)),
+        ..ClusterConfig::default()
+    });
+    let view = cluster.observe();
+
+    let deadline = Instant::now() + TIMEOUT;
+    assert!(
+        poll(deadline, || view.nodes() == vec![0, 1, 2]),
+        "all three publishers reached the view"
+    );
+
+    assert!(cluster.kill_node(2));
+    let deadline = Instant::now() + TIMEOUT;
+    assert!(
+        poll(deadline, || view.peer(2).is_some_and(|p| p.down)),
+        "the detector marked node 2 down in the view"
+    );
+    assert!(view
+        .peer(2)
+        .expect("peer 2 tracked")
+        .is_stale(cluster.obs().now_nanos(), Duration::from_secs(600)));
+
+    assert!(cluster.restart_node(2));
+    let deadline = Instant::now() + TIMEOUT;
+    assert!(
+        poll(deadline, || view
+            .peer(2)
+            .is_some_and(|p| !p.down && p.rejoins >= 1)),
+        "node 2 rejoined the view after restart"
+    );
+
+    // Post-restart traffic still reaches the aggregate.
+    let space = cluster.node(0).create_space(None);
+    let worker = cluster.node(2).spawn(from_fn(|_ctx, _msg| {}));
+    cluster
+        .node(2)
+        .make_visible(worker, &path("worker"), space, None)
+        .unwrap();
+    assert!(cluster.await_coherence(TIMEOUT));
+    for i in 0..10 {
+        cluster
+            .node(0)
+            .send_pattern(&pattern("worker"), space, Value::int(i))
+            .unwrap();
+    }
+    assert!(cluster.await_quiescence(TIMEOUT));
+    let deliveries = cluster.obs().metrics.counter(names::RT_DELIVERIES, 2).get();
+    assert!(deliveries >= 10);
+    let deadline = Instant::now() + TIMEOUT;
+    assert!(
+        poll(deadline, || view.merged().counter(names::RT_DELIVERIES, 2)
+            == Some(deliveries)),
+        "view reconverged on the restarted node's totals"
+    );
+    cluster.shutdown();
+}

@@ -1,0 +1,349 @@
+//! Cluster-wide metric aggregation: [`ClusterView`] merges per-node
+//! snapshot deltas (see [`crate::delta`]) into one observable whole.
+//!
+//! Each publishing node streams `(seq, delta)` frames about itself; a
+//! view keeps one [`Snapshot`] replica per peer, advanced by applying
+//! deltas **in sequence order**. Out-of-order frames are parked in a
+//! per-peer reorder buffer and drained once the gap fills; duplicates
+//! (seq below the watermark, or already parked) are dropped — the same
+//! watermark-plus-buffer scheme the coordinator bus applier uses. Within
+//! one peer the replica is therefore exactly the publisher's history
+//! replayed, and counters read from a view are monotone per applied
+//! frame.
+//!
+//! Peers fail: the failure detector calls [`ClusterView::mark_down`], and
+//! readers see the peer flagged (its last replica is kept — totals don't
+//! jump backwards when a node dies). A frame arriving from a down-marked
+//! peer flips it back to live and counts a rejoin; staleness is otherwise
+//! judged by frame age ([`PeerStatus::is_stale`]), so a silently frozen
+//! publisher degrades to *stale* rather than reporting forever-fresh
+//! numbers.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use actorspace_lockcheck::{LockClass, Mutex};
+
+use crate::delta::SnapshotDelta;
+use crate::metrics::{MetricValue, Snapshot};
+use crate::names;
+
+/// Per-peer replica state.
+struct PeerView {
+    /// Next expected frame sequence number (the watermark).
+    next_seq: u64,
+    /// Out-of-order frames parked until the gap fills.
+    buffer: BTreeMap<u64, SnapshotDelta>,
+    /// The peer's snapshot as of the last in-order frame.
+    snap: Snapshot,
+    /// Publisher timestamp of the freshest applied frame.
+    last_frame_nanos: u64,
+    /// Set by [`ClusterView::mark_down`], cleared by the next frame.
+    down: bool,
+    /// Down→live transitions observed.
+    rejoins: u64,
+    /// In-order frames applied.
+    frames_applied: u64,
+}
+
+impl PeerView {
+    fn new() -> PeerView {
+        PeerView {
+            next_seq: 0,
+            buffer: BTreeMap::new(),
+            snap: Snapshot::default(),
+            last_frame_nanos: 0,
+            down: false,
+            rejoins: 0,
+            frames_applied: 0,
+        }
+    }
+}
+
+/// Externally visible liveness/progress of one peer in a view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerStatus {
+    /// The peer's node id.
+    pub node: u16,
+    /// True after [`ClusterView::mark_down`], until the next frame.
+    pub down: bool,
+    /// Down→live transitions observed.
+    pub rejoins: u64,
+    /// In-order frames applied.
+    pub frames_applied: u64,
+    /// Publisher timestamp of the freshest applied frame.
+    pub last_frame_nanos: u64,
+    /// Next expected frame sequence number.
+    pub next_seq: u64,
+}
+
+impl PeerStatus {
+    /// A peer is stale when it is marked down or its last frame is older
+    /// than `stale_after` (timestamps on the publishers' shared clock).
+    pub fn is_stale(&self, now_nanos: u64, stale_after: Duration) -> bool {
+        let age = now_nanos.saturating_sub(self.last_frame_nanos);
+        self.down || age as u128 > stale_after.as_nanos()
+    }
+}
+
+/// An aggregated, delta-fed view of every publishing node's metrics.
+pub struct ClusterView {
+    peers: Mutex<BTreeMap<u16, PeerView>>,
+}
+
+impl Default for ClusterView {
+    fn default() -> Self {
+        ClusterView::new()
+    }
+}
+
+impl ClusterView {
+    /// An empty view; peers appear as their first frame (or down-mark)
+    /// arrives.
+    pub fn new() -> ClusterView {
+        ClusterView {
+            peers: Mutex::new(LockClass::ObsView, BTreeMap::new()),
+        }
+    }
+
+    /// Ingests one frame from `node`. Returns `true` if the frame was
+    /// fresh (applied now or parked for reordering), `false` for a
+    /// duplicate. A frame from a down-marked peer revives it.
+    pub fn apply_frame(&self, node: u16, seq: u64, delta: SnapshotDelta) -> bool {
+        let mut peers = self.peers.lock();
+        let peer = peers.entry(node).or_insert_with(PeerView::new);
+        if peer.down {
+            peer.down = false;
+            peer.rejoins += 1;
+        }
+        if seq < peer.next_seq || peer.buffer.contains_key(&seq) {
+            return false;
+        }
+        peer.buffer.insert(seq, delta);
+        while let Some(d) = peer.buffer.remove(&peer.next_seq) {
+            peer.snap = peer.snap.apply_delta(&d);
+            peer.last_frame_nanos = peer.last_frame_nanos.max(d.to_nanos);
+            peer.next_seq += 1;
+            peer.frames_applied += 1;
+        }
+        true
+    }
+
+    /// Flags `node` as down (failure-detector hook). The peer's replica
+    /// is kept; the next frame revives it and counts a rejoin. Creates
+    /// the peer entry if the view has never heard from it.
+    pub fn mark_down(&self, node: u16) {
+        let mut peers = self.peers.lock();
+        peers.entry(node).or_insert_with(PeerView::new).down = true;
+    }
+
+    /// The current replica of `node`'s snapshot, if any frame applied.
+    pub fn node_snapshot(&self, node: u16) -> Option<Snapshot> {
+        let peers = self.peers.lock();
+        peers
+            .get(&node)
+            .filter(|p| p.frames_applied > 0)
+            .map(|p| p.snap.clone())
+    }
+
+    /// Nodes with at least one applied frame, ascending.
+    pub fn nodes(&self) -> Vec<u16> {
+        let peers = self.peers.lock();
+        peers
+            .iter()
+            .filter(|(_, p)| p.frames_applied > 0)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Liveness/progress of every known peer, ascending by node.
+    pub fn peers(&self) -> Vec<PeerStatus> {
+        let peers = self.peers.lock();
+        peers
+            .iter()
+            .map(|(&node, p)| PeerStatus {
+                node,
+                down: p.down,
+                rejoins: p.rejoins,
+                frames_applied: p.frames_applied,
+                last_frame_nanos: p.last_frame_nanos,
+                next_seq: p.next_seq,
+            })
+            .collect()
+    }
+
+    /// Liveness/progress of one peer.
+    pub fn peer(&self, node: u16) -> Option<PeerStatus> {
+        self.peers().into_iter().find(|p| p.node == node)
+    }
+
+    /// All peers' replicas merged into one snapshot: entries keep their
+    /// `node` label (each publisher only reports its own rows, so keys
+    /// never collide), ordered by `(name, node, space)`; cross-node sums
+    /// come from the existing [`Snapshot::counter_total`]-style helpers.
+    /// Dead letters are concatenated oldest-first. The timestamp is the
+    /// freshest applied frame's.
+    pub fn merged(&self) -> Snapshot {
+        let peers = self.peers.lock();
+        let mut out = Snapshot::default();
+        for p in peers.values() {
+            out.at_nanos = out.at_nanos.max(p.snap.at_nanos);
+            out.entries.extend(p.snap.entries.iter().cloned());
+            out.dead_letters.extend(p.snap.dead_letters.iter().copied());
+        }
+        drop(peers);
+        out.entries
+            .sort_by(|a, b| (&a.name, a.node, a.space).cmp(&(&b.name, b.node, b.space)));
+        out.dead_letters.sort_by_key(|d| d.at_nanos);
+        out
+    }
+
+    /// Renders a compact text dashboard of the merged view: one row per
+    /// peer (state, frames, headline counters), cluster totals, and the
+    /// busiest `lock.wait.*` classes. `now_nanos` and `stale_after` feed
+    /// [`PeerStatus::is_stale`].
+    pub fn render(&self, now_nanos: u64, stale_after: Duration) -> String {
+        let merged = self.merged();
+        let peers = self.peers();
+        let mut out = String::new();
+        out.push_str("node  state  frames  deliveries  forwarded  failovers  dead\n");
+        for p in &peers {
+            let snap = self.node_snapshot(p.node).unwrap_or_default();
+            let state = if p.down {
+                "DOWN"
+            } else if p.is_stale(now_nanos, stale_after) {
+                "stale"
+            } else {
+                "live"
+            };
+            out.push_str(&format!(
+                "{:<5} {:<6} {:<7} {:<11} {:<10} {:<10} {}\n",
+                p.node,
+                state,
+                p.frames_applied,
+                snap.counter(names::RT_DELIVERIES, p.node).unwrap_or(0),
+                snap.counter(names::NET_FORWARDED, p.node).unwrap_or(0),
+                snap.counter(names::RT_FAILOVERS, p.node).unwrap_or(0),
+                snap.dead_letters.len(),
+            ));
+        }
+        out.push_str(&format!(
+            "cluster: {} node(s), deliveries={} forwarded={} dead_letters={}\n",
+            peers.iter().filter(|p| p.frames_applied > 0).count(),
+            merged.counter_total(names::RT_DELIVERIES),
+            merged.counter_total(names::NET_FORWARDED),
+            merged.dead_letters.len(),
+        ));
+        let mut waits: Vec<(&str, u64, u64)> = merged
+            .entries
+            .iter()
+            .filter(|e| e.name.starts_with(names::LOCK_WAIT_PREFIX))
+            .filter_map(|e| match &e.value {
+                MetricValue::Histogram(h) if h.count > 0 => Some((e.name.as_str(), h.count, h.p99)),
+                _ => None,
+            })
+            .collect();
+        waits.sort_by_key(|&(_, count, _)| std::cmp::Reverse(count));
+        for (name, count, p99) in waits.into_iter().take(5) {
+            out.push_str(&format!("{name}: count={count} p99={p99}ns\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn delta(r: &MetricsRegistry, prev: &Snapshot, at: u64) -> (SnapshotDelta, Snapshot) {
+        let next = r.snapshot(at);
+        (next.delta_since(prev), next)
+    }
+
+    #[test]
+    fn in_order_frames_converge_to_publisher_snapshot() {
+        let r = MetricsRegistry::new();
+        let view = ClusterView::new();
+        let mut prev = Snapshot::default();
+        for i in 0..5u64 {
+            r.counter("sends", 3).add(i + 1);
+            let (d, next) = delta(&r, &prev, i + 1);
+            assert!(view.apply_frame(3, i, d));
+            prev = next;
+        }
+        assert_eq!(view.node_snapshot(3), Some(prev));
+        assert_eq!(view.nodes(), vec![3]);
+        assert_eq!(view.peer(3).unwrap().frames_applied, 5);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicate_frames_are_handled() {
+        let r = MetricsRegistry::new();
+        let view = ClusterView::new();
+        let mut frames = Vec::new();
+        let mut prev = Snapshot::default();
+        for i in 0..4u64 {
+            r.counter("x", 0).inc();
+            let (d, next) = delta(&r, &prev, i + 1);
+            frames.push(d);
+            prev = next;
+        }
+        // Deliver 0, 2, 3, 1 with a duplicate of 2 sprinkled in.
+        assert!(view.apply_frame(0, 0, frames[0].clone()));
+        assert!(view.apply_frame(0, 2, frames[2].clone()));
+        assert!(!view.apply_frame(0, 2, frames[2].clone()), "parked dup");
+        assert!(view.apply_frame(0, 3, frames[3].clone()));
+        assert_eq!(view.peer(0).unwrap().frames_applied, 1, "gap at 1 holds");
+        assert!(view.apply_frame(0, 1, frames[1].clone()));
+        assert!(!view.apply_frame(0, 1, frames[1].clone()), "applied dup");
+        assert_eq!(view.peer(0).unwrap().frames_applied, 4);
+        assert_eq!(view.node_snapshot(0), Some(prev));
+    }
+
+    #[test]
+    fn down_mark_and_rejoin() {
+        let view = ClusterView::new();
+        view.mark_down(7);
+        let p = view.peer(7).unwrap();
+        assert!(p.down);
+        assert!(p.is_stale(0, Duration::from_secs(1)));
+        assert_eq!(view.nodes(), Vec::<u16>::new(), "no frame applied yet");
+        assert!(view.apply_frame(7, 0, SnapshotDelta::default()));
+        let p = view.peer(7).unwrap();
+        assert!(!p.down);
+        assert_eq!(p.rejoins, 1);
+    }
+
+    #[test]
+    fn staleness_by_frame_age() {
+        let view = ClusterView::new();
+        let d = SnapshotDelta {
+            to_nanos: 1_000,
+            ..SnapshotDelta::default()
+        };
+        view.apply_frame(2, 0, d);
+        let p = view.peer(2).unwrap();
+        assert!(!p.is_stale(1_500, Duration::from_micros(1)));
+        assert!(p.is_stale(5_000_000, Duration::from_micros(1)));
+    }
+
+    #[test]
+    fn merged_concatenates_and_sums_across_peers() {
+        let view = ClusterView::new();
+        for node in [0u16, 1] {
+            let r = MetricsRegistry::new();
+            r.counter("runtime.deliveries", node).add(10 + node as u64);
+            let snap = r.snapshot(node as u64 + 1);
+            view.apply_frame(node, 0, snap.delta_since(&Snapshot::default()));
+        }
+        let m = view.merged();
+        assert_eq!(m.counter_total("runtime.deliveries"), 21);
+        assert_eq!(m.counter("runtime.deliveries", 0), Some(10));
+        assert_eq!(m.counter("runtime.deliveries", 1), Some(11));
+        assert_eq!(m.at_nanos, 2);
+        let dash = view.render(2, Duration::from_secs(60));
+        assert!(dash.contains("cluster: 2 node(s)"), "got: {dash}");
+        assert!(dash.contains("deliveries=21"), "got: {dash}");
+    }
+}

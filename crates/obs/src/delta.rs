@@ -1,0 +1,327 @@
+//! Delta codec for [`Snapshot`]s: compact monotone diffs for streaming a
+//! node's metrics over the wire.
+//!
+//! A full snapshot of a busy node repeats hundreds of series every tick,
+//! almost all unchanged. [`Snapshot::delta_since`] emits only the series
+//! that moved — counters and histogram count/sum as *increments*, gauges
+//! and histogram quantiles as *last-write* — and [`Snapshot::apply_delta`]
+//! replays a delta onto the receiver's copy. For snapshots taken from one
+//! registry (counters monotone, per the `MetricsRegistry` contract) the
+//! codec is exact:
+//!
+//! ```text
+//! prev.apply_delta(&next.delta_since(&prev)) == next
+//! ```
+//!
+//! Series never disappear from a registry, so deltas carry no removals; a
+//! series a receiver has never seen arrives as its full current value
+//! (an increment from zero). The dead-letter ring is last-write-wins: it
+//! is included only on change, as the ring's full current contents.
+//!
+//! Deltas compose only in order — each one is relative to the previous
+//! published snapshot. Transports deliver them in-order per node (the
+//! [`ClusterView`](crate::cluster::ClusterView) aggregator additionally
+//! reorders and dedups by sequence number, tolerating out-of-order and
+//! duplicated delivery).
+
+use std::collections::BTreeMap;
+
+use crate::dead_letter::DeadLetter;
+use crate::metrics::{HistogramSnapshot, MetricSnapshot, MetricValue, Snapshot};
+
+/// The change to one metric series carried by a [`SnapshotDelta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaValue {
+    /// Counter increase since the previous snapshot.
+    CounterInc(u64),
+    /// Gauge value (last-write-wins).
+    GaugeSet(i64),
+    /// Histogram change: count/sum as increments, quantile summaries as
+    /// last-write (bucket detail is not on the wire).
+    Histogram {
+        /// Samples recorded since the previous snapshot.
+        count_inc: u64,
+        /// Sum recorded since the previous snapshot.
+        sum_inc: u64,
+        /// Current median (bucket upper bound).
+        p50: u64,
+        /// Current 90th percentile.
+        p90: u64,
+        /// Current 99th percentile.
+        p99: u64,
+        /// Current highest occupied bucket's upper bound.
+        max: u64,
+    },
+}
+
+/// One changed series in a [`SnapshotDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaEntry {
+    /// Metric name.
+    pub name: String,
+    /// Node label.
+    pub node: u16,
+    /// ActorSpace label for per-space series.
+    pub space: Option<u64>,
+    /// The change.
+    pub change: DeltaValue,
+}
+
+/// The difference between two successive [`Snapshot`]s of one registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotDelta {
+    /// Timestamp of the snapshot this delta is relative to.
+    pub from_nanos: u64,
+    /// Timestamp of the snapshot this delta advances to.
+    pub to_nanos: u64,
+    /// Changed series only, ordered like snapshot entries.
+    pub entries: Vec<DeltaEntry>,
+    /// Full dead-letter ring contents, present only when they changed.
+    pub dead_letters: Option<Vec<DeadLetter>>,
+}
+
+impl SnapshotDelta {
+    /// True when nothing changed but the timestamp.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.dead_letters.is_none()
+    }
+}
+
+type Key<'a> = (&'a str, u16, Option<u64>);
+
+fn unchanged(prev: &MetricValue, next: &MetricValue) -> bool {
+    prev == next
+}
+
+/// The wire change taking `prev` (a series absent from the previous
+/// snapshot reads as zero) to `next`.
+fn diff(prev: Option<&MetricValue>, next: &MetricValue) -> DeltaValue {
+    match next {
+        MetricValue::Counter(v) => {
+            let base = match prev {
+                Some(MetricValue::Counter(p)) => *p,
+                _ => 0,
+            };
+            DeltaValue::CounterInc(v.saturating_sub(base))
+        }
+        MetricValue::Gauge(v) => DeltaValue::GaugeSet(*v),
+        MetricValue::Histogram(h) => {
+            let base = match prev {
+                Some(MetricValue::Histogram(p)) => *p,
+                _ => HistogramSnapshot::from_buckets(0, &[]),
+            };
+            DeltaValue::Histogram {
+                count_inc: h.count.saturating_sub(base.count),
+                sum_inc: h.sum.saturating_sub(base.sum),
+                p50: h.p50,
+                p90: h.p90,
+                p99: h.p99,
+                max: h.max,
+            }
+        }
+    }
+}
+
+impl Snapshot {
+    /// The compact difference taking `prev` to `self`. Exact as long as
+    /// both snapshots came (in this order) from the same registry; see
+    /// the module docs for the roundtrip guarantee.
+    pub fn delta_since(&self, prev: &Snapshot) -> SnapshotDelta {
+        let before: BTreeMap<Key<'_>, &MetricValue> = prev
+            .entries
+            .iter()
+            .map(|e| ((e.name.as_str(), e.node, e.space), &e.value))
+            .collect();
+        let entries = self
+            .entries
+            .iter()
+            .filter_map(|e| {
+                let old = before.get(&(e.name.as_str(), e.node, e.space)).copied();
+                // New series are always announced, even at zero, so the
+                // receiver learns the full series set.
+                if let Some(old) = old {
+                    if unchanged(old, &e.value) {
+                        return None;
+                    }
+                }
+                Some(DeltaEntry {
+                    name: e.name.clone(),
+                    node: e.node,
+                    space: e.space,
+                    change: diff(old, &e.value),
+                })
+            })
+            .collect();
+        SnapshotDelta {
+            from_nanos: prev.at_nanos,
+            to_nanos: self.at_nanos,
+            entries,
+            dead_letters: (self.dead_letters != prev.dead_letters)
+                .then(|| self.dead_letters.clone()),
+        }
+    }
+
+    /// Replays `delta` onto `self`, returning the advanced snapshot.
+    /// Unmentioned series carry over; mentioned-but-unknown series are
+    /// created from zero.
+    pub fn apply_delta(&self, delta: &SnapshotDelta) -> Snapshot {
+        let mut merged: BTreeMap<(String, u16, Option<u64>), MetricValue> = self
+            .entries
+            .iter()
+            .map(|e| ((e.name.clone(), e.node, e.space), e.value.clone()))
+            .collect();
+        for d in &delta.entries {
+            let key = (d.name.clone(), d.node, d.space);
+            let prior = merged.get(&key);
+            let value = match d.change {
+                DeltaValue::CounterInc(inc) => {
+                    let base = match prior {
+                        Some(MetricValue::Counter(p)) => *p,
+                        _ => 0,
+                    };
+                    MetricValue::Counter(base + inc)
+                }
+                DeltaValue::GaugeSet(v) => MetricValue::Gauge(v),
+                DeltaValue::Histogram {
+                    count_inc,
+                    sum_inc,
+                    p50,
+                    p90,
+                    p99,
+                    max,
+                } => {
+                    let base = match prior {
+                        Some(MetricValue::Histogram(p)) => *p,
+                        _ => HistogramSnapshot::from_buckets(0, &[]),
+                    };
+                    MetricValue::Histogram(HistogramSnapshot {
+                        count: base.count + count_inc,
+                        sum: base.sum + sum_inc,
+                        p50,
+                        p90,
+                        p99,
+                        max,
+                    })
+                }
+            };
+            merged.insert(key, value);
+        }
+        Snapshot {
+            at_nanos: delta.to_nanos,
+            // BTreeMap iteration restores the (name, node, space) order.
+            entries: merged
+                .into_iter()
+                .map(|((name, node, space), value)| MetricSnapshot {
+                    name,
+                    node,
+                    space,
+                    value,
+                })
+                .collect(),
+            dead_letters: delta
+                .dead_letters
+                .clone()
+                .unwrap_or_else(|| self.dead_letters.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dead_letter::DeadLetterReason;
+    use crate::trace::TraceId;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn roundtrip_over_registry_snapshots() {
+        let r = MetricsRegistry::new();
+        r.counter("sends", 0).add(3);
+        r.gauge("depth", 0).set(5);
+        r.histogram("lat", 0).record(100);
+        let a = r.snapshot(10);
+        r.counter("sends", 0).add(4);
+        r.counter("sends", 1).inc(); // new series
+        r.gauge("depth", 0).set(-1);
+        r.histogram("lat", 0).record(7);
+        let b = r.snapshot(20);
+        let d = b.delta_since(&a);
+        assert_eq!(a.apply_delta(&d), b);
+        // Only changed series ride the delta.
+        assert!(d.entries.iter().all(|e| e.name != "unchanged"));
+        assert_eq!(d.from_nanos, 10);
+        assert_eq!(d.to_nanos, 20);
+    }
+
+    #[test]
+    fn unchanged_series_are_omitted() {
+        let r = MetricsRegistry::new();
+        r.counter("idle", 0).add(2);
+        r.counter("busy", 0).add(1);
+        let a = r.snapshot(1);
+        r.counter("busy", 0).add(1);
+        let b = r.snapshot(2);
+        let d = b.delta_since(&a);
+        assert_eq!(d.entries.len(), 1);
+        assert_eq!(d.entries[0].name, "busy");
+        assert_eq!(d.entries[0].change, DeltaValue::CounterInc(1));
+        assert!(d.dead_letters.is_none());
+    }
+
+    #[test]
+    fn empty_delta_only_advances_the_clock() {
+        let r = MetricsRegistry::new();
+        r.counter("x", 0).inc();
+        let a = r.snapshot(1);
+        let b = r.snapshot(9);
+        let d = b.delta_since(&a);
+        assert!(d.is_empty());
+        let applied = a.apply_delta(&d);
+        assert_eq!(applied.at_nanos, 9);
+        assert_eq!(applied, b);
+    }
+
+    #[test]
+    fn new_series_arrive_from_zero_at_receiver() {
+        let r = MetricsRegistry::new();
+        let a = r.snapshot(1);
+        r.counter("late", 0).add(7);
+        let b = r.snapshot(2);
+        let d = b.delta_since(&a);
+        // A receiver that never saw the series builds it from zero.
+        let empty = Snapshot::default();
+        let got = empty.apply_delta(&d);
+        assert_eq!(got.counter("late", 0), Some(7));
+    }
+
+    #[test]
+    fn dead_letters_are_last_write_wins() {
+        let dl = DeadLetter {
+            at_nanos: 5,
+            node: 0,
+            to: None,
+            trace: TraceId::NONE,
+            reason: DeadLetterReason::NoRecipient,
+        };
+        let a = Snapshot {
+            at_nanos: 1,
+            ..Snapshot::default()
+        };
+        let mut b = Snapshot {
+            at_nanos: 2,
+            ..Snapshot::default()
+        };
+        b.dead_letters.push(dl);
+        let d = b.delta_since(&a);
+        assert_eq!(d.dead_letters.as_deref(), Some(&[dl][..]));
+        assert_eq!(a.apply_delta(&d), b);
+        // No change ⇒ not re-sent.
+        let c = Snapshot {
+            at_nanos: 3,
+            dead_letters: vec![dl],
+            ..Snapshot::default()
+        };
+        assert!(c.delta_since(&b).dead_letters.is_none());
+        assert_eq!(b.apply_delta(&c.delta_since(&b)), c);
+    }
+}

@@ -11,13 +11,17 @@
 
 #![deny(unsafe_code)]
 
+pub mod cluster;
 pub mod dead_letter;
+pub mod delta;
 pub mod metrics;
 pub mod trace;
 
 use std::sync::Arc;
 
+pub use cluster::{ClusterView, PeerStatus};
 pub use dead_letter::{DeadLetter, DeadLetterReason, DeadLetterRing};
+pub use delta::{DeltaEntry, DeltaValue, SnapshotDelta};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, MetricValue, MetricsRegistry,
     Snapshot,
@@ -87,6 +91,14 @@ pub mod names {
     /// acquisitions exercised that order (node label 0 — the order graph
     /// is process-global).
     pub const LOCKCHECK_EDGE_PREFIX: &str = "lockcheck.edge.";
+    /// Prefix of the per-lock-class wait-time histograms exported in every
+    /// build: `lock.wait.<class>` counts acquisitions that blocked and how
+    /// long they queued, nanoseconds (node label 0 — the timing tables are
+    /// process-global).
+    pub const LOCK_WAIT_PREFIX: &str = "lock.wait.";
+    /// Prefix of the per-lock-class hold-time histograms: one
+    /// `lock.hold.<class>` histogram of guard lifetimes, nanoseconds.
+    pub const LOCK_HOLD_PREFIX: &str = "lock.hold.";
 }
 
 /// Tuning for one [`Obs`] instance.
@@ -169,10 +181,46 @@ impl Obs {
         self.config
     }
 
-    /// A point-in-time metrics report stamped with the tracer's clock.
+    /// Nanoseconds since this observer's epoch — the shared monotonic
+    /// clock every `at_nanos` stamp in the system should come from.
+    pub fn now_nanos(&self) -> u64 {
+        self.tracer.now_nanos()
+    }
+
+    /// A point-in-time metrics report stamped with the tracer's clock,
+    /// including the per-class `lock.wait.*`/`lock.hold.*` histograms
+    /// and the dead-letter ring's recent contents.
     pub fn snapshot(&self) -> Snapshot {
         self.sync_lock_order();
-        self.metrics.snapshot(self.tracer.now_nanos())
+        // Collect the timing tables before touching the (instrumented)
+        // metrics mutex — same nesting discipline as `sync_lock_order`.
+        let timing = actorspace_lockcheck::lock_timing();
+        let mut snap = self.metrics.snapshot(self.now_nanos());
+        for t in timing {
+            for (prefix, data) in [
+                (names::LOCK_WAIT_PREFIX, t.wait),
+                (names::LOCK_HOLD_PREFIX, t.hold),
+            ] {
+                if data.count == 0 {
+                    continue;
+                }
+                snap.entries.push(MetricSnapshot {
+                    name: format!("{prefix}{}", t.class),
+                    // The timing tables are process-global, like the
+                    // order graph: node label 0 by convention.
+                    node: 0,
+                    space: None,
+                    value: MetricValue::Histogram(HistogramSnapshot::from_buckets(
+                        data.sum,
+                        &data.buckets,
+                    )),
+                });
+            }
+        }
+        snap.entries
+            .sort_by(|a, b| (&a.name, a.node, a.space).cmp(&(&b.name, b.node, b.space)));
+        snap.dead_letters = self.dead_letters.recent();
+        snap
     }
 
     /// Folds lockcheck's observed lock-order graph into
@@ -225,7 +273,36 @@ mod tests {
     fn obs_bundle_defaults() {
         let obs = Obs::default();
         assert_eq!(obs.config().sample_every, 64);
-        assert!(obs.snapshot().is_empty());
+        // A fresh observer registers no metrics of its own; everything in
+        // its snapshot comes from the process-global lock instrumentation
+        // (`lock.wait.*` / `lock.hold.*` / `lockcheck.edge.*`).
+        assert!(obs
+            .snapshot()
+            .entries
+            .iter()
+            .all(|e| e.name.starts_with("lock")));
+    }
+
+    /// `lock.hold.*` (and, under contention, `lock.wait.*`) histograms
+    /// ride every snapshot — with the lockcheck feature both on and off.
+    #[test]
+    fn snapshot_exports_lock_timing() {
+        use actorspace_lockcheck::{LockClass, Mutex};
+        let m = Mutex::new(LockClass::Other("obs_ut_timing"), ());
+        drop(m.lock());
+        let obs = Obs::default();
+        // The first snapshot itself locks the registry mutex; the second
+        // therefore always sees a `lock.hold.metrics` sample.
+        let _ = obs.snapshot();
+        let snap = obs.snapshot();
+        let hold = snap
+            .histogram("lock.hold.obs_ut_timing", 0)
+            .expect("hold histogram exported");
+        assert!(hold.count >= 1);
+        // The snapshot's own registry lock shows up too.
+        assert!(snap.histogram("lock.hold.metrics", 0).is_some());
+        let json = snap.to_json();
+        assert!(json.contains("lock.hold.obs_ut_timing"));
     }
 
     #[test]

@@ -16,6 +16,8 @@ use std::sync::Arc;
 
 use actorspace_lockcheck::{LockClass, Mutex};
 
+use crate::dead_letter::DeadLetter;
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -164,34 +166,7 @@ impl Histogram {
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
-        let total: u64 = counts.iter().sum();
-        let q = |frac: f64| -> u64 {
-            if total == 0 {
-                return 0;
-            }
-            let rank = ((frac * total as f64).ceil() as u64).max(1);
-            let mut seen = 0u64;
-            for (i, c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    return bucket_upper(i);
-                }
-            }
-            bucket_upper(N_BUCKETS - 1)
-        };
-        let max = counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(bucket_upper)
-            .unwrap_or(0);
-        HistogramSnapshot {
-            count: total,
-            sum: self.sum.load(Ordering::Relaxed),
-            p50: q(0.50),
-            p90: q(0.90),
-            p99: q(0.99),
-            max,
-        }
+        HistogramSnapshot::from_buckets(self.sum.load(Ordering::Relaxed), &counts)
     }
 }
 
@@ -216,6 +191,40 @@ impl HistogramSnapshot {
     /// Mean sample value (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Summarizes raw log2-bucket counts (the [`Histogram`] layout, also
+    /// used by `actorspace-lockcheck`'s timing tables) into quantile
+    /// upper bounds.
+    pub fn from_buckets(sum: u64, counts: &[u64]) -> HistogramSnapshot {
+        let total: u64 = counts.iter().sum();
+        let q = |frac: f64| -> u64 {
+            if total == 0 {
+                return 0;
+            }
+            let rank = ((frac * total as f64).ceil() as u64).max(1);
+            let mut seen = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(N_BUCKETS - 1)
+        };
+        let max = counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(bucket_upper)
+            .unwrap_or(0);
+        HistogramSnapshot {
+            count: total,
+            sum,
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+            max,
+        }
     }
 }
 
@@ -340,7 +349,11 @@ impl MetricsRegistry {
                 },
             })
             .collect();
-        Snapshot { at_nanos, entries }
+        Snapshot {
+            at_nanos,
+            entries,
+            dead_letters: Vec::new(),
+        }
     }
 }
 
@@ -376,6 +389,9 @@ pub struct Snapshot {
     pub at_nanos: u64,
     /// All metrics, ordered by `(name, node, space)`.
     pub entries: Vec<MetricSnapshot>,
+    /// Recent dead letters (the ring's current contents, oldest first);
+    /// filled in by `Obs::snapshot`, empty for a bare registry snapshot.
+    pub dead_letters: Vec<DeadLetter>,
 }
 
 impl Snapshot {
@@ -452,6 +468,28 @@ impl Snapshot {
         out
     }
 
+    /// The subset of this snapshot labeled with `node`: metric entries
+    /// and dead letters of other nodes are dropped, the timestamp kept.
+    /// This is what a node publishes about itself on the wire — in a
+    /// cluster sharing one registry, each node streams only its own rows.
+    pub fn filter_node(&self, node: u16) -> Snapshot {
+        Snapshot {
+            at_nanos: self.at_nanos,
+            entries: self
+                .entries
+                .iter()
+                .filter(|e| e.node == node)
+                .cloned()
+                .collect(),
+            dead_letters: self
+                .dead_letters
+                .iter()
+                .filter(|d| d.node == node)
+                .copied()
+                .collect(),
+        }
+    }
+
     /// Renders the snapshot as a JSON object:
     /// `{"at_nanos":..,"metrics":[{"name":..,"node":..,"kind":..,...},..]}`.
     /// Space-labeled entries additionally carry `"space":<raw id>`.
@@ -498,7 +536,25 @@ impl Snapshot {
             }
             out.push('}');
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.dead_letters.is_empty() {
+            out.push_str(",\"dead_letters\":[");
+            for (i, d) in self.dead_letters.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"at_nanos\":{},\"node\":{},\"to\":{},\"trace\":{},\"reason\":\"{}\"}}",
+                    d.at_nanos,
+                    d.node,
+                    d.to.map_or("null".to_string(), |t| t.to_string()),
+                    d.trace.0,
+                    d.reason.name(),
+                ));
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 }

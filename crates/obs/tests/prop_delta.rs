@@ -1,0 +1,90 @@
+//! Property tests for the snapshot delta codec and the `ClusterView`
+//! aggregator: exact roundtrip over randomized registry histories, and
+//! convergence plus counter monotonicity under out-of-order and
+//! duplicated frame delivery.
+
+use actorspace_obs::{ClusterView, MetricsRegistry, Snapshot};
+use proptest::prelude::*;
+
+const COUNTERS: [&str; 3] = ["c.alpha", "c.beta", "c.gamma"];
+
+/// One randomized registry mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    Inc { k: usize, node: u16, n: u64 },
+    Set { k: usize, v: i64 },
+    Rec { k: usize, v: u64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..3, 0u16..2, 1u64..100).prop_map(|(k, node, n)| Op::Inc { k, node, n }),
+        (0usize..3, -50i64..50).prop_map(|(k, v)| Op::Set { k, v }),
+        (0usize..3, 0u64..10_000).prop_map(|(k, v)| Op::Rec { k, v }),
+    ]
+}
+
+fn apply(r: &MetricsRegistry, op: &Op) {
+    match *op {
+        Op::Inc { k, node, n } => r.counter(COUNTERS[k], node).add(n),
+        Op::Set { k, v } => r.gauge(&format!("g.{}", COUNTERS[k]), 0).set(v),
+        Op::Rec { k, v } => r.histogram(&format!("h.{}", COUNTERS[k]), 0).record(v),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// For any mutation history: every adjacent delta roundtrips exactly,
+    /// and a view fed the frames in a scrambled order with duplicates
+    /// converges to the final snapshot with cluster counter totals
+    /// monotone along the way.
+    #[test]
+    fn delta_roundtrip_and_view_convergence(
+        batches in proptest::collection::vec(proptest::collection::vec(arb_op(), 0..8), 1..12),
+        swaps in proptest::collection::vec((0usize..16, 0usize..16), 0..10),
+        dups in proptest::collection::vec(0usize..16, 0..5),
+    ) {
+        let r = MetricsRegistry::new();
+        let mut snaps = vec![Snapshot::default()];
+        for (i, batch) in batches.iter().enumerate() {
+            for op in batch {
+                apply(&r, op);
+            }
+            snaps.push(r.snapshot((i as u64 + 1) * 10));
+        }
+
+        // Exact roundtrip per adjacent pair.
+        let mut frames = Vec::new();
+        for w in snaps.windows(2) {
+            let d = w[1].delta_since(&w[0]);
+            prop_assert_eq!(w[0].apply_delta(&d), w[1].clone());
+            frames.push(d);
+        }
+
+        // Scramble delivery: random transpositions, then duplicates.
+        let mut deliveries: Vec<usize> = (0..frames.len()).collect();
+        for &(a, b) in &swaps {
+            let (a, b) = (a % deliveries.len(), b % deliveries.len());
+            deliveries.swap(a, b);
+        }
+        for &d in &dups {
+            deliveries.push(d % frames.len());
+        }
+
+        let view = ClusterView::new();
+        let mut last_totals: Option<Vec<u64>> = None;
+        for &i in &deliveries {
+            view.apply_frame(0, i as u64, frames[i].clone());
+            let m = view.merged();
+            let totals: Vec<u64> = COUNTERS.iter().map(|n| m.counter_total(n)).collect();
+            if let Some(prev) = &last_totals {
+                for (new, old) in totals.iter().zip(prev) {
+                    prop_assert!(new >= old, "cluster totals went backwards");
+                }
+            }
+            last_totals = Some(totals);
+        }
+        prop_assert_eq!(view.node_snapshot(0), Some(snaps.last().unwrap().clone()));
+    }
+}

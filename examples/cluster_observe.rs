@@ -1,0 +1,161 @@
+//! Remote observability: one subscriber watches a churning cluster
+//! through the delta-encoded snapshot stream.
+//!
+//! Run with: `cargo run --release --example cluster_observe`
+//!
+//! Three nodes each publish delta frames of their own metrics slice every
+//! 50ms; the observer's [`ClusterView`] folds them into a cluster-wide
+//! aggregate — it never touches the nodes' registries directly. Node 2 is
+//! killed mid-run (the failure detector marks it stale in the view) and
+//! later restarted (the next frame flips it back and bumps its rejoin
+//! counter). A text dashboard rendered *from the view* refreshes as the
+//! run progresses. At the end the example checks that the view converged
+//! on the nodes' real totals, saw the churn, and carries nonzero
+//! `lock.wait.*` timing — then prints `CLUSTER OBS OK`, which
+//! `scripts/ci.sh` greps for.
+//!
+//! `CLUSTER_OBSERVE_MS` bounds the run (default 3000; CI runs shorter).
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use actorspace::prelude::*;
+use actorspace_lockcheck::{LockClass, Mutex, RwLock};
+use actorspace_net::{Cluster, ClusterConfig, FailureConfig};
+use actorspace_obs::{names, MetricValue};
+
+/// A burst of seeded lock contention, so `lock.wait.*` histograms carry
+/// samples even on a machine fast enough to never contend organically.
+/// The shard is taken under the meta lock, per the coordinator's
+/// two-level protocol, so the probe is order-valid under
+/// `--features lockcheck` too.
+fn contention_probe() {
+    static META: RwLock<()> = RwLock::new(LockClass::Meta, ());
+    static SHARD: Mutex<()> = Mutex::new(LockClass::Shard(900_002), ());
+    let rendezvous = Barrier::new(2);
+    std::thread::scope(|s| {
+        s.spawn(|| {
+            let _meta = META.read();
+            let _shard = SHARD.lock();
+            rendezvous.wait();
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        rendezvous.wait();
+        let _meta = META.read();
+        drop(SHARD.lock());
+    });
+}
+
+fn main() {
+    let run_ms: u64 = std::env::var("CLUSTER_OBSERVE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3000);
+    let publish = Duration::from_millis(50);
+    let stale_after = publish * 10;
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 3,
+        failure: FailureConfig::fast(),
+        obs_publish: Some(publish),
+        ..ClusterConfig::default()
+    });
+    let view = cluster.observe();
+    let obs = cluster.obs().clone();
+
+    let space = cluster.node(0).create_space(None);
+    for i in [1usize, 2] {
+        let w = cluster.node(i).spawn(from_fn(|_ctx, _msg| {}));
+        cluster
+            .node(i)
+            .make_visible(w, &path(&format!("svc/n{i}")), space, None)
+            .unwrap();
+    }
+    assert!(cluster.await_coherence(Duration::from_secs(10)));
+
+    println!("3-node cluster, one remote observer; CLUSTER_OBSERVE_MS={run_ms}");
+    println!("dashboard below renders from streamed deltas, not local state\n");
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_millis(run_ms);
+    let kill_at = start + Duration::from_millis(run_ms / 3);
+    let restart_at = start + Duration::from_millis(2 * run_ms / 3);
+    let (mut killed, mut restarted) = (false, false);
+    let mut sent = 0u64;
+    let mut last_dash = Instant::now();
+    while Instant::now() < deadline {
+        let _ = cluster
+            .node(0)
+            .send_pattern(&pattern("svc/*"), space, Value::int(sent as i64));
+        sent += 1;
+        if sent.is_multiple_of(64) {
+            contention_probe();
+        }
+        if !killed && Instant::now() >= kill_at {
+            killed = cluster.kill_node(2);
+            println!("-- kill node 2 --");
+        }
+        if !restarted && Instant::now() >= restart_at {
+            restarted = cluster.restart_node(2);
+            println!("-- restart node 2 --");
+        }
+        if last_dash.elapsed() >= Duration::from_millis(run_ms / 6) {
+            println!("{}", view.render(obs.now_nanos(), stale_after));
+            last_dash = Instant::now();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(killed && restarted, "churn did not run (run too short?)");
+    assert!(cluster.await_quiescence(Duration::from_secs(10)));
+
+    // The publishers keep streaming after traffic stops; wait for the
+    // view to converge on the registry's real per-node delivery totals.
+    let wanted: Vec<u64> = (0..3u16)
+        .map(|n| obs.metrics.counter(names::RT_DELIVERIES, n).get())
+        .collect();
+    let converge_deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let m = view.merged();
+        if (0..3u16).all(|n| m.counter(names::RT_DELIVERIES, n).unwrap_or(0) == wanted[n as usize])
+        {
+            break;
+        }
+        assert!(
+            Instant::now() < converge_deadline,
+            "view never converged on the nodes' delivery totals:\n{}",
+            view.render(obs.now_nanos(), stale_after)
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    println!("final view:\n{}", view.render(obs.now_nanos(), stale_after));
+
+    // Self-checks on the *streamed* aggregate.
+    let merged = view.merged();
+    assert!(
+        view.nodes().len() >= 2,
+        "merged view tracks fewer than 2 publishers"
+    );
+    let lock_waits: u64 = merged
+        .entries
+        .iter()
+        .filter(|e| e.name.starts_with(names::LOCK_WAIT_PREFIX))
+        .map(|e| match &e.value {
+            MetricValue::Histogram(h) => h.count,
+            _ => 0,
+        })
+        .sum();
+    assert!(lock_waits > 0, "no lock.wait.* samples reached the view");
+    let rejoins = view.peer(2).map(|p| p.rejoins).unwrap_or(0);
+    assert!(
+        rejoins >= 1,
+        "node 2's restart never registered as a rejoin"
+    );
+    println!(
+        "observer saw {} deliveries, {} lock-wait samples, node 2 rejoined {} time(s)",
+        merged.counter_total(names::RT_DELIVERIES),
+        lock_waits,
+        rejoins
+    );
+    cluster.shutdown();
+    println!("\nCLUSTER OBS OK");
+}

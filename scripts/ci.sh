@@ -44,6 +44,9 @@ RUST_TEST_THREADS=4 cargo test --release -p actorspace-core \
 echo "==> E14 quick (sharded vs global-lock send throughput must stay ~parity)"
 E14_QUICK=1 cargo run --release -p actorspace-bench --bin experiments e14
 
+echo "==> E15 quick (obs delta streaming: views must converge; overhead report)"
+E15_QUICK=1 cargo run --release -p actorspace-bench --bin experiments e15
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 
@@ -52,5 +55,12 @@ echo "==> obs smoke (observe example under churn must self-check)"
 # complete traced lifecycle, then prints the marker we grep for.
 OBSERVE_MS=1500 cargo run --release --example observe | tee /tmp/observe.out
 grep -q "OBS SMOKE OK" /tmp/observe.out
+
+echo "==> cluster view smoke (remote observer under churn must self-check)"
+# The example's merged ClusterView must track >=2 publishers, converge on
+# the nodes' true delivery totals, carry nonzero lock.wait.* timing, and
+# see node 2's kill/restart as stale -> rejoined, then print the marker.
+CLUSTER_OBSERVE_MS=1500 cargo run --release --example cluster_observe | tee /tmp/cluster_observe.out
+grep -q "CLUSTER OBS OK" /tmp/cluster_observe.out
 
 echo "CI gate passed."
