@@ -7,6 +7,9 @@
 //! *not* the coordinator bus, whose global ordering and `submitted()`
 //! accounting must stay reserved for protocol events — and any node can
 //! [`ObsStream::subscribe`] to fold the frames into a [`ClusterView`].
+//! Late subscribers are seeded with each publisher's cumulative state
+//! (see [`ClusterView::seed`]), so joining mid-stream converges instead
+//! of parking forever on frames published before the subscription.
 //!
 //! Delta state lives in the stream, not the node: a node incarnation
 //! that dies and restarts keeps appending to the same cumulative
@@ -125,6 +128,16 @@ impl ObsStream {
     /// Registers a new observer and returns its live aggregate view.
     /// Frames published from now on are folded into the view after the
     /// stream's simulated link delay.
+    ///
+    /// A subscriber that joins after frames have already been published
+    /// is *seeded*: for every node, the cumulative snapshot behind that
+    /// node's next frame is installed directly in the view at the
+    /// publisher's current sequence watermark, so the view converges
+    /// without the frames it never received. Registration happens before
+    /// seeding, and the seed is read under the publisher lock, so every
+    /// frame falls on one side of the seed: frames diffed before the
+    /// seed was read are covered by it (and dropped as stale if they
+    /// straggle in later), frames diffed after it apply on top.
     pub fn subscribe(&self) -> Arc<ClusterView> {
         let view = Arc::new(ClusterView::new());
         let sink = view.clone();
@@ -140,6 +153,10 @@ impl ObsStream {
             link,
             view: view.clone(),
         });
+        for (node, state) in self.states.iter().enumerate() {
+            let st = state.lock();
+            view.seed(node as u16, st.seq, st.last.clone());
+        }
         view
     }
 }

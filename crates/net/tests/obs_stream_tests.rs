@@ -75,6 +75,53 @@ fn view_converges_on_remote_totals() {
     cluster.shutdown();
 }
 
+/// A subscriber created *after* traffic has been published still
+/// converges: subscribe() seeds the view with each publisher's
+/// cumulative state, so frames 0..N it never received are not needed.
+#[test]
+fn late_subscriber_is_seeded_and_converges() {
+    let cluster = Cluster::new(ClusterConfig {
+        nodes: 2,
+        obs_publish: Some(Duration::from_millis(10)),
+        ..ClusterConfig::default()
+    });
+
+    let space = cluster.node(0).create_space(None);
+    let worker = cluster.node(1).spawn(from_fn(|_ctx, _msg| {}));
+    cluster
+        .node(1)
+        .make_visible(worker, &path("worker"), space, None)
+        .unwrap();
+    assert!(cluster.await_coherence(TIMEOUT));
+    for i in 0..25 {
+        cluster
+            .node(0)
+            .send_pattern(&pattern("worker"), space, Value::int(i))
+            .unwrap();
+    }
+    assert!(cluster.await_quiescence(TIMEOUT));
+
+    // Give the publishers time to ship frames no future subscriber will
+    // ever see: after this sleep every node's seq is past 0, so a
+    // subscriber without seeding would park its first frame forever.
+    let deliveries = cluster.obs().metrics.counter(names::RT_DELIVERIES, 1).get();
+    assert!(deliveries >= 25);
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The late subscriber: must converge without any new traffic.
+    let view = cluster.observe();
+    let deadline = Instant::now() + TIMEOUT;
+    assert!(
+        poll(deadline, || {
+            let m = view.merged();
+            m.counter(names::RT_DELIVERIES, 1) == Some(deliveries) && view.nodes() == vec![0, 1]
+        }),
+        "late view converged on pre-subscription totals:\n{}",
+        view.render(cluster.obs().now_nanos(), Duration::from_secs(1))
+    );
+    cluster.shutdown();
+}
+
 /// Kill → the peer goes stale (down) in the view; restart → it rejoins
 /// and the view reconverges on its post-restart totals.
 #[test]

@@ -13,11 +13,17 @@
 //!
 //! Peers fail: the failure detector calls [`ClusterView::mark_down`], and
 //! readers see the peer flagged (its last replica is kept — totals don't
-//! jump backwards when a node dies). A frame arriving from a down-marked
-//! peer flips it back to live and counts a rejoin; staleness is otherwise
-//! judged by frame age ([`PeerStatus::is_stale`]), so a silently frozen
-//! publisher degrades to *stale* rather than reporting forever-fresh
-//! numbers.
+//! jump backwards when a node dies). A *fresh* frame arriving from a
+//! down-marked peer flips it back to live and counts a rejoin (stale and
+//! duplicated frames are dropped first and leave liveness untouched);
+//! staleness is otherwise judged by frame age ([`PeerStatus::is_stale`]),
+//! so a silently frozen publisher degrades to *stale* rather than
+//! reporting forever-fresh numbers.
+//!
+//! Subscribers may join mid-stream: [`ClusterView::seed`] installs a
+//! peer's cumulative snapshot at a given watermark so a late view
+//! converges immediately instead of waiting forever for frames that were
+//! published before it existed.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -108,16 +114,17 @@ impl ClusterView {
 
     /// Ingests one frame from `node`. Returns `true` if the frame was
     /// fresh (applied now or parked for reordering), `false` for a
-    /// duplicate. A frame from a down-marked peer revives it.
+    /// duplicate. Only a fresh frame from a down-marked peer revives it:
+    /// stale or duplicated frames are dropped before liveness is touched.
     pub fn apply_frame(&self, node: u16, seq: u64, delta: SnapshotDelta) -> bool {
         let mut peers = self.peers.lock();
         let peer = peers.entry(node).or_insert_with(PeerView::new);
+        if seq < peer.next_seq || peer.buffer.contains_key(&seq) {
+            return false;
+        }
         if peer.down {
             peer.down = false;
             peer.rejoins += 1;
-        }
-        if seq < peer.next_seq || peer.buffer.contains_key(&seq) {
-            return false;
         }
         peer.buffer.insert(seq, delta);
         while let Some(d) = peer.buffer.remove(&peer.next_seq) {
@@ -127,6 +134,37 @@ impl ClusterView {
             peer.frames_applied += 1;
         }
         true
+    }
+
+    /// Installs a full replica for `node` as of `next_seq`: the peer's
+    /// snapshot becomes `snap`, the watermark jumps to `next_seq`, and
+    /// any parked frames the seed already covers are discarded (frames
+    /// parked beyond the watermark drain immediately). This is how a
+    /// late subscriber catches up without replaying frames `0..next_seq`
+    /// — the publisher hands it the cumulative state directly.
+    ///
+    /// Seeding is idempotent and never rewinds: a seed at or below the
+    /// current watermark is ignored. It also does not touch `down` or
+    /// `rejoins` — seed data is read from publisher state, not evidence
+    /// the publisher is alive. An installed seed counts as one applied
+    /// frame so the peer shows up in [`ClusterView::nodes`].
+    pub fn seed(&self, node: u16, next_seq: u64, snap: Snapshot) {
+        let mut peers = self.peers.lock();
+        let peer = peers.entry(node).or_insert_with(PeerView::new);
+        if next_seq <= peer.next_seq {
+            return;
+        }
+        peer.buffer = peer.buffer.split_off(&next_seq);
+        peer.last_frame_nanos = peer.last_frame_nanos.max(snap.at_nanos);
+        peer.snap = snap;
+        peer.next_seq = next_seq;
+        peer.frames_applied += 1;
+        while let Some(d) = peer.buffer.remove(&peer.next_seq) {
+            peer.snap = peer.snap.apply_delta(&d);
+            peer.last_frame_nanos = peer.last_frame_nanos.max(d.to_nanos);
+            peer.next_seq += 1;
+            peer.frames_applied += 1;
+        }
     }
 
     /// Flags `node` as down (failure-detector hook). The peer's replica
@@ -313,6 +351,85 @@ mod tests {
         let p = view.peer(7).unwrap();
         assert!(!p.down);
         assert_eq!(p.rejoins, 1);
+    }
+
+    #[test]
+    fn stale_and_duplicate_frames_do_not_revive_a_down_peer() {
+        let view = ClusterView::new();
+        assert!(view.apply_frame(4, 0, SnapshotDelta::default()));
+        view.mark_down(4);
+        // A duplicate of the already-applied frame is dropped before
+        // liveness is touched: the peer stays down, no rejoin counted.
+        assert!(!view.apply_frame(4, 0, SnapshotDelta::default()));
+        let p = view.peer(4).unwrap();
+        assert!(p.down, "stale frame must not revive");
+        assert_eq!(p.rejoins, 0);
+        // A fresh-but-parked frame does revive (fresh = applied or
+        // parked) — but a duplicate of it does not.
+        assert!(view.apply_frame(4, 5, SnapshotDelta::default()), "parked");
+        assert_eq!(view.peer(4).unwrap().rejoins, 1, "parked fresh revives");
+        view.mark_down(4);
+        assert!(!view.apply_frame(4, 5, SnapshotDelta::default()));
+        let p = view.peer(4).unwrap();
+        assert!(p.down, "parked duplicate must not revive");
+        assert_eq!(p.rejoins, 1);
+        // A genuinely fresh in-order frame revives again.
+        assert!(view.apply_frame(4, 1, SnapshotDelta::default()));
+        let p = view.peer(4).unwrap();
+        assert!(!p.down);
+        assert_eq!(p.rejoins, 2);
+    }
+
+    #[test]
+    fn seed_installs_cumulative_state_for_late_joiners() {
+        let r = MetricsRegistry::new();
+        let view = ClusterView::new();
+        let mut prev = Snapshot::default();
+        let mut frames = Vec::new();
+        for i in 0..4u64 {
+            r.counter("sends", 9).add(i + 1);
+            let (d, next) = delta(&r, &prev, i + 1);
+            frames.push(d);
+            prev = next;
+        }
+        // Frames 0..3 were published before this view existed; frame 3
+        // arrives first and parks. The seed (state through frame 2,
+        // watermark 3) unblocks it.
+        assert!(view.apply_frame(9, 3, frames[3].clone()));
+        assert_eq!(view.nodes(), Vec::<u16>::new(), "gap at 0..3 holds");
+        let through_2 = Snapshot::default()
+            .apply_delta(&frames[0])
+            .apply_delta(&frames[1])
+            .apply_delta(&frames[2]);
+        view.seed(9, 3, through_2);
+        assert_eq!(
+            view.node_snapshot(9),
+            Some(prev.clone()),
+            "seed + parked frame 3"
+        );
+        assert_eq!(view.peer(9).unwrap().next_seq, 4);
+        // Frames the seed covers are dropped as stale afterwards…
+        assert!(!view.apply_frame(9, 1, frames[1].clone()));
+        // …and a rewinding or duplicate seed is ignored.
+        view.seed(9, 2, Snapshot::default());
+        assert_eq!(view.node_snapshot(9), Some(prev.clone()));
+        // Seeding never revives: mark down, re-seed higher, still down.
+        view.mark_down(9);
+        let mut later = prev.clone();
+        later.at_nanos += 1;
+        view.seed(9, 10, later.clone());
+        let p = view.peer(9).unwrap();
+        assert!(p.down, "seed data is not liveness evidence");
+        assert_eq!(p.rejoins, 0);
+        assert_eq!(view.node_snapshot(9), Some(later));
+    }
+
+    #[test]
+    fn seed_at_zero_is_a_no_op() {
+        let view = ClusterView::new();
+        view.seed(5, 0, Snapshot::default());
+        assert_eq!(view.nodes(), Vec::<u16>::new());
+        assert!(view.peer(5).is_none() || view.peer(5).unwrap().frames_applied == 0);
     }
 
     #[test]

@@ -179,7 +179,11 @@ impl Snapshot {
                         Some(MetricValue::Counter(p)) => *p,
                         _ => 0,
                     };
-                    MetricValue::Counter(base + inc)
+                    // Saturate rather than overflow: a delta applied to
+                    // the wrong base (mis-sequenced or malformed input)
+                    // should degrade, not panic, mirroring the
+                    // saturating_sub on the encode side.
+                    MetricValue::Counter(base.saturating_add(inc))
                 }
                 DeltaValue::GaugeSet(v) => MetricValue::Gauge(v),
                 DeltaValue::Histogram {
@@ -195,8 +199,8 @@ impl Snapshot {
                         _ => HistogramSnapshot::from_buckets(0, &[]),
                     };
                     MetricValue::Histogram(HistogramSnapshot {
-                        count: base.count + count_inc,
-                        sum: base.sum + sum_inc,
+                        count: base.count.saturating_add(count_inc),
+                        sum: base.sum.saturating_add(sum_inc),
                         p50,
                         p90,
                         p99,
